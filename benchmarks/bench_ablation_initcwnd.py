@@ -1,0 +1,23 @@
+"""Ablation — initcwnd sensitivity (§5.2 discussion).
+
+Sweeps the TCP initial window and reports where the PQ round-trip penalty
+appears and where suppression stops paying (large windows)."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_initcwnd(benchmark):
+    rows = benchmark(ablations.initcwnd_sweep)
+    print()
+    print(ablations.format_initcwnd(rows))
+    by_key = {(r.algorithm, r.initcwnd_segments): r for r in rows}
+    # Small windows amplify the PQ penalty...
+    assert (
+        by_key[("sphincs-128f", 4)].full_extra_rtts
+        > by_key[("sphincs-128f", 10)].full_extra_rtts
+    )
+    # ...and a 64-MSS window absorbs Dilithium entirely (§5.2: with large
+    # windows "the initiator of the handshake can omit the IC Filter
+    # extension altogether").
+    assert by_key[("dilithium3", 64)].full_extra_rtts == 0
+    assert not by_key[("dilithium3", 64)].suppression_useful

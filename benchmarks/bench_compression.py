@@ -1,0 +1,29 @@
+"""Certificate compression (RFC 8879) vs ICA suppression.
+
+Compression's savings collapse on PQ chains (uniform-random keys and
+signatures don't compress); suppression's do not — the asymmetry that
+motivates the paper's mechanism for the PQ era.
+"""
+
+from repro.experiments.compression import (
+    compression_comparison,
+    format_compression,
+)
+
+
+def test_compression_vs_suppression(benchmark):
+    rows = benchmark(compression_comparison)
+    print()
+    print(format_compression(rows))
+    by_alg = {r.algorithm: r.accounting for r in rows}
+    # Conventional chains compress well...
+    assert by_alg["rsa-2048"].compression_ratio < 0.75
+    # ...PQ chains barely (less than 15% savings on Dilithium/SPHINCS+).
+    assert by_alg["dilithium3"].compression_ratio > 0.85
+    assert by_alg["sphincs-128f"].compression_ratio > 0.85
+    # Suppression keeps working in the PQ era (2 of 3 certs removed).
+    assert by_alg["dilithium3"].suppression_ratio < 0.45
+    # And composing both is never worse than either alone.
+    for acc in by_alg.values():
+        assert acc.combined_ratio <= acc.compression_ratio + 1e-9
+        assert acc.combined_ratio <= acc.suppression_ratio + 1e-9

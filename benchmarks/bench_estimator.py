@@ -1,0 +1,28 @@
+"""§4.2 expected-duration model across algorithms, RTTs and FPP targets."""
+
+from repro.experiments.estimator_model import (
+    expected_duration_table,
+    format_expected_durations,
+)
+
+
+def test_expected_duration_model(benchmark):
+    rows = benchmark(expected_duration_table)
+    print()
+    print(format_expected_durations(rows))
+    for row in rows:
+        # The estimator's sandwich: d_c <= expected <= d_PQ + eps slack.
+        assert row.d_suppressed_ms <= row.expected_ms + 1e-9
+        assert row.expected_ms <= row.d_full_ms + row.eps * row.d_suppressed_ms + 1e-6
+        # Speedup dips below 1 only by the eps retry tax, never more.
+        assert row.speedup >= 1.0 - 1.1 * row.eps
+    # eps is second order: at 1e-3 the expectation sits within 1% of d_c.
+    for row in rows:
+        if row.eps <= 1e-3:
+            assert row.expected_ms <= row.d_suppressed_ms * 1.02
+    # Where chains overflow the window even suppressed (staple weight),
+    # suppression gains nothing — an honest model output; SPHINCS+ still
+    # gains a full round trip per handshake.
+    sphincs = [r for r in rows if r.algorithm == "sphincs-128f" and r.eps == 1e-3]
+    assert all(r.d_full_ms > r.d_suppressed_ms for r in sphincs)
+    assert all(r.speedup > 1.05 for r in sphincs)

@@ -1,0 +1,16 @@
+"""Figure 1 — PQ TLS 1.3 handshake flow: per-message sizes and flights."""
+
+from repro.experiments import fig1
+
+
+def test_fig1_handshake_flows(benchmark):
+    flows = benchmark(fig1.compute_flows)
+    print()
+    print(fig1.format_flow_summary(flows))
+    for flow in flows:
+        print()
+        print(fig1.format_flow(flow))
+    by_alg = {f.algorithm: f for f in flows}
+    assert by_alg["rsa-2048"].server_flight_rtts == 1
+    assert by_alg["dilithium5"].server_flight_rtts >= 2
+    assert by_alg["sphincs-128f"].server_flight_rtts >= 3

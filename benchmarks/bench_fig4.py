@@ -1,0 +1,10 @@
+"""Figure 4 — IC-suppression extension size vs target FPP."""
+
+from repro.experiments import fig4
+
+
+def test_fig4_extension_size_vs_fpp(benchmark):
+    sweep = benchmark(fig4.fpp_sweep)
+    print()
+    print(fig4.format_fpp_sweep(sweep))
+    assert fig4.monotone_decreasing_in_fpp(sweep)

@@ -1,0 +1,24 @@
+"""Figure 5-center — PQ-authentication-induced latency vs RTT.
+
+Extra handshake latency of Dilithium V and SPHINCS+-128f over RSA-2048,
+with the paper's line-of-best-fit latency model.
+"""
+
+from repro.experiments import fig5
+
+
+def test_fig5_center_latency_model(benchmark):
+    models = benchmark(fig5.latency_models)
+    print()
+    print(fig5.format_latency_models(models))
+    for model in models:
+        print(f"{model.algorithm}: {model.fit.describe(x_unit='s RTT')}")
+    by_alg = {m.algorithm: m for m in models}
+    # Linearity (the regression premise) and ordering (SPHINCS+ pays more
+    # round trips than Dilithium V).
+    for model in models:
+        assert model.fit.r_squared > 0.98
+    assert (
+        by_alg["sphincs-128f"].fit.slope > by_alg["dilithium5"].fit.slope
+    )
+    assert by_alg["dilithium5"].fit.slope >= 1.0

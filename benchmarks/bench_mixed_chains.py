@@ -1,0 +1,26 @@
+"""Mixed certificate chains x ICA suppression — the strategies compose."""
+
+from repro.experiments.mixed_chains import (
+    format_mixed_chains,
+    mixed_chain_comparison,
+)
+
+
+def test_mixed_chains_compose_with_suppression(benchmark):
+    rows = benchmark(mixed_chain_comparison)
+    print()
+    print(format_mixed_chains(rows))
+    by_label = {r.label.split(" ")[0] + ":" + r.label.split(" ")[-1]: r for r in rows}
+    pure_dil = next(r for r in rows if r.label == "pure dilithium2")
+    pure_fal = next(r for r in rows if r.label == "pure falcon-512")
+    mixed = next(r for r in rows if "dilithium2 leaf" in r.label)
+    # The mixed chain undercuts pure Dilithium on the wire...
+    assert mixed.chain_bytes < pure_dil.chain_bytes
+    # ...and suppression still removes its (Falcon) ICAs on top: the
+    # suppressed mixed chain beats BOTH suppressed pure chains on the
+    # combined wire+sign-latency frontier.
+    assert mixed.suppressed_bytes < pure_dil.suppressed_bytes
+    assert mixed.leaf_sign_ms < pure_fal.leaf_sign_ms
+    # Suppression saving equals the ICA bytes regardless of the mix.
+    for row in rows:
+        assert row.suppression_saving > 0

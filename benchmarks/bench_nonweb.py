@@ -1,0 +1,29 @@
+"""Non-Web environments (§7 future work): web vs mobile vs IoT."""
+
+from repro.webmodel.nonweb import compare_environments, format_environments
+
+
+def test_nonweb_environments(benchmark):
+    results = benchmark.pedantic(
+        compare_environments, rounds=1, iterations=1
+    )
+    print()
+    print(format_environments(results))
+    by_name = {r.config.name: r for r in results}
+    web = by_name["web-browsing"]
+    mobile = by_name["mobile-app"]
+    iot = by_name["iot-fleet"]
+    # Closed worlds: complete ICA knowledge -> full suppression.
+    assert mobile.suppression_rate == 1.0
+    assert iot.suppression_rate == 1.0
+    # Tiny peer sets afford far tighter FPPs in far fewer bytes.
+    assert iot.filter_payload_bytes < web.filter_payload_bytes
+    assert iot.config.fpp < web.config.fpp
+    # Constrained links turn suppressed flights into real seconds: the
+    # IoT fleet (4-MSS window, 300 ms RTT) saves the most wall time per
+    # day despite the smallest chains.
+    assert iot.handshake_seconds_saved_per_day > web.handshake_seconds_saved_per_day
+    assert iot.flight_rtts_saved_per_day > 0
+    # No false positives at 1e-5/1e-6 FPPs over a day.
+    assert mobile.false_positives == 0
+    assert iot.false_positives == 0

@@ -1,0 +1,33 @@
+"""Table 1 — conventional & PQ TLS authentication data size.
+
+Regenerates both accountings (exact DER and paper-calibrated) for every
+algorithm and chain length, printing measured-vs-paper values per cell.
+"""
+
+from repro.analysis.stats import relative_error
+from repro.experiments import table1
+
+
+def test_table1_auth_data(benchmark):
+    cells = benchmark(table1.compute_table1)
+    print()
+    print(table1.format_table1(cells))
+    pq_errors = [
+        relative_error(c.calibrated_kb, c.paper_kb)
+        for c in cells
+        if c.algorithm not in ("ecdsa-p256", "rsa-2048")
+    ]
+    worst = max(abs(e) for e in pq_errors)
+    print(f"\nworst PQ-row calibration error vs paper: {100 * worst:.2f}%")
+    verdict = table1.initcwnd_conclusions(cells)
+    print(
+        "initcwnd fits: falcon-512/3ICA=%s dilithium2/1ICA=%s "
+        "dilithium2/2ICA=%s dilithium5/1ICA=%s"
+        % (
+            verdict["falcon-512/3"],
+            verdict["dilithium2/1"],
+            verdict["dilithium2/2"],
+            verdict["dilithium5/1"],
+        )
+    )
+    assert worst < 0.03

@@ -1,0 +1,16 @@
+"""Table 2 — certificate chain data across monthly Top-10K crawls."""
+
+from repro.experiments import table2
+
+
+def test_table2_crawl(benchmark, population, scale):
+    rows = benchmark(
+        table2.compute_table2, population=population, num_domains=scale["crawl"]
+    )
+    print()
+    print(table2.format_table2(rows))
+    for row in rows:
+        # Distinct-ICA counts land in the paper's 200-270 band at 10K.
+        assert 180 <= row.measured.unique_icas <= 280
+        for depth in range(4):
+            assert abs(row.measured.share(depth) - row.paper_shares[depth]) < 0.03

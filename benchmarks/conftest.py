@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one paper artifact and prints the same
+rows/series the paper reports (run with ``pytest benchmarks/
+--benchmark-only -s`` to see the tables). Set ``REPRO_FULL=1`` to run the
+experiments at full paper scale (10 runs x 200 domains, 10K-domain
+crawls); the default is a reduced scale that keeps the whole harness
+under a few minutes.
+"""
+
+import os
+
+import pytest
+
+from repro.webmodel.population import ICAPopulation, PopulationConfig
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_FULL", "0") not in ("0", "", "false")
+
+
+@pytest.fixture(scope="session")
+def population():
+    """One shared synthetic PKI population for all benchmarks."""
+    return ICAPopulation(PopulationConfig(seed=1))
+
+
+@pytest.fixture(scope="session")
+def scale():
+    if full_scale():
+        return {"runs": 10, "domains": 200, "crawl": 10_000, "ops": 20_000}
+    return {"runs": 3, "domains": 100, "crawl": 10_000, "ops": 5_000}

@@ -1,0 +1,8 @@
+"""Shim for environments without the `wheel` package (offline installs).
+
+All metadata lives in pyproject.toml; setuptools >= 61 reads it natively.
+"""
+
+from setuptools import setup
+
+setup()

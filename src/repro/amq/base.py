@@ -1,0 +1,165 @@
+"""Common interface for approximate-membership-query filters.
+
+The paper treats the filter as a pluggable component ("the client can
+advertise ... the specific filter used (e.g., Quotient, Cuckoo)", §4.2), so
+every structure in :mod:`repro.amq` implements this single abstract base:
+items are arbitrary byte strings (we use the SHA-256 of the ICA certificate's
+DER encoding, see :mod:`repro.core.cache`), insertions may fail with
+:class:`~repro.errors.FilterFullError`, and deletions are supported by every
+dynamically-updatable structure.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import ClassVar, Iterable
+
+from repro.errors import ConfigurationError, DeletionUnsupportedError
+
+
+@dataclass(frozen=True)
+class FilterParams:
+    """Construction parameters shared by all filter types.
+
+    Attributes:
+        capacity: Number of items the filter is provisioned to hold at the
+            target load factor.
+        fpp: Target false-positive probability (epsilon in the paper).
+        load_factor: Target occupancy at which ``capacity`` items fit; this
+            is the x-axis of Figure 3-left.
+        seed: Hash seed; both endpoints of a handshake must agree on it, so
+            it is carried in the serialized wire image.
+    """
+
+    capacity: int
+    fpp: float = 1e-3
+    load_factor: float = 0.95
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {self.capacity}")
+        if not 0.0 < self.fpp < 1.0:
+            raise ConfigurationError(f"fpp must be in (0, 1), got {self.fpp}")
+        if not 0.0 < self.load_factor <= 1.0:
+            raise ConfigurationError(
+                f"load_factor must be in (0, 1], got {self.load_factor}"
+            )
+        if self.seed < 0:
+            raise ConfigurationError(f"seed must be non-negative, got {self.seed}")
+
+
+class AMQFilter(ABC):
+    """Abstract approximate-membership-query filter.
+
+    Implementations guarantee **no false negatives**: after ``insert(x)``
+    succeeds (and until ``delete(x)``), ``contains(x)`` is True. A
+    ``contains`` hit for an item never inserted happens with probability at
+    most roughly ``params.fpp`` at the target load factor.
+    """
+
+    #: Short stable name used in wire images and experiment tables.
+    name: ClassVar[str] = "abstract"
+    #: Whether delete() is supported (all paper candidates support it).
+    supports_deletion: ClassVar[bool] = True
+
+    def __init__(self, params: FilterParams) -> None:
+        self._params = params
+        self._count = 0
+
+    # -- abstract core -----------------------------------------------------
+
+    @abstractmethod
+    def insert(self, item: bytes) -> None:
+        """Add ``item``; raises FilterFullError when it cannot be placed."""
+
+    @abstractmethod
+    def contains(self, item: bytes) -> bool:
+        """Approximate membership test (no false negatives)."""
+
+    @abstractmethod
+    def delete(self, item: bytes) -> bool:
+        """Remove one occurrence of ``item``; returns True when a matching
+        fingerprint was found and removed.
+        """
+
+    @abstractmethod
+    def size_in_bytes(self) -> int:
+        """Size of the filter's payload on the wire (excluding the
+        serialization header), as plotted in Figures 3 and 4.
+        """
+
+    @abstractmethod
+    def to_bytes(self) -> bytes:
+        """Serialize the table payload (header added by
+        :mod:`repro.amq.serialization`)."""
+
+    @classmethod
+    @abstractmethod
+    def from_bytes(cls, params: FilterParams, payload: bytes) -> "AMQFilter":
+        """Reconstruct a filter from ``to_bytes`` output."""
+
+    # -- shared behaviour ---------------------------------------------------
+
+    @property
+    def params(self) -> FilterParams:
+        return self._params
+
+    @property
+    def capacity(self) -> int:
+        return self._params.capacity
+
+    def __contains__(self, item: bytes) -> bool:
+        return self.contains(item)
+
+    def __len__(self) -> int:
+        """Number of items currently stored."""
+        return self._count
+
+    def insert_all(self, items: Iterable[bytes]) -> int:
+        """Insert every item; returns how many were inserted."""
+        n = 0
+        for item in items:
+            self.insert(item)
+            n += 1
+        return n
+
+    def load_factor(self) -> float:
+        """Current occupancy relative to the structure's slot count."""
+        slots = self.slot_count()
+        return self._count / slots if slots else 0.0
+
+    @abstractmethod
+    def slot_count(self) -> int:
+        """Total number of item slots in the underlying table."""
+
+    def effective_fpp(self) -> float:
+        """Estimated false-positive probability *at current occupancy*.
+
+        The construction-time ``params.fpp`` is a worst-case target at the
+        provisioned load; a partially-filled structure answers negative
+        queries with a proportionally smaller error. Experiments use this
+        to explain observed false-positive counts (see EXPERIMENTS.md).
+        Subclasses override with their structure's analytic form; the
+        base falls back to the configured target.
+        """
+        return self._params.fpp
+
+    def bits_per_item(self) -> float:
+        """Space efficiency at current occupancy (bits per stored item)."""
+        if self._count == 0:
+            return float("inf")
+        return self.size_in_bytes() * 8 / self._count
+
+    def _deletion_unsupported(self) -> "DeletionUnsupportedError":
+        return DeletionUnsupportedError(
+            f"{self.name} filter does not support deletion; rebuild instead"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{type(self).__name__} items={self._count} "
+            f"capacity={self.capacity} fpp={self._params.fpp} "
+            f"bytes={self.size_in_bytes()}>"
+        )

@@ -1,0 +1,205 @@
+"""Bloom filter and counting Bloom filter.
+
+The plain Bloom filter (Bloom, 1970) is the baseline AMQ structure the paper
+mentions but rules out for deployment because "in its basic form, it does not
+allow for element removal without having to rebuild the whole filter" (§4.1).
+We implement it anyway — it anchors the space comparisons in the ablation
+benchmarks — together with the 4-bit counting variant that restores deletion
+at 4x the space.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.amq.base import AMQFilter, FilterParams
+from repro.amq.hashing import double_hashes
+from repro.errors import FilterFullError, FilterSerializationError
+
+
+def _optimal_geometry(capacity: int, fpp: float) -> "tuple[int, int]":
+    """Return (bit count m, hash count k) minimizing space for the target
+    false-positive probability: ``m = -n ln(eps) / ln(2)^2``,
+    ``k = (m/n) ln 2``.
+    """
+    m = math.ceil(-capacity * math.log(fpp) / (math.log(2) ** 2))
+    k = max(1, round(m / capacity * math.log(2)))
+    return m, k
+
+
+class BloomFilter(AMQFilter):
+    """Classic k-hash Bloom filter over a flat bit array."""
+
+    name = "bloom"
+    supports_deletion = False
+
+    def __init__(self, params: FilterParams) -> None:
+        super().__init__(params)
+        self._bits, self._k = _optimal_geometry(params.capacity, params.fpp)
+        self._array = bytearray((self._bits + 7) // 8)
+
+    # -- bit helpers ---------------------------------------------------------
+
+    def _positions(self, item: bytes):
+        for h in double_hashes(item, self._k, self._params.seed):
+            yield h % self._bits
+
+    def _get_bit(self, pos: int) -> bool:
+        return bool(self._array[pos >> 3] & (1 << (pos & 7)))
+
+    def _set_bit(self, pos: int) -> None:
+        self._array[pos >> 3] |= 1 << (pos & 7)
+
+    # -- AMQFilter interface --------------------------------------------------
+
+    def insert(self, item: bytes) -> None:
+        if self._count >= self.capacity:
+            raise FilterFullError(
+                f"bloom filter at provisioned capacity {self.capacity}"
+            )
+        for pos in self._positions(item):
+            self._set_bit(pos)
+        self._count += 1
+
+    def contains(self, item: bytes) -> bool:
+        return all(self._get_bit(pos) for pos in self._positions(item))
+
+    def delete(self, item: bytes) -> bool:
+        raise self._deletion_unsupported()
+
+    def slot_count(self) -> int:
+        return self._bits
+
+    def load_factor(self) -> float:
+        """For Bloom filters, report the fill ratio of set bits."""
+        if not self._bits:
+            return 0.0
+        ones = sum(bin(b).count("1") for b in self._array)
+        return ones / self._bits
+
+    def size_in_bytes(self) -> int:
+        return len(self._array)
+
+    def current_fpp(self) -> float:
+        """Analytic FPP estimate at current occupancy."""
+        fill = self.load_factor()
+        return fill**self._k
+
+    def effective_fpp(self) -> float:
+        return self.current_fpp()
+
+    def to_bytes(self) -> bytes:
+        return bytes(self._array)
+
+    @classmethod
+    def from_bytes(cls, params: FilterParams, payload: bytes) -> "BloomFilter":
+        filt = cls(params)
+        if len(payload) != len(filt._array):
+            raise FilterSerializationError(
+                f"bloom payload is {len(payload)} bytes, expected "
+                f"{len(filt._array)} for capacity={params.capacity} "
+                f"fpp={params.fpp}"
+            )
+        filt._array = bytearray(payload)
+        # Item count is not recoverable from the bit array; estimate it from
+        # the fill ratio (standard Bloom cardinality estimator).
+        ones = sum(bin(b).count("1") for b in filt._array)
+        if ones and ones < filt._bits:
+            est = -filt._bits / filt._k * math.log(1 - ones / filt._bits)
+            filt._count = min(params.capacity, round(est))
+        elif ones:
+            filt._count = params.capacity
+        return filt
+
+
+class CountingBloomFilter(AMQFilter):
+    """Bloom filter with 4-bit saturating counters, enabling deletion."""
+
+    name = "counting-bloom"
+    supports_deletion = True
+
+    _COUNTER_MAX = 0xF
+
+    def __init__(self, params: FilterParams) -> None:
+        super().__init__(params)
+        self._cells, self._k = _optimal_geometry(params.capacity, params.fpp)
+        # Two 4-bit counters per byte.
+        self._array = bytearray((self._cells + 1) // 2)
+
+    def _positions(self, item: bytes):
+        for h in double_hashes(item, self._k, self._params.seed):
+            yield h % self._cells
+
+    def _get(self, pos: int) -> int:
+        byte = self._array[pos >> 1]
+        return (byte >> 4) if pos & 1 else (byte & 0xF)
+
+    def _set(self, pos: int, value: int) -> None:
+        idx = pos >> 1
+        if pos & 1:
+            self._array[idx] = (self._array[idx] & 0x0F) | (value << 4)
+        else:
+            self._array[idx] = (self._array[idx] & 0xF0) | value
+
+    def insert(self, item: bytes) -> None:
+        if self._count >= self.capacity:
+            raise FilterFullError(
+                f"counting bloom filter at provisioned capacity {self.capacity}"
+            )
+        for pos in self._positions(item):
+            current = self._get(pos)
+            if current < self._COUNTER_MAX:
+                # Saturated counters are never decremented, preserving the
+                # no-false-negative invariant at the cost of rare stuck cells.
+                self._set(pos, current + 1)
+        self._count += 1
+
+    def contains(self, item: bytes) -> bool:
+        return all(self._get(pos) > 0 for pos in self._positions(item))
+
+    def delete(self, item: bytes) -> bool:
+        positions = list(self._positions(item))
+        if not all(self._get(pos) > 0 for pos in positions):
+            return False
+        for pos in positions:
+            current = self._get(pos)
+            if 0 < current < self._COUNTER_MAX:
+                self._set(pos, current - 1)
+        self._count = max(0, self._count - 1)
+        return True
+
+    def slot_count(self) -> int:
+        return self._cells
+
+    def load_factor(self) -> float:
+        if not self._cells:
+            return 0.0
+        occupied = sum(1 for pos in range(self._cells) if self._get(pos) > 0)
+        return occupied / self._cells
+
+    def size_in_bytes(self) -> int:
+        return len(self._array)
+
+    def effective_fpp(self) -> float:
+        return self.load_factor() ** self._k
+
+    def to_bytes(self) -> bytes:
+        return self._count.to_bytes(4, "big") + bytes(self._array)
+
+    @classmethod
+    def from_bytes(
+        cls, params: FilterParams, payload: bytes
+    ) -> "CountingBloomFilter":
+        if len(payload) < 4:
+            raise FilterSerializationError("counting bloom payload too short")
+        filt = cls(params)
+        count = int.from_bytes(payload[:4], "big")
+        body = payload[4:]
+        if len(body) != len(filt._array):
+            raise FilterSerializationError(
+                f"counting bloom payload is {len(body)} bytes, expected "
+                f"{len(filt._array)}"
+            )
+        filt._array = bytearray(body)
+        filt._count = count
+        return filt

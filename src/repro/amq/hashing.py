@@ -1,0 +1,76 @@
+"""64-bit hashing primitives shared by all AMQ filters.
+
+Filters need fast, well-mixed, *stable* hashes (Python's builtin ``hash`` is
+salted per process and therefore unusable for a wire-serialized filter that a
+remote peer must query). We layer a splitmix64 finalizer on top of FNV-1a,
+which empirically passes the avalanche needs of fingerprint extraction at the
+scales this package operates on (hundreds to millions of keys).
+
+All arithmetic is modulo 2**64.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+MASK64 = (1 << 64) - 1
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+# Odd constants from the splitmix64 reference implementation.
+_SM_GAMMA = 0x9E3779B97F4A7C15
+_SM_MIX1 = 0xBF58476D1CE4E5B9
+_SM_MIX2 = 0x94D049BB133111EB
+
+
+def fnv1a64(data: bytes, seed: int = 0) -> int:
+    """Plain FNV-1a over ``data``, optionally perturbed by ``seed``."""
+    h = (_FNV_OFFSET ^ (seed * _SM_GAMMA)) & MASK64
+    for byte in data:
+        h = ((h ^ byte) * _FNV_PRIME) & MASK64
+    return h
+
+
+def splitmix64(x: int) -> int:
+    """The splitmix64 finalizer: a strong 64-bit bijective mixer."""
+    x = (x + _SM_GAMMA) & MASK64
+    x = ((x ^ (x >> 30)) * _SM_MIX1) & MASK64
+    x = ((x ^ (x >> 27)) * _SM_MIX2) & MASK64
+    return x ^ (x >> 31)
+
+
+def hash64(data: bytes, seed: int = 0) -> int:
+    """Stable 64-bit hash of ``data`` for a given ``seed``."""
+    return splitmix64(fnv1a64(data, seed))
+
+
+def hash_int(value: int, seed: int = 0) -> int:
+    """Stable 64-bit hash of a non-negative integer."""
+    return splitmix64((value ^ (seed * _SM_GAMMA)) & MASK64)
+
+
+def double_hashes(data: bytes, count: int, seed: int = 0) -> Iterator[int]:
+    """Yield ``count`` derived 64-bit hashes via Kirsch-Mitzenmacher
+    double hashing: ``g_i = h1 + i*h2 + i^2`` (the quadratic term avoids
+    the classic degradation when ``h2`` is small modulo the table size).
+    """
+    h1 = hash64(data, seed)
+    h2 = hash64(data, seed + 0x51ED)
+    # Force h2 odd so it is invertible modulo any power-of-two table size.
+    h2 |= 1
+    for i in range(count):
+        yield (h1 + i * h2 + i * i) & MASK64
+
+
+def fingerprint(data: bytes, bits: int, seed: int = 0) -> int:
+    """Extract a non-zero ``bits``-wide fingerprint of ``data``.
+
+    Zero is reserved as the empty-slot marker in cuckoo-style tables, so a
+    fingerprint that truncates to zero is remapped to 1 (a standard trick
+    that biases epsilon negligibly).
+    """
+    if not 1 <= bits <= 32:
+        raise ValueError(f"fingerprint width must be in [1, 32], got {bits}")
+    fp = hash64(data, seed ^ 0xF1A9) & ((1 << bits) - 1)
+    return fp if fp else 1

@@ -1,0 +1,329 @@
+"""Quotient filter (Bender et al., Pandey et al. — SIGMOD 2017 "CQF").
+
+The third dynamically-updatable AMQ candidate the paper evaluates. An item's
+64-bit hash is split into a ``q``-bit *quotient* (its canonical slot) and an
+``r``-bit *remainder* stored in the table. Collided remainders are kept in
+sorted *runs* placed by linear probing, tracked with the classic three
+metadata bits per slot:
+
+``is_occupied``
+    some stored item has this slot as its canonical slot;
+``is_continuation``
+    this slot's remainder continues the run started to its left;
+``is_shifted``
+    this slot's remainder is not in its canonical slot.
+
+Duplicate remainders are permitted inside a run, which is what gives the
+*counting* quotient filter its counting semantics: inserting the same item
+``k`` times requires ``k`` deletes to clear it.
+
+Deletion rebuilds the affected cluster (the maximal contiguous non-empty
+slot range) from its decoded ``(quotient, remainder)`` cells. Clusters stay
+short at practical load factors, so this keeps the implementation compact
+and verifiably correct, which matters more here than constant-factor speed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.amq.base import AMQFilter, FilterParams
+from repro.amq.hashing import hash64
+from repro.amq.sizing import quotient_geometry, remainder_bits_for_fpp
+from repro.errors import FilterFullError, FilterSerializationError
+
+
+class QuotientFilter(AMQFilter):
+    """Counting quotient filter with three metadata bits per slot."""
+
+    name = "quotient"
+    supports_deletion = True
+
+    def __init__(self, params: FilterParams) -> None:
+        super().__init__(params)
+        self._slots = quotient_geometry(params.capacity, params.load_factor)
+        self._q_bits = self._slots.bit_length() - 1
+        self._r_bits = remainder_bits_for_fpp(params.fpp)
+        self._occ = [False] * self._slots
+        self._cont = [False] * self._slots
+        self._shift = [False] * self._slots
+        self._rem = [0] * self._slots
+
+    # -- geometry ---------------------------------------------------------------
+
+    @property
+    def quotient_bits(self) -> int:
+        return self._q_bits
+
+    @property
+    def remainder_bits(self) -> int:
+        return self._r_bits
+
+    def slot_count(self) -> int:
+        return self._slots
+
+    def size_in_bytes(self) -> int:
+        return self._slots * (self._r_bits + 3) // 8
+
+    def effective_fpp(self) -> float:
+        """Hard collision rate: ``alpha * 2^-r`` (Bender et al.)."""
+        return self.load_factor() * 2.0 ** -self._r_bits
+
+    # -- hashing ---------------------------------------------------------------
+
+    def _qr(self, item: bytes) -> "tuple[int, int]":
+        h = hash64(item, self._params.seed)
+        rem = h & ((1 << self._r_bits) - 1)
+        quo = (h >> self._r_bits) & (self._slots - 1)
+        return quo, rem
+
+    # -- slot helpers ------------------------------------------------------------
+
+    def _slot_empty(self, pos: int) -> bool:
+        return not (self._occ[pos] or self._cont[pos] or self._shift[pos])
+
+    def _cluster_start(self, q: int) -> int:
+        b = q
+        while self._shift[b]:
+            b = (b - 1) % self._slots
+        return b
+
+    def _run_start(self, q: int) -> int:
+        """Position of the first remainder of quotient ``q``'s run.
+
+        Requires ``self._occ[q]`` (set by the caller for insertions of a new
+        quotient). Walks back to the cluster start, then forward skipping one
+        run per occupied canonical slot between the cluster start and ``q``.
+        """
+        b = self._cluster_start(q)
+        s = b
+        while b != q:
+            # Skip the run that starts at s.
+            s = (s + 1) % self._slots
+            while self._cont[s]:
+                s = (s + 1) % self._slots
+            # Advance b to the next occupied canonical slot.
+            b = (b + 1) % self._slots
+            while not self._occ[b]:
+                b = (b + 1) % self._slots
+        return s
+
+    # -- core operations ------------------------------------------------------------
+
+    def insert(self, item: bytes) -> None:
+        if self._count >= self._slots - 1:
+            # Keep one slot free so probe scans always terminate.
+            raise FilterFullError(
+                f"quotient filter full ({self._count}/{self._slots} slots)"
+            )
+        q, rem = self._qr(item)
+        self._insert_qr(q, rem)
+        self._count += 1
+
+    def _insert_qr(self, q: int, rem: int) -> None:
+        was_occupied = self._occ[q]
+        if self._slot_empty(q) and not was_occupied:
+            self._occ[q] = True
+            self._rem[q] = rem
+            return
+        self._occ[q] = True
+        start = self._run_start(q)
+        pos = start
+        at_run_start = True
+        if was_occupied:
+            # Find the sorted position inside the existing run.
+            while True:
+                if rem <= self._rem[pos]:
+                    break
+                nxt = (pos + 1) % self._slots
+                if not self._cont[nxt]:
+                    pos = nxt
+                    at_run_start = False
+                    break
+                pos = nxt
+                at_run_start = False
+        new_cont = was_occupied and not at_run_start
+        displaced_start = was_occupied and at_run_start
+        self._shift_in(q, pos, rem, new_cont, displaced_start)
+
+    def _shift_in(
+        self,
+        q: int,
+        insert_pos: int,
+        rem: int,
+        new_cont: bool,
+        displaced_start: bool,
+    ) -> None:
+        """Write the new cell at ``insert_pos``, rippling displaced cells
+        right until an empty slot absorbs the carry."""
+        carry_rem = rem
+        carry_cont = new_cont
+        pos = insert_pos
+        shifted_flag = pos != q
+        first = True
+        while True:
+            if self._slot_empty(pos):
+                self._rem[pos] = carry_rem
+                self._cont[pos] = carry_cont
+                self._shift[pos] = shifted_flag
+                return
+            occ_rem = self._rem[pos]
+            occ_cont = self._cont[pos]
+            self._rem[pos] = carry_rem
+            self._cont[pos] = carry_cont
+            self._shift[pos] = shifted_flag
+            carry_rem = occ_rem
+            carry_cont = occ_cont
+            if first and displaced_start:
+                # The old run head now continues the run our cell heads.
+                carry_cont = True
+            first = False
+            pos = (pos + 1) % self._slots
+            shifted_flag = True
+
+    def contains(self, item: bytes) -> bool:
+        q, rem = self._qr(item)
+        if not self._occ[q]:
+            return False
+        pos = self._run_start(q)
+        while True:
+            if self._rem[pos] == rem:
+                return True
+            if self._rem[pos] > rem:
+                return False  # runs are sorted
+            pos = (pos + 1) % self._slots
+            if not self._cont[pos]:
+                return False
+
+    def count_of(self, item: bytes) -> int:
+        """Number of stored occurrences of ``item``'s remainder in its run
+        (the counting-filter query)."""
+        q, rem = self._qr(item)
+        if not self._occ[q]:
+            return 0
+        pos = self._run_start(q)
+        hits = 0
+        while True:
+            if self._rem[pos] == rem:
+                hits += 1
+            elif self._rem[pos] > rem:
+                break
+            pos = (pos + 1) % self._slots
+            if not self._cont[pos]:
+                break
+        return hits
+
+    def delete(self, item: bytes) -> bool:
+        q, rem = self._qr(item)
+        if not self._occ[q] or not self.contains(item):
+            return False
+        cs = self._cluster_start(q)
+        cells = self._decode_cluster(cs)
+        cells.remove((q, rem))
+        self._clear_range(cs, len(cells) + 1)
+        for cell_q, cell_rem in cells:
+            self._insert_qr(cell_q, cell_rem)
+        self._count -= 1
+        return True
+
+    # -- cluster rebuild machinery ------------------------------------------------------
+
+    def _decode_cluster(self, cs: int) -> "list[tuple[int, int]]":
+        """Decode the cluster starting at ``cs`` into ordered
+        (quotient, remainder) cells."""
+        cells: "list[tuple[int, int]]" = []
+        pending: "deque[int]" = deque()
+        pos = cs
+        cur_q = cs
+        while True:
+            if self._slot_empty(pos):
+                break
+            if pos != cs and not self._shift[pos]:
+                break  # a new cluster head — not ours to touch
+            if self._occ[pos]:
+                pending.append(pos)
+            if not self._cont[pos]:
+                cur_q = pending.popleft()
+            cells.append((cur_q, self._rem[pos]))
+            pos = (pos + 1) % self._slots
+            if pos == cs:
+                break  # table fully cycled (pathological, guarded anyway)
+        return cells
+
+    def _clear_range(self, start: int, length: int) -> None:
+        for i in range(length):
+            pos = (start + i) % self._slots
+            self._occ[pos] = False
+            self._cont[pos] = False
+            self._shift[pos] = False
+            self._rem[pos] = 0
+
+    # -- serialization -------------------------------------------------------------
+
+    @staticmethod
+    def _pack_bits(flags: "list[bool]") -> bytes:
+        out = bytearray(len(flags) // 8)
+        for i, flag in enumerate(flags):
+            if flag:
+                out[i >> 3] |= 1 << (i & 7)
+        return bytes(out)
+
+    @staticmethod
+    def _unpack_bits(data: bytes, count: int) -> "list[bool]":
+        return [bool(data[i >> 3] & (1 << (i & 7))) for i in range(count)]
+
+    def to_bytes(self) -> bytes:
+        bitmap_len = self._slots // 8
+        out = bytearray()
+        out += self._pack_bits(self._occ)
+        out += self._pack_bits(self._cont)
+        out += self._pack_bits(self._shift)
+        acc = 0
+        acc_bits = 0
+        for rem in self._rem:
+            acc |= rem << acc_bits
+            acc_bits += self._r_bits
+            while acc_bits >= 8:
+                out.append(acc & 0xFF)
+                acc >>= 8
+                acc_bits -= 8
+        if acc_bits:
+            out.append(acc & 0xFF)
+        assert len(out) >= 3 * bitmap_len
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, params: FilterParams, payload: bytes) -> "QuotientFilter":
+        filt = cls(params)
+        bitmap_len = filt._slots // 8
+        rem_len = (filt._slots * filt._r_bits + 7) // 8
+        expected = 3 * bitmap_len + rem_len
+        if len(payload) != expected:
+            raise FilterSerializationError(
+                f"quotient payload is {len(payload)} bytes, expected {expected}"
+            )
+        filt._occ = cls._unpack_bits(payload[:bitmap_len], filt._slots)
+        filt._cont = cls._unpack_bits(
+            payload[bitmap_len : 2 * bitmap_len], filt._slots
+        )
+        filt._shift = cls._unpack_bits(
+            payload[2 * bitmap_len : 3 * bitmap_len], filt._slots
+        )
+        mask = (1 << filt._r_bits) - 1
+        acc = 0
+        acc_bits = 0
+        slot = 0
+        for byte in payload[3 * bitmap_len :]:
+            acc |= byte << acc_bits
+            acc_bits += 8
+            while acc_bits >= filt._r_bits and slot < filt._slots:
+                filt._rem[slot] = acc & mask
+                acc >>= filt._r_bits
+                acc_bits -= filt._r_bits
+                slot += 1
+        if slot != filt._slots:
+            raise FilterSerializationError(
+                f"quotient payload decoded {slot} slots, expected {filt._slots}"
+            )
+        filt._count = sum(1 for p in range(filt._slots) if not filt._slot_empty(p))
+        return filt

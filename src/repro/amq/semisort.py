@@ -1,0 +1,119 @@
+"""Semi-sorting bucket compression (Fan et al., CoNEXT '14, §5.2).
+
+A 4-slot bucket stores an unordered *set* of fingerprints, so slot order is
+free to exploit. Sorting the four fingerprints by their low nibble turns the
+four nibbles into a non-decreasing 4-tuple, of which there are only
+C(16+4-1, 4) = 3876 — indexable in 12 bits instead of 16. The high
+``f - 4`` bits of each fingerprint are stored raw in the same sorted order,
+giving ``4f - 4`` bits per bucket: exactly the "one bit per item" saving
+the cuckoo-filter paper reports, and the margin that keeps a ~300-ICA
+filter under the paper's 550-byte ClientHello budget (§5.2, Fig. 3-right).
+
+Empty slots participate as fingerprint 0 (fingerprints are never 0), so a
+bucket's occupancy round-trips exactly.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations_with_replacement
+from typing import List, Sequence
+
+BUCKET_SIZE = 4
+INDEX_BITS = 12
+#: Minimum fingerprint width for the encoding (needs >= 0 high bits and
+#: a meaningful low nibble).
+MIN_FP_BITS = 5
+
+_TUPLES: "list[tuple[int, int, int, int]]" = sorted(
+    combinations_with_replacement(range(16), BUCKET_SIZE)
+)
+_TUPLE_TO_INDEX = {t: i for i, t in enumerate(_TUPLES)}
+
+assert len(_TUPLES) == 3876  # fits in 12 bits
+
+
+def encoded_bucket_bits(fp_bits: int) -> int:
+    """Bits per semi-sorted bucket: 12 + 4*(f-4) = 4f - 4."""
+    if fp_bits < MIN_FP_BITS:
+        raise ValueError(
+            f"semi-sorting needs fingerprints of >= {MIN_FP_BITS} bits, "
+            f"got {fp_bits}"
+        )
+    return INDEX_BITS + BUCKET_SIZE * (fp_bits - 4)
+
+
+def encode_bucket(fingerprints: Sequence[int], fp_bits: int) -> "tuple[int, list[int]]":
+    """Encode one bucket: returns (nibble-multiset index, high parts in
+    nibble-sorted order)."""
+    if len(fingerprints) != BUCKET_SIZE:
+        raise ValueError(f"bucket must have {BUCKET_SIZE} slots")
+    pairs = sorted((fp & 0xF, fp >> 4) for fp in fingerprints)
+    nibbles = tuple(p[0] for p in pairs)
+    highs = [p[1] for p in pairs]
+    return _TUPLE_TO_INDEX[nibbles], highs
+
+
+def decode_bucket(index: int, highs: Sequence[int], fp_bits: int) -> List[int]:
+    """Inverse of :func:`encode_bucket`."""
+    if not 0 <= index < len(_TUPLES):
+        raise ValueError(f"semi-sort index {index} out of range")
+    nibbles = _TUPLES[index]
+    return [(high << 4) | nib for nib, high in zip(nibbles, highs)]
+
+
+def pack_table(table: Sequence[int], fp_bits: int) -> bytes:
+    """Semi-sort-encode a flat slot table (len divisible by 4)."""
+    high_bits = fp_bits - 4
+    acc = 0
+    acc_bits = 0
+    out = bytearray()
+
+    def emit(value: int, bits: int) -> None:
+        nonlocal acc, acc_bits
+        acc |= value << acc_bits
+        acc_bits += bits
+        while acc_bits >= 8:
+            out.append(acc & 0xFF)
+            acc >>= 8
+            acc_bits -= 8
+
+    for start in range(0, len(table), BUCKET_SIZE):
+        index, highs = encode_bucket(table[start : start + BUCKET_SIZE], fp_bits)
+        emit(index, INDEX_BITS)
+        for high in highs:
+            emit(high, high_bits)
+    if acc_bits:
+        out.append(acc & 0xFF)
+    return bytes(out)
+
+
+def unpack_table(data: bytes, num_buckets: int, fp_bits: int) -> List[int]:
+    """Inverse of :func:`pack_table`."""
+    high_bits = fp_bits - 4
+    acc = 0
+    acc_bits = 0
+    pos = 0
+
+    def take(bits: int) -> int:
+        nonlocal acc, acc_bits, pos
+        while acc_bits < bits:
+            if pos >= len(data):
+                raise ValueError("semi-sorted payload truncated")
+            acc |= data[pos] << acc_bits
+            acc_bits += 8
+            pos += 1
+        value = acc & ((1 << bits) - 1)
+        acc >>= bits
+        acc_bits -= bits
+        return value
+
+    table: List[int] = []
+    for _ in range(num_buckets):
+        index = take(INDEX_BITS)
+        highs = [take(high_bits) for _ in range(BUCKET_SIZE)]
+        table.extend(decode_bucket(index, highs, fp_bits))
+    return table
+
+
+def packed_size_bytes(num_buckets: int, fp_bits: int) -> int:
+    return (num_buckets * encoded_bucket_bits(fp_bits) + 7) // 8

@@ -1,0 +1,164 @@
+"""Wire format for AMQ filters.
+
+The IC-suppression extension carries the filter itself inside the
+ClientHello (paper §4.2: the client specifies "the specific filter used
+(e.g., Quotient, Cuckoo)"), so both endpoints must reconstruct an identical
+structure from bytes. The format is deliberately small — every header byte
+competes with filter payload for the ~550-byte ClientHello budget:
+
+====== ======= ====================================================
+offset  size    field
+====== ======= ====================================================
+0       2       magic ``0xA3 0x01`` (AMQ wire format v1)
+2       1       filter type id (see :data:`FILTER_REGISTRY`)
+3       4       capacity (uint32, big endian)
+7       2       fpp exponent: fpp = 2 ** (-e / 256) (uint16)
+9       1       load factor in 1/255 units
+10      4       hash seed (uint32)
+14      2       payload length (uint16)
+16      n       type-specific payload (``AMQFilter.to_bytes``)
+====== ======= ====================================================
+
+The fpp/load-factor quantization is lossless for every value the planner
+produces (it rounds through the same quantizer, see
+:class:`repro.core.filter_config.FilterPlan`).
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import Dict, Type
+
+from repro.amq.base import AMQFilter, FilterParams
+from repro.amq.bloom import BloomFilter, CountingBloomFilter
+from repro.amq.cuckoo import CuckooFilter
+from repro.amq.quotient import QuotientFilter
+from repro.amq.vacuum import VacuumFilter
+from repro.amq.xor import XorFilter
+from repro.errors import FilterSerializationError
+
+_MAGIC = b"\xa3\x01"
+_HEADER = struct.Struct(">2sBIHBIH")
+
+#: Stable wire ids for each filter class.
+FILTER_REGISTRY: Dict[int, Type[AMQFilter]] = {
+    1: BloomFilter,
+    2: CountingBloomFilter,
+    3: CuckooFilter,
+    4: VacuumFilter,
+    5: QuotientFilter,
+    6: XorFilter,
+}
+
+_TYPE_IDS = {cls: type_id for type_id, cls in FILTER_REGISTRY.items()}
+_NAME_TO_CLS = {cls.name: cls for cls in FILTER_REGISTRY.values()}
+
+
+def filter_type_id(filt_or_cls) -> int:
+    """Wire type id for a filter instance or class."""
+    cls = filt_or_cls if isinstance(filt_or_cls, type) else type(filt_or_cls)
+    try:
+        return _TYPE_IDS[cls]
+    except KeyError:
+        raise FilterSerializationError(
+            f"{cls.__name__} is not registered in the AMQ wire format"
+        ) from None
+
+
+def filter_class_for_name(name: str) -> Type[AMQFilter]:
+    """Filter class from its stable short name ('cuckoo', 'vacuum', ...)."""
+    try:
+        return _NAME_TO_CLS[name]
+    except KeyError:
+        raise FilterSerializationError(
+            f"unknown filter name {name!r}; expected one of {sorted(_NAME_TO_CLS)}"
+        ) from None
+
+
+def quantize_fpp(fpp: float) -> int:
+    """Encode fpp as a 16-bit exponent: fpp = 2**(-e/256)."""
+    e = round(-math.log2(fpp) * 256)
+    return max(1, min(0xFFFF, e))
+
+
+def dequantize_fpp(encoded: int) -> float:
+    return 2 ** (-encoded / 256)
+
+
+def quantize_load_factor(lf: float) -> int:
+    return max(1, min(255, round(lf * 255)))
+
+
+def dequantize_load_factor(encoded: int) -> float:
+    return encoded / 255
+
+
+def canonical_params(params: FilterParams) -> FilterParams:
+    """Round ``params`` through the wire quantizers.
+
+    Filters built from canonical params survive serialize/deserialize with
+    identical geometry, because both endpoints derive fingerprint and table
+    sizes from the exact same (quantized) fpp and load factor.
+    """
+    return FilterParams(
+        capacity=params.capacity,
+        fpp=dequantize_fpp(quantize_fpp(params.fpp)),
+        load_factor=dequantize_load_factor(quantize_load_factor(params.load_factor)),
+        seed=params.seed,
+    )
+
+
+def serialize_filter(filt: AMQFilter) -> bytes:
+    """Serialize ``filt`` (header + payload) for transport."""
+    payload = filt.to_bytes()
+    if len(payload) > 0xFFFF:
+        raise FilterSerializationError(
+            f"filter payload of {len(payload)} bytes exceeds the wire format "
+            "maximum of 65535"
+        )
+    params = filt.params
+    header = _HEADER.pack(
+        _MAGIC,
+        filter_type_id(filt),
+        params.capacity,
+        quantize_fpp(params.fpp),
+        quantize_load_factor(params.load_factor),
+        params.seed & 0xFFFFFFFF,
+        len(payload),
+    )
+    return header + payload
+
+
+def deserialize_filter(data: bytes) -> AMQFilter:
+    """Parse a wire image back into a live filter."""
+    if len(data) < _HEADER.size:
+        raise FilterSerializationError(
+            f"filter wire image is {len(data)} bytes; header needs {_HEADER.size}"
+        )
+    magic, type_id, capacity, fpp_enc, lf_enc, seed, payload_len = _HEADER.unpack(
+        data[: _HEADER.size]
+    )
+    if magic != _MAGIC:
+        raise FilterSerializationError(f"bad AMQ magic {magic!r}")
+    try:
+        cls = FILTER_REGISTRY[type_id]
+    except KeyError:
+        raise FilterSerializationError(f"unknown filter type id {type_id}") from None
+    payload = data[_HEADER.size :]
+    if len(payload) != payload_len:
+        raise FilterSerializationError(
+            f"filter payload is {len(payload)} bytes, header declares {payload_len}"
+        )
+    params = FilterParams(
+        capacity=capacity,
+        fpp=dequantize_fpp(fpp_enc),
+        load_factor=dequantize_load_factor(lf_enc),
+        seed=seed,
+    )
+    return cls.from_bytes(params, payload)
+
+
+def serialized_overhead_bytes() -> int:
+    """Header bytes added on top of the raw filter payload."""
+    return _HEADER.size

@@ -1,0 +1,229 @@
+"""Analytic size/FPP geometry for every filter type.
+
+These closed-form models drive the feasibility study of Section 5.2:
+filter size versus load factor (Fig. 3-left), versus capacity
+(Fig. 3-right) and versus target false-positive probability (Fig. 4).
+They are also the single source of table geometry for the concrete filter
+implementations, so analytic predictions and measured ``size_in_bytes()``
+agree exactly.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+#: Slots per bucket used by the cuckoo-style structures (Fan et al. use 4).
+DEFAULT_BUCKET_SIZE = 4
+
+
+def next_power_of_two(n: int) -> int:
+    """Smallest power of two >= n (n >= 1)."""
+    if n < 1:
+        raise ConfigurationError(f"need n >= 1, got {n}")
+    return 1 << (n - 1).bit_length()
+
+
+def fingerprint_bits_for_fpp(fpp: float, bucket_size: int = DEFAULT_BUCKET_SIZE) -> int:
+    """Fingerprint width for a cuckoo-style filter.
+
+    A negative lookup probes ``2 * bucket_size`` slots, each matching a
+    random fingerprint with probability ``2^-f``, so
+    ``f = ceil(log2(2 * bucket_size / fpp))``.
+    """
+    if not 0.0 < fpp < 1.0:
+        raise ConfigurationError(f"fpp must be in (0, 1), got {fpp}")
+    bits = math.ceil(math.log2(2 * bucket_size / fpp))
+    return max(2, min(32, bits))
+
+
+def remainder_bits_for_fpp(fpp: float) -> int:
+    """Remainder width for a quotient filter: ``r = ceil(log2(1/fpp))``
+    (the quotient filter's FPP is about ``load_factor * 2^-r``)."""
+    if not 0.0 < fpp < 1.0:
+        raise ConfigurationError(f"fpp must be in (0, 1), got {fpp}")
+    return max(2, min(32, math.ceil(-math.log2(fpp))))
+
+
+# ---------------------------------------------------------------------------
+# Geometry helpers shared with the implementations
+# ---------------------------------------------------------------------------
+
+
+def cuckoo_geometry(
+    capacity: int,
+    load_factor: float,
+    bucket_size: int = DEFAULT_BUCKET_SIZE,
+) -> int:
+    """Number of buckets for a cuckoo filter (power of two)."""
+    min_buckets = math.ceil(capacity / (bucket_size * load_factor))
+    return next_power_of_two(max(1, min_buckets))
+
+
+def vacuum_geometry(
+    capacity: int,
+    load_factor: float,
+    bucket_size: int = DEFAULT_BUCKET_SIZE,
+) -> "tuple[int, int]":
+    """(num_buckets, chunk_len) for a vacuum filter.
+
+    The vacuum filter's headline trick (Wang et al., VLDB '19) is that the
+    table need not be a power of two: alternate-bucket candidates are
+    confined to power-of-two *chunks*, so the table only has to be a
+    multiple of the chunk length. We pick the chunk length near
+    ``sqrt(num_buckets)``, which keeps both the rounding waste and the
+    chunk-local collision pressure low.
+    """
+    min_buckets = max(1, math.ceil(capacity / (bucket_size * load_factor)))
+    full_table = next_power_of_two(min_buckets)
+    chunk = 8
+    while chunk < full_table:
+        num_buckets = math.ceil(min_buckets / chunk) * chunk
+        n_chunks = num_buckets // chunk
+        # Only the chunk-local fingerprint class (half the items) is
+        # pinned to a chunk; class-0 items relocate table-wide and act as
+        # the safety valve, as in the vacuum paper's multi-range design.
+        expected_local = 0.5 * capacity / n_chunks
+        chunk_slots = chunk * bucket_size
+        # Load test (the vacuum paper's range-size selection): expected
+        # chunk-local load plus a fluctuation margin must fit below the
+        # occupancy a 4-slot-bucket cuckoo table reliably reaches. The
+        # margin grows with the chunk count so the *whole-table* failure
+        # probability stays bounded as tables scale up.
+        sigmas = 2.5 + math.log10(max(1.0, n_chunks))
+        margin = sigmas * math.sqrt(expected_local) + 3
+        if expected_local + margin <= chunk_slots * 0.97:
+            return num_buckets, chunk
+        chunk *= 2
+    # Degenerate case: a single power-of-two chunk (cuckoo geometry).
+    return full_table, full_table
+
+
+def quotient_geometry(capacity: int, load_factor: float) -> int:
+    """Number of slots for a quotient filter (power of two, >= 8 so the
+    metadata bitmaps pack to whole bytes)."""
+    return next_power_of_two(max(8, math.ceil(capacity / load_factor)))
+
+
+# ---------------------------------------------------------------------------
+# Analytic sizes (bits)
+# ---------------------------------------------------------------------------
+
+
+def bloom_size_bits(capacity: int, fpp: float) -> int:
+    """Space-optimal Bloom filter size: ``m = -n ln(eps) / ln(2)^2``."""
+    return math.ceil(-capacity * math.log(fpp) / (math.log(2) ** 2))
+
+
+def _bucket_table_bits(
+    buckets: int, fp_bits: int, bucket_size: int, semi_sort: bool
+) -> int:
+    if semi_sort and bucket_size == 4 and fp_bits >= 5:
+        # Semi-sorting (Fan et al. §5.2): 12-bit nibble-multiset index plus
+        # four (f-4)-bit high parts = 4f - 4 bits per bucket.
+        return buckets * (4 * fp_bits - 4)
+    return buckets * bucket_size * fp_bits
+
+
+def cuckoo_size_bits(
+    capacity: int,
+    fpp: float,
+    load_factor: float = 0.95,
+    bucket_size: int = DEFAULT_BUCKET_SIZE,
+    semi_sort: bool = True,
+) -> int:
+    buckets = cuckoo_geometry(capacity, load_factor, bucket_size)
+    fp_bits = fingerprint_bits_for_fpp(fpp, bucket_size)
+    return _bucket_table_bits(buckets, fp_bits, bucket_size, semi_sort)
+
+
+def vacuum_size_bits(
+    capacity: int,
+    fpp: float,
+    load_factor: float = 0.95,
+    bucket_size: int = DEFAULT_BUCKET_SIZE,
+    semi_sort: bool = True,
+) -> int:
+    buckets, _ = vacuum_geometry(capacity, load_factor, bucket_size)
+    fp_bits = fingerprint_bits_for_fpp(fpp, bucket_size)
+    return _bucket_table_bits(buckets, fp_bits, bucket_size, semi_sort)
+
+
+def quotient_size_bits(capacity: int, fpp: float, load_factor: float = 0.95) -> int:
+    slots = quotient_geometry(capacity, load_factor)
+    return slots * (remainder_bits_for_fpp(fpp) + 3)
+
+
+def xor_size_bits(capacity: int, fpp: float) -> int:
+    """XOR filter: ~1.23 slots/item at exactly 2^-f FPP (static)."""
+    slots = int(1.23 * max(1, capacity)) + 32
+    slots += (-slots) % 3
+    f = max(2, min(32, math.ceil(-math.log2(fpp))))
+    return slots * f
+
+
+def counting_bloom_size_bits(capacity: int, fpp: float) -> int:
+    """Counting Bloom filter: 4-bit counters instead of bits (4x)."""
+    return 4 * bloom_size_bits(capacity, fpp)
+
+
+_SIZE_MODELS = {
+    "bloom": lambda n, fpp, lf, b: bloom_size_bits(n, fpp),
+    "counting-bloom": lambda n, fpp, lf, b: counting_bloom_size_bits(n, fpp),
+    "cuckoo": cuckoo_size_bits,
+    "vacuum": vacuum_size_bits,
+    "quotient": lambda n, fpp, lf, b: quotient_size_bits(n, fpp, lf),
+    "xor": lambda n, fpp, lf, b: xor_size_bits(n, fpp),
+}
+
+
+def size_bytes_for(
+    kind: str,
+    capacity: int,
+    fpp: float,
+    load_factor: float = 0.95,
+    bucket_size: int = DEFAULT_BUCKET_SIZE,
+) -> int:
+    """Analytic wire size in bytes of a ``kind`` filter."""
+    try:
+        model = _SIZE_MODELS[kind]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown filter kind {kind!r}; expected one of {sorted(_SIZE_MODELS)}"
+        ) from None
+    if kind in ("cuckoo", "vacuum"):
+        bits = model(capacity, fpp, load_factor, bucket_size)
+    else:
+        bits = model(capacity, fpp, load_factor, bucket_size)
+    return (bits + 7) // 8
+
+
+def max_capacity_within(
+    kind: str,
+    budget_bytes: int,
+    fpp: float,
+    load_factor: float = 0.95,
+    bucket_size: int = DEFAULT_BUCKET_SIZE,
+) -> int:
+    """Largest capacity whose analytic size fits in ``budget_bytes``.
+
+    This answers the paper's §5.2 planning question: how many ICAs fit in
+    the ~550 bytes left in a PQ ClientHello? Returns 0 when even a single
+    item does not fit.
+    """
+    if budget_bytes < 1:
+        return 0
+    if size_bytes_for(kind, 1, fpp, load_factor, bucket_size) > budget_bytes:
+        return 0
+    lo, hi = 1, 2
+    while size_bytes_for(kind, hi, fpp, load_factor, bucket_size) <= budget_bytes:
+        lo = hi
+        hi *= 2
+    while lo + 1 < hi:
+        mid = (lo + hi) // 2
+        if size_bytes_for(kind, mid, fpp, load_factor, bucket_size) <= budget_bytes:
+            lo = mid
+        else:
+            hi = mid
+    return lo

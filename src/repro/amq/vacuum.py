@@ -1,0 +1,260 @@
+"""Vacuum filter (Wang, Zhou, Shi, Qian — VLDB 2019).
+
+A cuckoo-filter variant that removes the power-of-two table-size
+restriction, reclaiming the memory a cuckoo filter wastes when the item
+count sits just above a power of two (e.g. the paper's 245-ICA working set).
+Alternate-bucket candidates are confined to power-of-two *chunks* of the
+table: for a bucket ``i`` in the chunk starting at ``base``, the partner is
+``base + ((i - base) XOR (hash(fp) mod chunk_len))`` — an involution, so the
+two candidate buckets of an item always map to each other, exactly like the
+cuckoo filter's XOR trick but valid for any table size that is a multiple of
+``chunk_len``.
+
+Following the paper's multi-range design, fingerprints are split into two
+classes: a chunk-local class using the XOR partner above, and a table-wide
+class whose partner is the reflection ``(hash(fp) - B) mod m`` (also an
+involution, valid for any ``m``). The roaming class is the load-balancing
+safety valve that lets the table reach cuckoo-level occupancy despite the
+tight, non-power-of-two sizing — the space win Figure 3 exercises. Buckets
+are semi-sort compressed on the wire (see :mod:`repro.amq.semisort`) by
+default, like the reference implementations.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.amq import semisort
+from repro.amq.base import AMQFilter, FilterParams
+from repro.amq.hashing import hash64, hash_int, fingerprint
+from repro.amq.sizing import fingerprint_bits_for_fpp, vacuum_geometry
+from repro.errors import FilterFullError, FilterSerializationError
+
+DEFAULT_BUCKET_SIZE = 4
+DEFAULT_MAX_KICKS = 500
+
+
+class VacuumFilter(AMQFilter):
+    """Chunked-alternate-range cuckoo table over fingerprints."""
+
+    name = "vacuum"
+    supports_deletion = True
+
+    def __init__(
+        self,
+        params: FilterParams,
+        bucket_size: int = DEFAULT_BUCKET_SIZE,
+        max_kicks: int = DEFAULT_MAX_KICKS,
+        semi_sort: bool = True,
+    ) -> None:
+        super().__init__(params)
+        self._bucket_size = bucket_size
+        self._max_kicks = max_kicks
+        self._fp_bits = fingerprint_bits_for_fpp(params.fpp, bucket_size)
+        self._semi_sort = (
+            semi_sort
+            and bucket_size == semisort.BUCKET_SIZE
+            and self._fp_bits >= semisort.MIN_FP_BITS
+        )
+        self._num_buckets, self._chunk_len = vacuum_geometry(
+            params.capacity, params.load_factor, bucket_size
+        )
+        self._table = [0] * (self._num_buckets * bucket_size)
+        self._rng = random.Random(params.seed ^ 0x7ACC)
+
+    # -- geometry --------------------------------------------------------------
+
+    @property
+    def bucket_size(self) -> int:
+        return self._bucket_size
+
+    @property
+    def num_buckets(self) -> int:
+        return self._num_buckets
+
+    @property
+    def chunk_len(self) -> int:
+        return self._chunk_len
+
+    @property
+    def fingerprint_bits(self) -> int:
+        return self._fp_bits
+
+    def _fingerprint(self, item: bytes) -> int:
+        return fingerprint(item, self._fp_bits, self._params.seed)
+
+    def _index1(self, item: bytes) -> int:
+        return hash64(item, self._params.seed) % self._num_buckets
+
+    def _alt_index(self, index: int, fp: int) -> int:
+        """Partner bucket of ``index`` for fingerprint ``fp``.
+
+        Fingerprint class 0 (half the items) relocates table-wide via the
+        reflection ``(h - B) mod m`` — an involution valid for any table
+        size — and acts as the load-balancing safety valve the vacuum
+        paper obtains from its largest alternate range. Class 1 relocates
+        within a power-of-two chunk via the XOR trick, providing the
+        locality of the smaller ranges. Both maps are involutions, so an
+        item's two candidate buckets always point at each other.
+        """
+        h = hash_int(fp, self._params.seed)
+        if fp & 1 == 0:
+            return (h - index) % self._num_buckets
+        base = index - (index % self._chunk_len)
+        return base + ((index - base) ^ (h % self._chunk_len))
+
+    def _bucket_slice(self, index: int) -> "tuple[int, int]":
+        start = index * self._bucket_size
+        return start, start + self._bucket_size
+
+    def _bucket_insert(self, index: int, fp: int) -> bool:
+        start, end = self._bucket_slice(index)
+        for slot in range(start, end):
+            if self._table[slot] == 0:
+                self._table[slot] = fp
+                return True
+        return False
+
+    def _bucket_contains(self, index: int, fp: int) -> bool:
+        start, end = self._bucket_slice(index)
+        return fp in self._table[start:end]
+
+    def _bucket_delete(self, index: int, fp: int) -> bool:
+        start, end = self._bucket_slice(index)
+        for slot in range(start, end):
+            if self._table[slot] == fp:
+                self._table[slot] = 0
+                return True
+        return False
+
+    # -- AMQFilter interface -----------------------------------------------------
+
+    def insert(self, item: bytes) -> None:
+        fp = self._fingerprint(item)
+        i1 = self._index1(item)
+        i2 = self._alt_index(i1, fp)
+        if self._bucket_insert(i1, fp) or self._bucket_insert(i2, fp):
+            self._count += 1
+            return
+        index = self._rng.choice((i1, i2))
+        for _ in range(self._max_kicks):
+            start, _ = self._bucket_slice(index)
+            victim_slot = start + self._rng.randrange(self._bucket_size)
+            fp, self._table[victim_slot] = self._table[victim_slot], fp
+            index = self._alt_index(index, fp)
+            if self._bucket_insert(index, fp):
+                self._count += 1
+                return
+        raise FilterFullError(
+            f"vacuum filter insert failed after {self._max_kicks} kicks "
+            f"(load factor {self.load_factor():.3f})"
+        )
+
+    def contains(self, item: bytes) -> bool:
+        fp = self._fingerprint(item)
+        i1 = self._index1(item)
+        if self._bucket_contains(i1, fp):
+            return True
+        return self._bucket_contains(self._alt_index(i1, fp), fp)
+
+    def delete(self, item: bytes) -> bool:
+        fp = self._fingerprint(item)
+        i1 = self._index1(item)
+        if self._bucket_delete(i1, fp):
+            self._count -= 1
+            return True
+        if self._bucket_delete(self._alt_index(i1, fp), fp):
+            self._count -= 1
+            return True
+        return False
+
+    def slot_count(self) -> int:
+        return self._num_buckets * self._bucket_size
+
+    def effective_fpp(self) -> float:
+        """A negative lookup probes 2 buckets (2b slots); each occupied
+        slot matches with probability 2^-f, so at occupancy alpha the
+        rate is ``1 - (1 - 2^-f)^(2 b alpha)``."""
+        alpha = self.load_factor()
+        per_slot = 2.0 ** -self._fp_bits
+        return 1.0 - (1.0 - per_slot) ** (2 * self._bucket_size * alpha)
+
+    @property
+    def semi_sort(self) -> bool:
+        return self._semi_sort
+
+    def size_in_bytes(self) -> int:
+        if self._semi_sort:
+            return semisort.packed_size_bytes(self._num_buckets, self._fp_bits)
+        total_bits = self.slot_count() * self._fp_bits
+        return (total_bits + 7) // 8
+
+    # -- serialization -------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        if self._semi_sort:
+            return semisort.pack_table(self._table, self._fp_bits)
+        bits = self._fp_bits
+        acc = 0
+        acc_bits = 0
+        out = bytearray()
+        for fp in self._table:
+            acc |= fp << acc_bits
+            acc_bits += bits
+            while acc_bits >= 8:
+                out.append(acc & 0xFF)
+                acc >>= 8
+                acc_bits -= 8
+        if acc_bits:
+            out.append(acc & 0xFF)
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(
+        cls,
+        params: FilterParams,
+        payload: bytes,
+        bucket_size: int = DEFAULT_BUCKET_SIZE,
+        max_kicks: int = DEFAULT_MAX_KICKS,
+        semi_sort: bool = True,
+    ) -> "VacuumFilter":
+        filt = cls(
+            params, bucket_size=bucket_size, max_kicks=max_kicks, semi_sort=semi_sort
+        )
+        expected = filt.size_in_bytes()
+        if len(payload) != expected:
+            raise FilterSerializationError(
+                f"vacuum payload is {len(payload)} bytes, expected {expected}"
+            )
+        if filt._semi_sort:
+            try:
+                table = semisort.unpack_table(payload, filt._num_buckets, filt._fp_bits)
+            except ValueError as exc:
+                raise FilterSerializationError(str(exc)) from exc
+            filt._table = table
+            filt._count = sum(1 for fp in table if fp)
+            return filt
+        bits = filt._fp_bits
+        mask = (1 << bits) - 1
+        acc = 0
+        acc_bits = 0
+        slot = 0
+        total_slots = filt.slot_count()
+        count = 0
+        for byte in payload:
+            acc |= byte << acc_bits
+            acc_bits += 8
+            while acc_bits >= bits and slot < total_slots:
+                fp = acc & mask
+                filt._table[slot] = fp
+                if fp:
+                    count += 1
+                acc >>= bits
+                acc_bits -= bits
+                slot += 1
+        if slot != total_slots:
+            raise FilterSerializationError(
+                f"vacuum payload decoded {slot} slots, expected {total_slots}"
+            )
+        filt._count = count
+        return filt

@@ -1,0 +1,217 @@
+"""XOR filter (Graf & Lemire, 2020) — the static baseline.
+
+Not one of the paper's candidates (it cannot be updated in place), but the
+natural lower bound for the §6 "carefully curated and universal ICA
+filters" deployment mode, where the advertised set changes rarely and
+updates can be batched into rebuilds: an XOR filter stores ~1.23
+fingerprints' worth of bits per item with an exact ``2^-f`` false-positive
+rate — beating every dynamic structure on the wire.
+
+Lookups XOR three table slots (one per table third) and compare with the
+item's fingerprint. Construction peels the 3-uniform hypergraph: repeat
+with a fresh construction seed on the (rare) non-peelable instance.
+
+Mutation model: inserts buffer into an item list and mark the table
+dirty; any query or serialization rebuilds first. ``supports_deletion``
+is False — a deletion is a rebuild, exactly the cost the paper cites for
+static structures, and exactly what :class:`~repro.core.manager.
+FilterManager` meters when this filter is plugged into the pipeline.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from repro.amq.base import AMQFilter, FilterParams
+from repro.amq.hashing import hash64, splitmix64
+from repro.errors import FilterFullError, FilterSerializationError
+
+_MAX_CONSTRUCTION_ATTEMPTS = 64
+
+
+def xor_fingerprint_bits(fpp: float) -> int:
+    """FPP of an XOR filter is exactly 2^-f."""
+    return max(2, min(32, math.ceil(-math.log2(fpp))))
+
+
+def xor_slot_count(capacity: int) -> int:
+    """Graf-Lemire sizing: floor(1.23 * n) + 32, rounded to a multiple of
+    3 (three equal table segments)."""
+    slots = int(1.23 * max(1, capacity)) + 32
+    return slots + (-slots) % 3
+
+
+class XorFilter(AMQFilter):
+    """Static 3-wise XOR filter with buffered construction."""
+
+    name = "xor"
+    supports_deletion = False
+
+    def __init__(self, params: FilterParams) -> None:
+        super().__init__(params)
+        self._fp_bits = xor_fingerprint_bits(params.fpp)
+        self._slots = xor_slot_count(params.capacity)
+        self._table: List[int] = [0] * self._slots
+        self._items: List[bytes] = []
+        self._dirty = False
+        self._construction_seed = 0
+
+    # -- geometry ------------------------------------------------------------
+
+    @property
+    def fingerprint_bits(self) -> int:
+        return self._fp_bits
+
+    def slot_count(self) -> int:
+        return self._slots
+
+    def size_in_bytes(self) -> int:
+        return (self._slots * self._fp_bits + 7) // 8
+
+    def effective_fpp(self) -> float:
+        """Exactly 2^-f, independent of occupancy (XOR of 3 slots)."""
+        return 2.0 ** -self._fp_bits
+
+    # -- hashing --------------------------------------------------------------
+
+    def _hashes(self, item: bytes, construction_seed: int):
+        """(h0, h1, h2, fingerprint) for the given construction seed."""
+        base = hash64(item, self._params.seed ^ (construction_seed * 0x9E37))
+        third = self._slots // 3
+        h0 = base % third
+        h1 = third + (splitmix64(base ^ 0xA5A5) % third)
+        h2 = 2 * third + (splitmix64(base ^ 0x5A5A) % third)
+        fp = splitmix64(base ^ 0xF0F0) & ((1 << self._fp_bits) - 1)
+        return h0, h1, h2, fp
+
+    # -- construction ------------------------------------------------------------
+
+    def _rebuild(self) -> None:
+        # Duplicate items would make the hypergraph unpeelable (identical
+        # triples never reach degree 1); membership only needs the set.
+        self._build_items = list(dict.fromkeys(self._items))
+        for attempt in range(_MAX_CONSTRUCTION_ATTEMPTS):
+            if self._try_build(attempt):
+                self._construction_seed = attempt
+                self._dirty = False
+                return
+        raise FilterFullError(
+            f"xor filter construction failed after "
+            f"{_MAX_CONSTRUCTION_ATTEMPTS} attempts for {len(self._items)} items"
+        )
+
+    def _try_build(self, construction_seed: int) -> bool:
+        slots = self._slots
+        # slot -> xor of incident item indices, and degree counts.
+        xor_of_items = [0] * slots
+        degree = [0] * slots
+        triples = []
+        for idx, item in enumerate(self._build_items):
+            h0, h1, h2, fp = self._hashes(item, construction_seed)
+            triples.append((h0, h1, h2, fp))
+            for h in (h0, h1, h2):
+                xor_of_items[h] ^= idx
+                degree[h] += 1
+        # Peel singletons.
+        stack = []  # (slot, item index), in peel order
+        queue = [s for s in range(slots) if degree[s] == 1]
+        while queue:
+            slot = queue.pop()
+            if degree[slot] != 1:
+                continue
+            idx = xor_of_items[slot]
+            stack.append((slot, idx))
+            for h in triples[idx][:3]:
+                xor_of_items[h] ^= idx
+                degree[h] -= 1
+                if degree[h] == 1:
+                    queue.append(h)
+        if len(stack) != len(self._build_items):
+            return False  # 2-core remained; retry with another seed
+        # Assign in reverse peel order.
+        table = [0] * slots
+        for slot, idx in reversed(stack):
+            h0, h1, h2, fp = triples[idx]
+            table[slot] = fp ^ table[h0] ^ table[h1] ^ table[h2] ^ table[slot]
+        self._table = table
+        return True
+
+    # -- AMQFilter interface ---------------------------------------------------------
+
+    def insert(self, item: bytes) -> None:
+        if len(self._items) >= self.capacity:
+            raise FilterFullError(
+                f"xor filter at provisioned capacity {self.capacity}"
+            )
+        self._items.append(item)
+        self._count += 1
+        self._dirty = True
+
+    def contains(self, item: bytes) -> bool:
+        if self._dirty:
+            self._rebuild()
+        h0, h1, h2, fp = self._hashes(item, self._construction_seed)
+        return (self._table[h0] ^ self._table[h1] ^ self._table[h2]) == fp
+
+    def delete(self, item: bytes) -> bool:
+        raise self._deletion_unsupported()
+
+    def load_factor(self) -> float:
+        return self._count / self.capacity if self.capacity else 0.0
+
+    # -- serialization ---------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        if self._dirty:
+            self._rebuild()
+        header = self._construction_seed.to_bytes(1, "big") + self._count.to_bytes(
+            4, "big"
+        )
+        bits = self._fp_bits
+        acc = 0
+        acc_bits = 0
+        out = bytearray(header)
+        for fp in self._table:
+            acc |= fp << acc_bits
+            acc_bits += bits
+            while acc_bits >= 8:
+                out.append(acc & 0xFF)
+                acc >>= 8
+                acc_bits -= 8
+        if acc_bits:
+            out.append(acc & 0xFF)
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, params: FilterParams, payload: bytes) -> "XorFilter":
+        filt = cls(params)
+        expected = 5 + filt.size_in_bytes()
+        if len(payload) != expected:
+            raise FilterSerializationError(
+                f"xor payload is {len(payload)} bytes, expected {expected}"
+            )
+        filt._construction_seed = payload[0]
+        filt._count = int.from_bytes(payload[1:5], "big")
+        bits = filt._fp_bits
+        mask = (1 << bits) - 1
+        acc = 0
+        acc_bits = 0
+        slot = 0
+        for byte in payload[5:]:
+            acc |= byte << acc_bits
+            acc_bits += 8
+            while acc_bits >= bits and slot < filt._slots:
+                filt._table[slot] = acc & mask
+                acc >>= bits
+                acc_bits -= bits
+                slot += 1
+        if slot != filt._slots:
+            raise FilterSerializationError(
+                f"xor payload decoded {slot} slots, expected {filt._slots}"
+            )
+        filt._dirty = False
+        # Items are not transported; a deserialized filter is query-only
+        # in the sense that any insert triggers a from-scratch rebuild of
+        # whatever items the new owner accumulates.
+        return filt

@@ -1,0 +1,29 @@
+"""Analysis utilities: regression, statistics, table rendering."""
+
+from repro.analysis.regression import LinearFit, linear_fit
+from repro.analysis.stats import (
+    confidence_interval_95,
+    mean,
+    relative_error,
+)
+from repro.analysis.tables import format_table, render_kv
+from repro.analysis.privacy import (
+    anonymity_set_sizes,
+    distinguishable_fraction,
+    membership_leak,
+    payload_entropy_bits,
+)
+
+__all__ = [
+    "LinearFit",
+    "linear_fit",
+    "mean",
+    "relative_error",
+    "confidence_interval_95",
+    "format_table",
+    "render_kv",
+    "anonymity_set_sizes",
+    "distinguishable_fraction",
+    "membership_leak",
+    "payload_entropy_bits",
+]

@@ -1,0 +1,78 @@
+"""Client-fingerprinting exposure of the IC-filter extension (§6).
+
+The ClientHello travels in cleartext, so a passive observer sees each
+client's advertised filter. The paper acknowledges this "creates
+unencrypted signals that could be used to identify which ICA certs are
+known, increasing the effectiveness of client fingerprinting", and points
+at three mitigations: ECH, advertising only to known peers, and curated
+universal filters. This module quantifies the exposure so those options
+can be compared:
+
+* ``distinguishable_fraction`` — how many client pairs an observer can
+  tell apart from payload bytes alone;
+* ``payload_entropy_bits`` — entropy of the payload distribution across a
+  client population (0 bits = perfectly uniform herd, the universal-filter
+  ideal);
+* ``membership_leak`` — how reliably an observer can test "does this
+  client know ICA X?" against an advertised filter (bounded below by the
+  filter's FPP — the filter's own noise is the only cover).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from collections import Counter
+from typing import Dict, List, Sequence
+
+from repro.amq import AMQFilter, deserialize_filter
+from repro.errors import ConfigurationError
+
+
+def distinguishable_fraction(payloads: Sequence[bytes]) -> float:
+    """Fraction of client pairs with distinct payloads (0 = herd
+    anonymity, 1 = everyone unique)."""
+    n = len(payloads)
+    if n < 2:
+        raise ConfigurationError("need at least two clients to compare")
+    counts = Counter(payloads)
+    same_pairs = sum(c * (c - 1) // 2 for c in counts.values())
+    total_pairs = n * (n - 1) // 2
+    return 1.0 - same_pairs / total_pairs
+
+
+def payload_entropy_bits(payloads: Sequence[bytes]) -> float:
+    """Shannon entropy of the payload distribution (bits). An observer
+    learns at most this many bits of identity from one ClientHello."""
+    if not payloads:
+        raise ConfigurationError("need at least one payload")
+    counts = Counter(hashlib.sha256(p).digest() for p in payloads)
+    n = len(payloads)
+    entropy = -sum((c / n) * math.log2(c / n) for c in counts.values())
+    return max(0.0, entropy)  # avoid IEEE negative zero for the herd case
+
+
+def anonymity_set_sizes(payloads: Sequence[bytes]) -> List[int]:
+    """Size of each client's anonymity set (clients sharing its exact
+    payload), in client order."""
+    counts = Counter(payloads)
+    return [counts[p] for p in payloads]
+
+
+def membership_leak(
+    payload: bytes,
+    known_fingerprints: Sequence[bytes],
+    unknown_fingerprints: Sequence[bytes],
+) -> Dict[str, float]:
+    """Simulate the §6 attack: query an observed filter for candidate
+    ICAs. Returns the attacker's true-positive rate (always ~1: filters
+    have no false negatives) and false-positive rate (the filter's own
+    FPP — the only uncertainty the attacker faces)."""
+    filt: AMQFilter = deserialize_filter(payload)
+    tp = sum(filt.contains(fp) for fp in known_fingerprints)
+    fp = sum(filt.contains(fp) for fp in unknown_fingerprints)
+    return {
+        "true_positive_rate": tp / len(known_fingerprints) if known_fingerprints else 0.0,
+        "false_positive_rate": fp / len(unknown_fingerprints) if unknown_fingerprints else 0.0,
+        "advertised_items": float(len(filt)),
+    }

@@ -1,0 +1,56 @@
+"""Least-squares linear regression.
+
+Fig. 5-center fits "a latency model based on the line of best-fit (linear
+regression)" of PQ-induced extra latency against RTT; this module is that
+fit (closed-form simple least squares plus R^2), with a predict method so
+the TTFB extrapolation uses the same object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """y = slope * x + intercept."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+    n: int
+
+    def predict(self, x: float) -> float:
+        return self.slope * x + self.intercept
+
+    def describe(self, x_unit: str = "s", y_unit: str = "s") -> str:
+        return (
+            f"y = {self.slope:.3f}*x + {self.intercept * 1000:.2f}ms "
+            f"(R^2={self.r_squared:.4f}, n={self.n}, x in {x_unit}, y in {y_unit})"
+        )
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
+    """Ordinary least squares over paired samples."""
+    if len(xs) != len(ys):
+        raise ConfigurationError(
+            f"x and y lengths differ: {len(xs)} vs {len(ys)}"
+        )
+    n = len(xs)
+    if n < 2:
+        raise ConfigurationError(f"need at least 2 points, got {n}")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0:
+        raise ConfigurationError("x values are all identical; slope undefined")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    ss_res = sum((y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys))
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return LinearFit(slope=slope, intercept=intercept, r_squared=r_squared, n=n)

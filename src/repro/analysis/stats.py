@@ -1,0 +1,32 @@
+"""Small statistics helpers for experiment reporting."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ConfigurationError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def relative_error(measured: float, reference: float) -> float:
+    """(measured - reference) / reference; reference must be non-zero."""
+    if reference == 0:
+        raise ConfigurationError("relative error against zero reference")
+    return (measured - reference) / reference
+
+
+def confidence_interval_95(values: Sequence[float]) -> Tuple[float, float]:
+    """Normal-approximation 95% CI of the mean (fine for the >=10-run
+    experiment repetitions used here)."""
+    if len(values) < 2:
+        raise ConfigurationError("confidence interval needs >= 2 samples")
+    m = mean(values)
+    var = sum((v - m) ** 2 for v in values) / (len(values) - 1)
+    half = 1.96 * math.sqrt(var / len(values))
+    return m - half, m + half

@@ -1,0 +1,45 @@
+"""Fixed-width table rendering for benchmark output.
+
+Every benchmark prints the rows/series the corresponding paper artifact
+reports; this renderer keeps that output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned text table."""
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(widths[i]) for i, c in enumerate(cells)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), 8))
+    lines.append(fmt(list(headers)))
+    lines.append(fmt(["-" * w for w in widths]))
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def render_kv(pairs: Sequence[Sequence[object]], title: str = "") -> str:
+    """Render key/value summary lines."""
+    lines = [title] if title else []
+    width = max((len(str(k)) for k, _ in pairs), default=0)
+    lines.extend(f"{str(k).ljust(width)} : {v}" for k, v in pairs)
+    return "\n".join(lines)

@@ -1,0 +1,265 @@
+"""Command-line runner: regenerate any paper artifact without pytest.
+
+Usage::
+
+    python -m repro list                 # what can be regenerated
+    python -m repro table1               # one artifact
+    python -m repro fig5-left --runs 3 --domains 100
+    python -m repro all                  # everything (reduced scale)
+
+Each artifact prints the same rows/series the corresponding benchmark
+prints; the benchmarks remain the canonical, asserted versions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from repro._version import __version__
+
+
+def _run_table1(args) -> None:
+    from repro.experiments import table1
+
+    cells = table1.compute_table1()
+    print(table1.format_table1(cells))
+
+
+def _run_table2(args) -> None:
+    from repro.experiments import table2
+
+    print(table2.format_table2(table2.compute_table2(num_domains=args.crawl)))
+
+
+def _run_fig1(args) -> None:
+    from repro.experiments import fig1
+
+    flows = fig1.compute_flows()
+    print(fig1.format_flow_summary(flows))
+    for flow in flows:
+        print()
+        print(fig1.format_flow(flow))
+
+
+def _run_fig3(args) -> None:
+    from repro.experiments import fig3
+
+    print(fig3.format_load_factor_sweep(fig3.load_factor_sweep()))
+    print()
+    print(fig3.format_throughput(fig3.throughput(num_items=args.ops)))
+    print()
+    print(
+        fig3.format_capacity_sweep(
+            fig3.capacity_sweep(), fig3.budget_capacities()
+        )
+    )
+
+
+def _run_fig4(args) -> None:
+    from repro.experiments import fig4
+
+    print(fig4.format_fpp_sweep(fig4.fpp_sweep()))
+
+
+def _sessions(args):
+    from repro.webmodel.session_sim import BrowsingSessionSimulator, SessionConfig
+
+    sim = BrowsingSessionSimulator(
+        SessionConfig(seed=1, num_domains=args.domains)
+    )
+    return sim.run_many(args.runs)
+
+
+def _run_fig5_left(args) -> None:
+    from repro.experiments import fig5
+
+    print(fig5.format_data_volume(fig5.data_volume(_sessions(args))))
+
+
+def _run_fig5_center(args) -> None:
+    from repro.experiments import fig5
+
+    models = fig5.latency_models()
+    print(fig5.format_latency_models(models))
+    for model in models:
+        print(f"{model.algorithm}: {model.fit.describe(x_unit='s RTT')}")
+
+
+def _run_fig5_right(args) -> None:
+    from repro.experiments import fig5
+
+    print(fig5.format_ttfb(fig5.ttfb_scenarios(_sessions(args))))
+
+
+def _run_ablation_initcwnd(args) -> None:
+    from repro.experiments import ablations
+
+    print(ablations.format_initcwnd(ablations.initcwnd_sweep()))
+
+
+def _run_ablation_filters(args) -> None:
+    from repro.experiments import ablations
+
+    rows = ablations.filter_choice(
+        num_domains=max(20, args.domains // 2), runs=1
+    )
+    print(ablations.format_filter_choice(rows))
+
+
+def _run_baselines(args) -> None:
+    from repro.experiments.baselines import compare_designs, format_baselines
+
+    print(format_baselines(compare_designs(num_domains=args.domains)))
+
+
+def _run_compression(args) -> None:
+    from repro.experiments.compression import (
+        compression_comparison,
+        format_compression,
+    )
+
+    print(format_compression(compression_comparison()))
+
+
+def _run_mixed_chains(args) -> None:
+    from repro.experiments.mixed_chains import (
+        format_mixed_chains,
+        mixed_chain_comparison,
+    )
+
+    print(format_mixed_chains(mixed_chain_comparison()))
+
+
+def _run_nonweb(args) -> None:
+    from repro.webmodel.nonweb import compare_environments, format_environments
+
+    print(format_environments(compare_environments(sample_handshakes=30)))
+
+
+def _run_quic(args) -> None:
+    from repro.experiments.quic import (
+        format_transport_comparison,
+        transport_comparison,
+    )
+
+    print(format_transport_comparison(transport_comparison()))
+
+
+def _run_warmup(args) -> None:
+    from repro.experiments.warmup import format_warmup, warmup_curves
+
+    print(
+        format_warmup(
+            warmup_curves(
+                num_destinations=5 * args.domains,
+                checkpoint_every=args.domains,
+            )
+        )
+    )
+
+
+def _run_report(args) -> None:
+    from repro.experiments.report import ReportScale, generate_report
+
+    print(
+        generate_report(
+            ReportScale(runs=args.runs, domains=args.domains,
+                        crawl_domains=min(args.crawl, 10_000),
+                        throughput_items=args.ops)
+        )
+    )
+
+
+def _run_estimator(args) -> None:
+    from repro.experiments.estimator_model import (
+        expected_duration_table,
+        format_expected_durations,
+    )
+
+    print(format_expected_durations(expected_duration_table()))
+
+
+ARTIFACTS: Dict[str, Callable] = {
+    "table1": _run_table1,
+    "table2": _run_table2,
+    "fig1": _run_fig1,
+    "fig3": _run_fig3,
+    "fig4": _run_fig4,
+    "fig5-left": _run_fig5_left,
+    "fig5-center": _run_fig5_center,
+    "fig5-right": _run_fig5_right,
+    "ablation-initcwnd": _run_ablation_initcwnd,
+    "ablation-filters": _run_ablation_filters,
+    "baselines": _run_baselines,
+    "compression": _run_compression,
+    "mixed-chains": _run_mixed_chains,
+    "nonweb": _run_nonweb,
+    "quic": _run_quic,
+    "report": _run_report,
+    "warmup": _run_warmup,
+    "estimator": _run_estimator,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Regenerate the tables and figures of 'Intermediate Certificate "
+            "Suppression in Post-Quantum TLS' (CoNEXT '22)."
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    parser.add_argument(
+        "artifact",
+        choices=sorted(ARTIFACTS) + ["all", "list"],
+        help="artifact to regenerate ('list' to enumerate, 'all' for everything)",
+    )
+    parser.add_argument(
+        "--runs", type=int, default=3,
+        help="browsing-session repetitions (paper: 10)",
+    )
+    parser.add_argument(
+        "--domains", type=int, default=100,
+        help="domains per browsing session (paper: 200)",
+    )
+    parser.add_argument(
+        "--crawl", type=int, default=10_000,
+        help="domains per Table-2 crawl (paper: 10000)",
+    )
+    parser.add_argument(
+        "--ops", type=int, default=5_000,
+        help="items for the throughput measurement",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.artifact == "list":
+        for name in sorted(ARTIFACTS):
+            print(name)
+        return 0
+    if args.artifact == "all":
+        # 'report' regenerates everything itself; running it inside 'all'
+        # would duplicate every simulation.
+        names = sorted(n for n in ARTIFACTS if n != "report")
+    else:
+        names = [args.artifact]
+    for i, name in enumerate(names):
+        if i:
+            print("\n" + "=" * 78 + "\n")
+        start = time.perf_counter()
+        ARTIFACTS[name](args)
+        if args.artifact == "all":
+            print(f"\n[{name} done in {time.perf_counter() - start:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

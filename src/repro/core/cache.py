@@ -1,0 +1,124 @@
+"""Client-side ICA certificate cache.
+
+The set *S* of Fig. 2: "the client maintains a list of known intermediate
+certificates (e.g., in a separate cache)". Entries arrive from a preload
+list (Mozilla-style) and from ICAs observed in completed handshakes, and
+leave on expiry or revocation. The cache exposes the two views the rest
+of the pipeline needs: fingerprints (filter items) and subject-name lookup
+(path completion).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.errors import CertificateError
+from repro.pki.certificate import Certificate
+from repro.pki.chain import CertificateChain
+from repro.pki.store import IntermediatePreload
+
+
+class ICACache:
+    """Known-intermediate store with change notification.
+
+    ``on_add``/``on_remove`` callbacks let the
+    :class:`~repro.core.manager.FilterManager` mirror every mutation into
+    the live AMQ filter, which is what makes the paper's "dynamic updates"
+    requirement (§4.2) concrete.
+    """
+
+    def __init__(self) -> None:
+        self._by_fingerprint: Dict[bytes, Certificate] = {}
+        self._by_subject: Dict[str, Certificate] = {}
+        self._add_listeners: List[Callable[[Certificate], None]] = []
+        self._remove_listeners: List[Callable[[Certificate], None]] = []
+
+    # -- listeners -----------------------------------------------------------
+
+    def subscribe(
+        self,
+        on_add: Optional[Callable[[Certificate], None]] = None,
+        on_remove: Optional[Callable[[Certificate], None]] = None,
+    ) -> None:
+        if on_add is not None:
+            self._add_listeners.append(on_add)
+        if on_remove is not None:
+            self._remove_listeners.append(on_remove)
+
+    # -- mutation ------------------------------------------------------------
+
+    def add(self, cert: Certificate) -> bool:
+        """Add an ICA; returns False when already present."""
+        if not cert.is_ca or cert.is_self_signed:
+            raise CertificateError(
+                f"ICA cache accepts intermediate CA certificates only, "
+                f"got {cert.subject!r}"
+            )
+        fp = cert.fingerprint()
+        if fp in self._by_fingerprint:
+            return False
+        self._by_fingerprint[fp] = cert
+        self._by_subject[cert.subject] = cert
+        for listener in self._add_listeners:
+            listener(cert)
+        return True
+
+    def remove(self, cert: Certificate) -> bool:
+        fp = cert.fingerprint()
+        stored = self._by_fingerprint.pop(fp, None)
+        if stored is None:
+            return False
+        if self._by_subject.get(stored.subject) is stored:
+            del self._by_subject[stored.subject]
+        for listener in self._remove_listeners:
+            listener(stored)
+        return True
+
+    def load_preload(self, preload: IntermediatePreload) -> int:
+        """Seed from a preload list; returns how many were new."""
+        return sum(self.add(cert) for cert in preload.certificates())
+
+    def observe_chain(self, chain: CertificateChain) -> int:
+        """Learn the ICAs seen in a completed handshake; returns how many
+        were new (the organic growth path of the cache)."""
+        return sum(self.add(ica) for ica in chain.intermediates)
+
+    def sweep_expired(self, at_time: int) -> int:
+        """Remove expired entries; returns how many were dropped."""
+        stale = [
+            cert
+            for cert in self._by_fingerprint.values()
+            if not cert.valid_at(at_time)
+        ]
+        for cert in stale:
+            self.remove(cert)
+        return len(stale)
+
+    def apply_revocations(self, revocation) -> int:
+        """Remove revoked entries; returns how many were dropped."""
+        revoked = [
+            cert
+            for cert in self._by_fingerprint.values()
+            if revocation.is_revoked(cert)
+        ]
+        for cert in revoked:
+            self.remove(cert)
+        return len(revoked)
+
+    # -- queries ------------------------------------------------------------
+
+    def lookup_issuer(self, subject_name: str) -> Optional[Certificate]:
+        """Issuer lookup for path completion (Fig. 2 client pipeline)."""
+        return self._by_subject.get(subject_name)
+
+    def fingerprints(self) -> List[bytes]:
+        return list(self._by_fingerprint.keys())
+
+    def certificates(self) -> List[Certificate]:
+        return list(self._by_fingerprint.values())
+
+    def __contains__(self, cert: Certificate) -> bool:
+        return cert.fingerprint() in self._by_fingerprint
+
+    def __len__(self) -> int:
+        return len(self._by_fingerprint)

@@ -1,0 +1,144 @@
+"""The client and server suppression pipelines of Fig. 2.
+
+``ClientSuppressor`` owns the cache + filter and produces ready-to-use
+:class:`~repro.tls.client.ClientConfig` objects; ``ServerSuppressor`` is
+the TLS server's suppression handler: it deserializes the advertised
+filter (memoizing by payload, since a client reuses one filter across
+many handshakes) and queries each ICA on the server's verification path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Optional, Set
+
+from repro.amq import AMQFilter
+from repro.core.cache import ICACache
+from repro.core.extension import build_extension_payload, parse_extension_payload
+from repro.core.filter_config import FilterPlan, plan_filter
+from repro.core.manager import FilterManager
+from repro.errors import FilterSerializationError
+from repro.pki.chain import CertificateChain
+from repro.pki.store import IntermediatePreload
+from repro.tls.client import ClientConfig
+
+
+class ClientSuppressor:
+    """Client-side state: ICA cache, managed filter, extension payload."""
+
+    def __init__(
+        self,
+        cache: Optional[ICACache] = None,
+        plan: Optional[FilterPlan] = None,
+        preload: Optional[IntermediatePreload] = None,
+        filter_kind: str = "cuckoo",
+        fpp: float = 1e-3,
+        load_factor: float = 0.9,
+        budget_bytes: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        self.cache = cache or ICACache()
+        if preload is not None:
+            self.cache.load_preload(preload)
+        if plan is None:
+            plan = plan_filter(
+                num_icas=max(1, len(self.cache)),
+                filter_kind=filter_kind,
+                fpp=fpp,
+                load_factor=load_factor,
+                budget_bytes=budget_bytes,
+                seed=seed,
+                headroom=1.0,
+            )
+        self.manager = FilterManager(self.cache, plan)
+        self._payload_cache: Optional[bytes] = None
+        self._payload_version: int = -1
+
+    @property
+    def filter(self) -> AMQFilter:
+        return self.manager.filter
+
+    def extension_payload(self) -> bytes:
+        """Serialized filter for the ClientHello (memoized until the
+        manager records any filter mutation)."""
+        if self._payload_cache is None or self._payload_version != (
+            self.manager.version
+        ):
+            self._payload_cache = build_extension_payload(self.manager.filter)
+            self._payload_version = self.manager.version
+        return self._payload_cache
+
+    def client_config(
+        self,
+        trust_store,
+        hostname: str,
+        kem_name: str = "x25519",
+        at_time: int = 0,
+        use_suppression: bool = True,
+        revocation=None,
+        seed: int = 0,
+    ) -> ClientConfig:
+        """A ClientConfig wired to this suppressor's cache and filter."""
+        return ClientConfig(
+            trust_store=trust_store,
+            kem_name=kem_name,
+            hostname=hostname,
+            at_time=at_time,
+            ica_filter_payload=self.extension_payload() if use_suppression else None,
+            issuer_lookup=self.cache.lookup_issuer,
+            revocation=revocation,
+            seed=seed,
+        )
+
+    def learn_from(self, chain: CertificateChain) -> int:
+        """Cache the ICAs observed in a completed handshake."""
+        return self.cache.observe_chain(chain)
+
+    def maintain(self, at_time: int, revocation=None) -> "tuple[int, int]":
+        """Periodic maintenance: drop expired and revoked ICAs (filter
+        deletions happen through the manager's subscription). Returns
+        (expired, revoked) counts."""
+        expired = self.cache.sweep_expired(at_time)
+        revoked = (
+            self.cache.apply_revocations(revocation) if revocation is not None else 0
+        )
+        return expired, revoked
+
+
+class ServerSuppressor:
+    """Server-side suppression handler (plug into ServerConfig)."""
+
+    def __init__(self, max_cached_filters: int = 64) -> None:
+        self._filters: Dict[bytes, Optional[AMQFilter]] = {}
+        self._max_cached = max_cached_filters
+        self.lookups = 0
+        self.hits = 0
+        self.malformed_payloads = 0
+
+    def _filter_for(self, payload: bytes) -> Optional[AMQFilter]:
+        key = hashlib.sha256(payload).digest()
+        if key in self._filters:
+            return self._filters[key]
+        try:
+            filt: Optional[AMQFilter] = parse_extension_payload(payload)
+        except FilterSerializationError:
+            self.malformed_payloads += 1
+            filt = None
+        if len(self._filters) >= self._max_cached:
+            # Drop the oldest entry (insertion-ordered dict).
+            self._filters.pop(next(iter(self._filters)))
+        self._filters[key] = filt
+        return filt
+
+    def __call__(self, payload: bytes, chain: CertificateChain) -> Set[bytes]:
+        """The SuppressionHandler protocol: fingerprints to omit."""
+        filt = self._filter_for(payload)
+        if filt is None:
+            return set()
+        suppressed = set()
+        for fp in chain.ica_fingerprints():
+            self.lookups += 1
+            if filt.contains(fp):
+                self.hits += 1
+                suppressed.add(fp)
+        return suppressed

@@ -1,0 +1,263 @@
+"""Figure 5 — IC-suppression impact estimation.
+
+Three panels driven by the browsing-session simulator (§5.3: 10 runs x
+200 domains, cuckoo filter, 0.9 load factor, 0.1% FPP, the June '22 hot
+ICA set):
+
+* **left** — ICA data exchanged with/without suppression, measured for
+  the baseline PKI and extrapolated to Dilithium III/V and SPHINCS+-128f
+  (paper: ~73% reduction; ~15 MB / ~45 MB saved);
+* **center** — PQ-authentication latency over RSA-2048 as a function of
+  RTT, with the line-of-best-fit latency model;
+* **right** — TTFB distributions per scenario (FP doubles the TTFB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.regression import LinearFit, linear_fit
+from repro.analysis.tables import format_table
+from repro.core.estimator import crypto_cpu_seconds
+from repro.netsim.metrics import Summary, summarize
+from repro.netsim.tcp import TCPConfig, handshake_duration_s
+from repro.pki.algorithms import get_signature_algorithm
+from repro.webmodel.population import ICAPopulation, PopulationConfig
+from repro.webmodel.session_sim import (
+    BrowsingSessionSimulator,
+    SessionConfig,
+    SessionResult,
+    flight_sizes,
+)
+
+PAPER_REDUCTION = 0.73
+PAPER_RUNS = 10
+PAPER_DOMAINS = 200
+
+
+# ---------------------------------------------------------------------------
+# Shared simulation driver
+# ---------------------------------------------------------------------------
+
+
+def run_sessions(
+    runs: int = PAPER_RUNS,
+    num_domains: int = PAPER_DOMAINS,
+    config: Optional[SessionConfig] = None,
+    population: Optional[ICAPopulation] = None,
+) -> List[SessionResult]:
+    config = config or SessionConfig(num_domains=num_domains, seed=1)
+    if config.num_domains != num_domains:
+        config = SessionConfig(**{**config.__dict__, "num_domains": num_domains})
+    simulator = BrowsingSessionSimulator(config, population=population)
+    return simulator.run_many(runs)
+
+
+# ---------------------------------------------------------------------------
+# Left panel: ICA data volume
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DataVolumeRow:
+    algorithm: str
+    mb_without: float
+    mb_with: float
+
+    @property
+    def mb_saved(self) -> float:
+        return self.mb_without - self.mb_with
+
+    @property
+    def reduction(self) -> float:
+        return self.mb_saved / self.mb_without if self.mb_without else 0.0
+
+
+@dataclass(frozen=True)
+class DataVolumeResult:
+    rows: List[DataVolumeRow]
+    mean_reduction: float
+    reduction_ci95: "Tuple[float, float]"
+    mean_known_rate: float
+    mean_false_positives: float
+    mean_unique_destinations: float
+
+
+def data_volume(
+    results: Sequence[SessionResult],
+    algorithms: Sequence[str] = (
+        "rsa-2048",
+        "dilithium3",
+        "dilithium5",
+        "sphincs-128f",
+    ),
+) -> DataVolumeResult:
+    from repro.analysis.stats import confidence_interval_95
+
+    n = len(results)
+    rows = []
+    for alg in algorithms:
+        without = sum(r.ica_data_bytes(alg, False) for r in results) / n / 1e6
+        with_sup = sum(r.ica_data_bytes(alg, True) for r in results) / n / 1e6
+        rows.append(DataVolumeRow(alg, without, with_sup))
+    reductions = [r.ica_reduction_ratio() for r in results]
+    ci = (
+        confidence_interval_95(reductions)
+        if n >= 2
+        else (reductions[0], reductions[0])
+    )
+    return DataVolumeResult(
+        rows=rows,
+        mean_reduction=sum(reductions) / n,
+        reduction_ci95=ci,
+        mean_known_rate=sum(r.known_ica_rate for r in results) / n,
+        mean_false_positives=sum(r.false_positives for r in results) / n,
+        mean_unique_destinations=sum(r.unique_destinations for r in results) / n,
+    )
+
+
+def format_data_volume(result: DataVolumeResult) -> str:
+    rows = [
+        [
+            r.algorithm,
+            f"{r.mb_without:.2f}",
+            f"{r.mb_with:.2f}",
+            f"{r.mb_saved:.2f}",
+            f"{100 * r.reduction:.1f}%",
+        ]
+        for r in result.rows
+    ]
+    table = format_table(
+        ["algorithm", "MB w/o sup", "MB w/ sup", "MB saved", "reduction"],
+        rows,
+        title="Fig. 5-left — ICA data per browsing session (mean over runs)",
+    )
+    footer = (
+        f"\nmean reduction {100 * result.mean_reduction:.1f}% "
+        f"[95% CI {100 * result.reduction_ci95[0]:.1f}-"
+        f"{100 * result.reduction_ci95[1]:.1f}] "
+        f"(paper ~{100 * PAPER_REDUCTION:.0f}%), known-ICA rate "
+        f"{100 * result.mean_known_rate:.1f}% (paper 69-74%), "
+        f"false positives/run {result.mean_false_positives:.1f} "
+        f"(paper 2.3), unique destinations "
+        f"{result.mean_unique_destinations:.0f} (paper ~1950)"
+    )
+    return table + footer
+
+
+# ---------------------------------------------------------------------------
+# Center panel: PQ latency over RSA-2048 vs RTT, with linear fit
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    algorithm: str
+    rtts_s: List[float]
+    extra_latency_s: List[float]
+    fit: LinearFit
+
+
+def latency_models(
+    algorithms: Sequence[str] = ("dilithium5", "sphincs-128f"),
+    baseline: str = "rsa-2048",
+    kem: str = "ntru-hps-509",
+    num_icas: int = 2,
+    rtts_s: Sequence[float] = (0.01, 0.02, 0.04, 0.08, 0.12, 0.2, 0.3),
+    tcp: TCPConfig = TCPConfig(),
+) -> List[LatencyModel]:
+    """Extra handshake latency of each PQ algorithm over the baseline as
+    a function of RTT, plus the paper's linear-regression model."""
+    base_alg = get_signature_algorithm(baseline)
+    base_cpu = crypto_cpu_seconds(base_alg, kem)
+    ch_b, flight_b = flight_sizes(baseline, kem, num_icas, True)
+    models = []
+    for name in algorithms:
+        alg = get_signature_algorithm(name)
+        cpu = crypto_cpu_seconds(alg, kem)
+        ch, flight = flight_sizes(name, kem, num_icas, True)
+        extras = []
+        for rtt in rtts_s:
+            d_pq = handshake_duration_s(ch, flight, rtt, tcp, cpu)
+            d_base = handshake_duration_s(ch_b, flight_b, rtt, tcp, base_cpu)
+            extras.append(d_pq - d_base)
+        models.append(
+            LatencyModel(
+                algorithm=name,
+                rtts_s=list(rtts_s),
+                extra_latency_s=extras,
+                fit=linear_fit(list(rtts_s), extras),
+            )
+        )
+    return models
+
+
+def format_latency_models(models: Sequence[LatencyModel]) -> str:
+    rtts = models[0].rtts_s
+    rows = []
+    for m in models:
+        rows.append(
+            [
+                m.algorithm,
+                *(f"{1000 * e:.0f}" for e in m.extra_latency_s),
+                f"{m.fit.slope:.2f}",
+                f"{1000 * m.fit.intercept:.1f}",
+                f"{m.fit.r_squared:.3f}",
+            ]
+        )
+    return format_table(
+        ["algorithm"]
+        + [f"rtt={1000 * r:.0f}ms" for r in rtts]
+        + ["slope", "icept ms", "R^2"],
+        rows,
+        title="Fig. 5-center — extra latency over RSA-2048 (ms) and linear fit",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Right panel: TTFB distributions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TTFBScenario:
+    algorithm: str
+    suppressed: bool
+    summary: Summary
+
+
+def ttfb_scenarios(
+    results: Sequence[SessionResult],
+    algorithms: Sequence[str] = ("rsa-2048", "dilithium5", "sphincs-128f"),
+) -> List[TTFBScenario]:
+    scenarios = []
+    for alg in algorithms:
+        for suppressed in (False, True):
+            samples: List[float] = []
+            for result in results:
+                samples.extend(result.ttfb_samples(alg, suppressed))
+            scenarios.append(
+                TTFBScenario(alg, suppressed, summarize(samples))
+            )
+    return scenarios
+
+
+def format_ttfb(scenarios: Sequence[TTFBScenario]) -> str:
+    rows = []
+    for s in scenarios:
+        rows.append(
+            [
+                s.algorithm,
+                "suppressed" if s.suppressed else "full",
+                f"{1000 * s.summary.median:.0f}",
+                f"{1000 * s.summary.mean:.0f}",
+                f"{1000 * s.summary.p90:.0f}",
+                f"{1000 * s.summary.p99:.0f}",
+            ]
+        )
+    return format_table(
+        ["algorithm", "scenario", "median ms", "mean ms", "p90 ms", "p99 ms"],
+        rows,
+        title="Fig. 5-right — TTFB per scenario (all runs pooled)",
+    )

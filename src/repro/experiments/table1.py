@@ -1,0 +1,160 @@
+"""Table 1 — conventional & PQ TLS authentication data size.
+
+For every signature algorithm and chain length (1, 2 or 3 ICAs) the paper
+accumulates the handshake's authentication data: the transmitted
+certificates (leaf + ICAs; the root stays home) plus four loose signatures
+(CertificateVerify, one OCSP staple, two SCTs).
+
+We report two accountings:
+
+* **der** — the exact DER bytes our substrate transmits (certificates
+  built with 400 attribute bytes, real staple encodings);
+* **calibrated** — the same totals scaled by a transfer factor of 0.755.
+  Reverse-engineering the paper's printed numbers shows its PQ rows are
+  consistent with ``0.755 x (sum of cert sizes + 4 raw signatures)`` to
+  within ~1% (the paper's footnote applies a DER-vs-CRT encoding ratio);
+  the conventional rows deviate more, see EXPERIMENTS.md.
+
+The paper's printed values ship in :data:`PAPER_KB` so benchmarks can
+report relative error row by row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.tables import format_table
+from repro.pki.algorithms import TABLE1_ALGORITHMS, get_signature_algorithm
+from repro.pki.authority import CertificateAuthority
+from repro.pki.certificate import DEFAULT_ATTRIBUTE_BYTES
+from repro.pki.keys import KeyPair
+from repro.pki.ocsp import OCSPStaple
+from repro.pki.sct import SignedCertificateTimestamp
+
+#: The calibration constant matching the paper's PQ rows (see module doc).
+PAPER_TRANSFER_FACTOR = 0.755
+
+#: Table 1 as printed (KB, columns: 1, 2, 3 ICAs).
+PAPER_KB: Dict[str, Tuple[float, float, float]] = {
+    "ecdsa-p256": (0.77, 1.10, 1.44),
+    "rsa-2048": (2.13, 2.78, 3.44),
+    "falcon-512": (5.04, 6.47, 7.90),
+    "falcon-1024": (9.28, 11.81, 14.35),
+    "dilithium2": (13.59, 16.57, 19.55),
+    "dilithium3": (18.53, 22.59, 26.66),
+    "dilithium5": (25.45, 30.91, 36.35),
+    "sphincs-128s": (36.76, 42.73, 48.69),
+}
+
+#: §3/§5.2: the initcwnd threshold auth data must stay under (bytes).
+INITCWND_BYTES = 14600
+
+
+@dataclass(frozen=True)
+class Table1Cell:
+    algorithm: str
+    num_icas: int
+    der_bytes: int
+    calibrated_bytes: float
+    paper_kb: float
+
+    @property
+    def der_kb(self) -> float:
+        return self.der_bytes / 1000
+
+    @property
+    def calibrated_kb(self) -> float:
+        return self.calibrated_bytes / 1000
+
+    @property
+    def exceeds_initcwnd(self) -> bool:
+        return self.calibrated_bytes > INITCWND_BYTES
+
+
+def _measured_auth_bytes(algorithm_name: str, num_icas: int) -> int:
+    """Exact transmitted auth bytes: DER certs + CV/OCSP/SCT payloads."""
+    alg = get_signature_algorithm(algorithm_name)
+    root = CertificateAuthority.create_root("T1 Root", algorithm_name, seed=0x71)
+    issuer = root
+    ica_certs = []
+    for i in range(num_icas):
+        issuer = issuer.create_subordinate(f"T1 ICA {i}", seed=0x72 + i)
+        ica_certs.append(issuer.certificate)
+    leaf = issuer.issue_leaf("t1.example", seed=0x90)
+    responder = KeyPair(alg, 0x91)
+    ocsp = OCSPStaple.create(leaf, responder, produced_at=1)
+    scts = [
+        SignedCertificateTimestamp.create(leaf, responder, bytes([i]) * 32, 1)
+        for i in (1, 2)
+    ]
+    cert_bytes = leaf.size_bytes() + sum(c.size_bytes() for c in ica_certs)
+    return (
+        cert_bytes
+        + alg.signature_bytes  # CertificateVerify
+        + ocsp.size_bytes()
+        + sum(s.size_bytes() for s in scts)
+    )
+
+
+def _paper_accounting_bytes(algorithm_name: str, num_icas: int) -> float:
+    """The paper's apparent formula: transfer factor times certificate
+    payloads plus four raw signatures."""
+    alg = get_signature_algorithm(algorithm_name)
+    certs = (num_icas + 1) * alg.auth_bytes_per_certificate(DEFAULT_ATTRIBUTE_BYTES)
+    return PAPER_TRANSFER_FACTOR * (certs + 4 * alg.signature_bytes)
+
+
+def compute_table1(
+    algorithms: Sequence[str] = tuple(TABLE1_ALGORITHMS),
+    ica_counts: Sequence[int] = (1, 2, 3),
+) -> List[Table1Cell]:
+    cells = []
+    for name in algorithms:
+        paper = PAPER_KB.get(name, (float("nan"),) * 3)
+        for n in ica_counts:
+            cells.append(
+                Table1Cell(
+                    algorithm=name,
+                    num_icas=n,
+                    der_bytes=_measured_auth_bytes(name, n),
+                    calibrated_bytes=_paper_accounting_bytes(name, n),
+                    paper_kb=paper[n - 1] if n - 1 < len(paper) else float("nan"),
+                )
+            )
+    return cells
+
+
+def format_table1(cells: Sequence[Table1Cell]) -> str:
+    by_alg: Dict[str, List[Table1Cell]] = {}
+    for cell in cells:
+        by_alg.setdefault(cell.algorithm, []).append(cell)
+    rows = []
+    for name, group in by_alg.items():
+        group = sorted(group, key=lambda c: c.num_icas)
+        alg = get_signature_algorithm(name)
+        rows.append(
+            [
+                name,
+                alg.nist_level or "-",
+                *(f"{c.der_kb:.2f}" for c in group),
+                *(f"{c.calibrated_kb:.2f}" for c in group),
+                *(f"{c.paper_kb:.2f}" for c in group),
+            ]
+        )
+    n = max(c.num_icas for c in cells)
+    header = (
+        ["algorithm", "level"]
+        + [f"der {i}ICA" for i in range(1, n + 1)]
+        + [f"cal {i}ICA" for i in range(1, n + 1)]
+        + [f"paper {i}ICA" for i in range(1, n + 1)]
+    )
+    return format_table(header, rows, title="Table 1 — auth data per handshake (KB)")
+
+
+def initcwnd_conclusions(cells: Sequence[Table1Cell]) -> Dict[str, bool]:
+    """The table's takeaway: which algorithm/chain combinations stay
+    within the 10-MSS window (True = no extra round trip)."""
+    return {
+        f"{c.algorithm}/{c.num_icas}": not c.exceeds_initcwnd for c in cells
+    }

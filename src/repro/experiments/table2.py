@@ -1,0 +1,74 @@
+"""Table 2 — certificate chain data in the (synthetic) Tranco Top-10K.
+
+Runs the monthly crawl simulation and reports measured rows next to the
+paper's observed rows, which double as the generator's calibration
+targets — agreement here validates that the Fig.-5 workload sits on a
+population with the right chain statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.analysis.tables import format_table
+from repro.webmodel.chains import TABLE2_MONTHS
+from repro.webmodel.crawler import CrawlStats, crawl_top_domains
+from repro.webmodel.population import ICAPopulation, PopulationConfig
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    measured: CrawlStats
+    paper_unique_icas: int
+    paper_shares: "tuple[float, ...]"
+
+
+def compute_table2(
+    population: Optional[ICAPopulation] = None,
+    num_domains: int = 10_000,
+    seed: int = 0,
+) -> List[Table2Row]:
+    population = population or ICAPopulation(PopulationConfig(seed=seed))
+    rows = []
+    for i, (month, mix) in enumerate(TABLE2_MONTHS.items()):
+        stats = crawl_top_domains(
+            population, month, month_index=i, num_domains=num_domains
+        )
+        rows.append(
+            Table2Row(
+                measured=stats,
+                paper_unique_icas=mix.unique_icas,
+                paper_shares=mix.probabilities(),
+            )
+        )
+    return rows
+
+
+def format_table2(rows: Sequence[Table2Row]) -> str:
+    header = [
+        "month",
+        "uniq (paper)",
+        "servers",
+        "0 ICA %",
+        "1 ICA %",
+        "2 ICA %",
+        "3 ICA %",
+        ">3 ICA %",
+    ]
+    out = []
+    for row in rows:
+        m = row.measured
+        cells = [
+            m.month,
+            f"{m.unique_icas} ({row.paper_unique_icas})",
+            f"{m.total_servers // 1000}K",
+        ]
+        for depth in range(5):
+            cells.append(
+                f"{100 * m.share(depth):.1f} ({100 * row.paper_shares[depth]:.1f})"
+            )
+        out.append(cells)
+    return format_table(
+        header, out, title="Table 2 — chain statistics, measured (paper)"
+    )

@@ -1,0 +1,34 @@
+"""Simulated time.
+
+All simulator time is in float seconds from an epoch of 0. Wall-clock
+time never leaks into experiments, which keeps every run reproducible.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class SimClock:
+    """A monotonically advancing simulated clock."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        if delta < 0:
+            raise SimulationError(f"cannot advance clock by {delta}")
+        self._now += delta
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        if t < self._now:
+            raise SimulationError(
+                f"cannot move clock backwards from {self._now} to {t}"
+            )
+        self._now = t
+        return self._now

@@ -1,0 +1,105 @@
+"""Metric collectors and summary statistics for experiments."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+
+class ByteCounter:
+    """Counts bytes by category (e.g. 'ica', 'leaf', 'staples')."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+
+    def add(self, category: str, nbytes: int) -> None:
+        self._counts[category] = self._counts.get(category, 0) + nbytes
+
+    def get(self, category: str) -> int:
+        return self._counts.get(category, 0)
+
+    def total(self) -> int:
+        return sum(self._counts.values())
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+
+class LatencyCollector:
+    """Accumulates latency samples (seconds) per scenario label."""
+
+    def __init__(self) -> None:
+        self._samples: Dict[str, List[float]] = {}
+
+    def record(self, label: str, seconds: float) -> None:
+        self._samples.setdefault(label, []).append(seconds)
+
+    def samples(self, label: str) -> List[float]:
+        return list(self._samples.get(label, []))
+
+    def labels(self) -> List[str]:
+        return sorted(self._samples)
+
+    def summary(self, label: str) -> "Summary":
+        return summarize(self._samples.get(label, []))
+
+
+@dataclass(frozen=True)
+class Summary:
+    count: int
+    mean: float
+    median: float
+    p10: float
+    p90: float
+    p99: float
+    minimum: float
+    maximum: float
+    stdev: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "median": self.median,
+            "p10": self.p10,
+            "p90": self.p90,
+            "p99": self.p99,
+            "min": self.minimum,
+            "max": self.maximum,
+            "stdev": self.stdev,
+        }
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile of pre-sorted values, q in [0, 1]."""
+    if not sorted_values:
+        return float("nan")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    pos = q * (len(sorted_values) - 1)
+    lo = int(math.floor(pos))
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = pos - lo
+    return sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    if not values:
+        nan = float("nan")
+        return Summary(0, nan, nan, nan, nan, nan, nan, nan, nan)
+    ordered = sorted(values)
+    n = len(ordered)
+    mean = sum(ordered) / n
+    var = sum((v - mean) ** 2 for v in ordered) / n if n > 1 else 0.0
+    return Summary(
+        count=n,
+        mean=mean,
+        median=percentile(ordered, 0.5),
+        p10=percentile(ordered, 0.1),
+        p90=percentile(ordered, 0.9),
+        p99=percentile(ordered, 0.99),
+        minimum=ordered[0],
+        maximum=ordered[-1],
+        stdev=math.sqrt(var),
+    )

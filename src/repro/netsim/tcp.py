@@ -1,0 +1,123 @@
+"""TCP initial-window flight model.
+
+The mechanism behind every latency number in the paper: a TLS flight
+larger than the sender's congestion window must wait for ACKs, costing
+extra round trips. We model slow start from a configurable initial window
+(Linux default 10 MSS ~= 14.6 KB, §3/§5.2), doubling per round trip:
+
+* flight 1 carries ``initcwnd`` segments,
+* flight k carries ``initcwnd * 2^(k-1)`` segments,
+
+so a payload needs the smallest n with
+``mss * initcwnd * (2^n - 1) >= payload``.
+
+``handshake_duration_s`` composes the full TLS-over-TCP timeline the
+paper's Fig. 5 measurements reflect: TCP connect (1 RTT), ClientHello +
+server flight (1 RTT for the first exchange, plus extra round trips when
+the server flight overflows the window), crypto CPU time, and the client
+Finished (piggybacked on the first application data, so not an extra
+round trip). TTFB adds one more RTT for the HTTP request/first byte.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+DEFAULT_MSS = 1460
+DEFAULT_INITCWND_SEGMENTS = 10
+
+
+@dataclass(frozen=True)
+class TCPConfig:
+    """Transport parameters for the flight model."""
+
+    mss: int = DEFAULT_MSS
+    initcwnd_segments: int = DEFAULT_INITCWND_SEGMENTS
+
+    def __post_init__(self) -> None:
+        if self.mss < 536:
+            raise ConfigurationError(f"mss of {self.mss} below IPv4 minimum")
+        if self.initcwnd_segments < 1:
+            raise ConfigurationError(
+                f"initcwnd must be >= 1 segment, got {self.initcwnd_segments}"
+            )
+
+    @property
+    def initcwnd_bytes(self) -> int:
+        return self.mss * self.initcwnd_segments
+
+
+def flights_needed(payload_bytes: int, config: TCPConfig = TCPConfig()) -> int:
+    """Round trips required to deliver ``payload_bytes`` from a cold
+    connection under slow start (0 for an empty payload)."""
+    if payload_bytes <= 0:
+        return 0
+    window = config.initcwnd_bytes
+    flights = 0
+    delivered = 0
+    while delivered < payload_bytes:
+        delivered += window
+        window *= 2
+        flights += 1
+    return flights
+
+
+def extra_flights(payload_bytes: int, config: TCPConfig = TCPConfig()) -> int:
+    """Round trips beyond the first (the penalty the paper's suppression
+    mechanism removes)."""
+    return max(0, flights_needed(payload_bytes, config) - 1)
+
+
+def transfer_time_s(
+    payload_bytes: int, rtt_s: float, config: TCPConfig = TCPConfig()
+) -> float:
+    """Time until the last byte arrives, counting half an RTT for the
+    final one-way delivery."""
+    flights = flights_needed(payload_bytes, config)
+    if flights == 0:
+        return 0.0
+    return (flights - 1) * rtt_s + rtt_s / 2
+
+
+def handshake_duration_s(
+    client_hello_bytes: int,
+    server_flight_bytes: int,
+    rtt_s: float,
+    config: TCPConfig = TCPConfig(),
+    crypto_cpu_s: float = 0.0,
+    tcp_connect: bool = True,
+) -> float:
+    """Wall time from SYN to handshake completion (client Finished sent).
+
+    Timeline: TCP connect (1 RTT) + ClientHello->server-flight exchange
+    (1 RTT, plus extra server-flight round trips when the auth data
+    overflows the congestion window, plus extra ClientHello flights for
+    oversized filters) + CPU time for the asymmetric crypto.
+    """
+    connect = rtt_s if tcp_connect else 0.0
+    ch_extra = extra_flights(client_hello_bytes, config)
+    flight_extra = extra_flights(server_flight_bytes, config)
+    return connect + rtt_s * (1 + ch_extra + flight_extra) + crypto_cpu_s
+
+
+def time_to_first_byte_s(
+    client_hello_bytes: int,
+    server_flight_bytes: int,
+    rtt_s: float,
+    config: TCPConfig = TCPConfig(),
+    crypto_cpu_s: float = 0.0,
+) -> float:
+    """TTFB: handshake plus one RTT for the HTTP request/first byte."""
+    return (
+        handshake_duration_s(
+            client_hello_bytes,
+            server_flight_bytes,
+            rtt_s,
+            config,
+            crypto_cpu_s,
+        )
+        + rtt_s
+    )

@@ -1,0 +1,61 @@
+"""Synthetic Web-PKI substrate.
+
+Everything the paper's evaluation touches about certificates is
+size-driven: the handshake cost of a chain is the DER length of its
+certificates, each dominated by the signature algorithm's public-key and
+signature sizes (Table 1). This subpackage therefore implements a real
+(minimal) DER encoder, X.509-shaped certificates whose cryptographic
+payloads are *simulated* — deterministic bytes of exactly the published
+per-algorithm lengths — plus the chain building/validation, OCSP stapling,
+SCT and revocation machinery the paper's accounting includes.
+
+The simulated signatures preserve sizes and verification semantics (a
+tampered certificate fails verification) but provide **no security**; this
+is a measurement substrate, not a cryptography library.
+"""
+
+from repro.pki.algorithms import (
+    SignatureAlgorithm,
+    KEMAlgorithm,
+    SIGNATURE_ALGORITHMS,
+    KEM_ALGORITHMS,
+    get_signature_algorithm,
+    get_kem_algorithm,
+    conventional_algorithms,
+    post_quantum_algorithms,
+)
+from repro.pki.keys import KeyPair, PublicKey
+from repro.pki.signatures import sign_payload, verify_payload
+from repro.pki.certificate import Certificate, CertificateBuilder, DEFAULT_ATTRIBUTE_BYTES
+from repro.pki.chain import CertificateChain
+from repro.pki.authority import CertificateAuthority, build_hierarchy
+from repro.pki.ocsp import OCSPStaple
+from repro.pki.sct import SignedCertificateTimestamp
+from repro.pki.store import TrustStore, IntermediatePreload
+from repro.pki.revocation import RevocationList
+
+__all__ = [
+    "SignatureAlgorithm",
+    "KEMAlgorithm",
+    "SIGNATURE_ALGORITHMS",
+    "KEM_ALGORITHMS",
+    "get_signature_algorithm",
+    "get_kem_algorithm",
+    "conventional_algorithms",
+    "post_quantum_algorithms",
+    "KeyPair",
+    "PublicKey",
+    "sign_payload",
+    "verify_payload",
+    "Certificate",
+    "CertificateBuilder",
+    "DEFAULT_ATTRIBUTE_BYTES",
+    "CertificateChain",
+    "CertificateAuthority",
+    "build_hierarchy",
+    "OCSPStaple",
+    "SignedCertificateTimestamp",
+    "TrustStore",
+    "IntermediatePreload",
+    "RevocationList",
+]

@@ -1,0 +1,369 @@
+"""X.509-shaped certificates with byte-exact DER encoding.
+
+The certificate profile follows RFC 5280's structure (version, serial,
+signature algorithm, issuer, validity, subject, SubjectPublicKeyInfo,
+extensions, signature) closely enough that sizes are realistic, while the
+cryptographic payloads come from :mod:`repro.pki.keys` /
+:mod:`repro.pki.signatures`.
+
+Per the paper's Table-1 assumption, each certificate carries "400 bytes of
+attribute data": the builder pads a private extension so that the DER size
+minus the public-key and signature payloads equals the requested attribute
+budget exactly (or exceeds it by a single byte at the rare DER
+length-field quantization points where adding one pad byte grows the
+encoding by two).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ASN1Error, CertificateError
+from repro.pki import asn1
+from repro.pki.algorithms import (
+    SignatureAlgorithm,
+    algorithm_from_oid,
+    algorithm_oid,
+)
+from repro.pki.keys import KeyPair, PublicKey
+from repro.pki.signatures import sign_payload, verify_payload
+
+#: The paper's per-certificate attribute-data assumption (Table 1).
+DEFAULT_ATTRIBUTE_BYTES = 400
+
+_OID_COMMON_NAME = "2.5.4.3"
+_OID_BASIC_CONSTRAINTS = "2.5.29.19"
+_OID_ATTRIBUTE_PADDING = "1.3.6.1.4.1.99999.9.1"
+
+
+def _encode_name(common_name: str) -> bytes:
+    return asn1.encode_sequence(
+        asn1.encode_set(
+            asn1.encode_sequence(
+                asn1.encode_oid(_OID_COMMON_NAME),
+                asn1.encode_utf8_string(common_name),
+            )
+        )
+    )
+
+
+def _decode_name(node: asn1.DERNode) -> str:
+    try:
+        rdn = node.children[0].children[0]
+        return rdn.children[1].content.decode("utf-8")
+    except (IndexError, ASN1Error, UnicodeDecodeError) as exc:
+        raise CertificateError(f"malformed Name: {exc}") from exc
+
+
+def _encode_algorithm_identifier(name: str) -> bytes:
+    return asn1.encode_sequence(asn1.encode_oid(algorithm_oid(name)))
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """An issued certificate. Instances are immutable; ``to_der()`` is the
+    canonical wire form and ``fingerprint()`` identifies the certificate
+    everywhere in this package (caches, filters, suppression decisions)."""
+
+    subject: str
+    issuer: str
+    serial: int
+    public_key: PublicKey
+    signature_algorithm: SignatureAlgorithm
+    not_before: int
+    not_after: int
+    is_ca: bool
+    signature: bytes
+    attribute_bytes: int = DEFAULT_ATTRIBUTE_BYTES
+    _der: bytes = field(default=b"", repr=False, compare=False)
+    _tbs: bytes = field(default=b"", repr=False, compare=False)
+
+    # -- encoding ------------------------------------------------------------
+
+    def to_der(self) -> bytes:
+        if not self._der:
+            der = asn1.encode_sequence(
+                self.tbs_der(),
+                _encode_algorithm_identifier(self.signature_algorithm.name),
+                asn1.encode_bit_string(self.signature),
+            )
+            object.__setattr__(self, "_der", der)
+        return self._der
+
+    def tbs_der(self) -> bytes:
+        """The to-be-signed body (what the issuer's signature covers)."""
+        if not self._tbs:
+            tbs = build_tbs(
+                subject=self.subject,
+                issuer=self.issuer,
+                serial=self.serial,
+                public_key=self.public_key,
+                signature_algorithm=self.signature_algorithm,
+                not_before=self.not_before,
+                not_after=self.not_after,
+                is_ca=self.is_ca,
+                attribute_bytes=self.attribute_bytes,
+            )
+            object.__setattr__(self, "_tbs", tbs)
+        return self._tbs
+
+    def size_bytes(self) -> int:
+        """Transmitted size: the DER length (what Table 1 accounts)."""
+        return len(self.to_der())
+
+    def fingerprint(self) -> bytes:
+        """SHA-256 of the DER encoding — the AMQ filter item for this
+        certificate (Fig. 2's set element ``c``)."""
+        return hashlib.sha256(self.to_der()).digest()
+
+    # -- semantics ------------------------------------------------------------
+
+    @property
+    def is_self_signed(self) -> bool:
+        return self.subject == self.issuer
+
+    def valid_at(self, epoch_seconds: int) -> bool:
+        return self.not_before <= epoch_seconds <= self.not_after
+
+    def verify_signature(self, issuer_key: PublicKey) -> bool:
+        return verify_payload(issuer_key, self.tbs_der(), self.signature)
+
+    # -- decoding ------------------------------------------------------------
+
+    @classmethod
+    def from_der(cls, data: bytes) -> "Certificate":
+        try:
+            outer = asn1.sequence_children(data)
+        except ASN1Error as exc:
+            raise CertificateError(f"not a certificate: {exc}") from exc
+        if len(outer) != 3:
+            raise CertificateError(
+                f"certificate SEQUENCE has {len(outer)} children, expected 3"
+            )
+        tbs_node, sig_alg_node, sig_node = outer
+        if sig_node.tag != asn1.TAG_BIT_STRING or not sig_node.content:
+            raise CertificateError("malformed signature BIT STRING")
+        signature = sig_node.content[1:]
+
+        tbs = tbs_node.children
+        if len(tbs) != 8:
+            raise CertificateError(
+                f"TBSCertificate has {len(tbs)} fields, expected 8"
+            )
+        version_node, serial_node, alg_node, issuer_node = tbs[:4]
+        validity_node, subject_node, spki_node, ext_wrapper = tbs[4:]
+        serial = asn1.decode_integer(serial_node.encode())
+        sig_alg = algorithm_from_oid(asn1.decode_oid(alg_node.children[0].encode()))
+        issuer = _decode_name(issuer_node)
+        subject = _decode_name(subject_node)
+        not_before = _decode_time(validity_node.children[0])
+        not_after = _decode_time(validity_node.children[1])
+
+        spki_alg = algorithm_from_oid(
+            asn1.decode_oid(spki_node.children[0].children[0].encode())
+        )
+        key_bits = spki_node.children[1]
+        if key_bits.tag != asn1.TAG_BIT_STRING or not key_bits.content:
+            raise CertificateError("malformed SPKI BIT STRING")
+        public_key = PublicKey(spki_alg, key_bits.content[1:])
+
+        is_ca = False
+        attribute_pad = 0
+        for ext in ext_wrapper.children[0].children:
+            oid = asn1.decode_oid(ext.children[0].encode())
+            value = ext.children[-1].content
+            if oid == _OID_BASIC_CONSTRAINTS:
+                inner = asn1.parse(value)
+                is_ca = bool(inner.children) and inner.children[0].content == b"\xff"
+            elif oid == _OID_ATTRIBUTE_PADDING:
+                attribute_pad = len(value)
+
+        cert = cls(
+            subject=subject,
+            issuer=issuer,
+            serial=serial,
+            public_key=public_key,
+            signature_algorithm=sig_alg,
+            not_before=not_before,
+            not_after=not_after,
+            is_ca=is_ca,
+            signature=signature,
+            attribute_bytes=len(data) - len(public_key.key_bytes) - len(signature),
+        )
+        object.__setattr__(cert, "_der", bytes(data))
+        object.__setattr__(cert, "_tbs", tbs_node.encode())
+        return cert
+
+
+def _decode_time(node: asn1.DERNode) -> int:
+    import calendar
+
+    text = node.content.decode("ascii")
+    if len(text) != 15 or not text.endswith("Z"):
+        raise CertificateError(f"unsupported time encoding {text!r}")
+    parts = (
+        int(text[0:4]),
+        int(text[4:6]),
+        int(text[6:8]),
+        int(text[8:10]),
+        int(text[10:12]),
+        int(text[12:14]),
+    )
+    return calendar.timegm(parts + (0, 0, 0))
+
+
+def build_tbs(
+    subject: str,
+    issuer: str,
+    serial: int,
+    public_key: PublicKey,
+    signature_algorithm: SignatureAlgorithm,
+    not_before: int,
+    not_after: int,
+    is_ca: bool,
+    attribute_bytes: int,
+    _pad_override: Optional[int] = None,
+) -> bytes:
+    """Assemble the TBSCertificate, padding a private extension so the
+    final certificate's non-cryptographic content hits ``attribute_bytes``.
+    """
+    spki = asn1.encode_sequence(
+        asn1.encode_sequence(asn1.encode_oid(algorithm_oid(public_key.algorithm.name))),
+        asn1.encode_bit_string(public_key.key_bytes),
+    )
+    basic_constraints = asn1.encode_sequence(
+        asn1.encode_oid(_OID_BASIC_CONSTRAINTS),
+        asn1.encode_boolean(True),
+        asn1.encode_octet_string(
+            asn1.encode_sequence(asn1.encode_boolean(True)) if is_ca
+            else asn1.encode_sequence()
+        ),
+    )
+
+    def assemble(pad_len: int) -> bytes:
+        extensions = [basic_constraints]
+        if pad_len > 0:
+            extensions.append(
+                asn1.encode_sequence(
+                    asn1.encode_oid(_OID_ATTRIBUTE_PADDING),
+                    asn1.encode_octet_string(b"\x00" * pad_len),
+                )
+            )
+        return asn1.encode_sequence(
+            asn1.encode_context(0, asn1.encode_integer(2)),
+            asn1.encode_integer(serial),
+            asn1.encode_sequence(asn1.encode_oid(algorithm_oid(signature_algorithm.name))),
+            _encode_name(issuer),
+            asn1.encode_sequence(
+                asn1.encode_generalized_time(not_before),
+                asn1.encode_generalized_time(not_after),
+            ),
+            _encode_name(subject),
+            spki,
+            asn1.encode_context(3, asn1.encode_sequence(*extensions)),
+        )
+
+    if _pad_override is not None:
+        return assemble(_pad_override)
+
+    # Solve for the pad length that makes the *certificate* (TBS + outer
+    # algorithm identifier + signature BIT STRING) carry exactly
+    # ``attribute_bytes`` of non-cryptographic content. DER length fields
+    # shift with the pad, so iterate the exact assembled size to a fixed
+    # point (converges in a few steps; clamped at pad 0).
+    def non_crypto_bytes(pad: int) -> int:
+        shell = asn1.encode_sequence(
+            assemble(pad),
+            _encode_algorithm_identifier(signature_algorithm.name),
+            asn1.encode_bit_string(b"\x00" * signature_algorithm.signature_bytes),
+        )
+        return (
+            len(shell)
+            - len(public_key.key_bytes)
+            - signature_algorithm.signature_bytes
+        )
+
+    pad = max(0, attribute_bytes - non_crypto_bytes(0))
+    for _ in range(8):
+        gap = attribute_bytes - non_crypto_bytes(pad)
+        if gap == 0 or (gap < 0 and pad == 0):
+            break
+        pad = max(0, pad + gap)
+    return assemble(pad)
+
+
+class CertificateBuilder:
+    """Assembles and signs certificates.
+
+    Example::
+
+        builder = CertificateBuilder(signature_algorithm="dilithium3")
+        root_kp = KeyPair(builder.algorithm, seed=1)
+        cert = builder.build(
+            subject="Example ICA", issuer="Example Root",
+            subject_key=KeyPair(builder.algorithm, seed=2),
+            signer_key=root_kp, serial=7, is_ca=True,
+            not_before=0, not_after=10**10,
+        )
+    """
+
+    def __init__(
+        self,
+        signature_algorithm,
+        attribute_bytes: int = DEFAULT_ATTRIBUTE_BYTES,
+    ) -> None:
+        from repro.pki.algorithms import get_signature_algorithm
+
+        if isinstance(signature_algorithm, str):
+            signature_algorithm = get_signature_algorithm(signature_algorithm)
+        self.algorithm = signature_algorithm
+        self.attribute_bytes = attribute_bytes
+
+    def build(
+        self,
+        subject: str,
+        issuer: str,
+        subject_key: KeyPair,
+        signer_key: KeyPair,
+        serial: int,
+        is_ca: bool,
+        not_before: int,
+        not_after: int,
+    ) -> Certificate:
+        if not_after <= not_before:
+            raise CertificateError(
+                f"not_after ({not_after}) must exceed not_before ({not_before})"
+            )
+        tbs = build_tbs(
+            subject=subject,
+            issuer=issuer,
+            serial=serial,
+            public_key=subject_key.public_key,
+            signature_algorithm=signer_key.algorithm,
+            not_before=not_before,
+            not_after=not_after,
+            is_ca=is_ca,
+            attribute_bytes=self.attribute_bytes,
+        )
+        signature = sign_payload(signer_key, tbs)
+        cert = Certificate(
+            subject=subject,
+            issuer=issuer,
+            serial=serial,
+            public_key=subject_key.public_key,
+            signature_algorithm=signer_key.algorithm,
+            not_before=not_before,
+            not_after=not_after,
+            is_ca=is_ca,
+            signature=signature,
+            attribute_bytes=self.attribute_bytes,
+        )
+        der = asn1.encode_sequence(
+            tbs,
+            _encode_algorithm_identifier(signer_key.algorithm.name),
+            asn1.encode_bit_string(signature),
+        )
+        object.__setattr__(cert, "_der", der)
+        return cert

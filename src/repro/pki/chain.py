@@ -1,0 +1,162 @@
+"""Certificate chains: building, measuring and validating.
+
+A chain is leaf → intermediates → root. The root is anchored client-side
+and never transmitted; the ICAs are exactly what the paper's mechanism
+suppresses. ``validate`` implements full path validation against a trust
+store (signatures, validity window, CA bits, optional revocation), and
+``complete_path`` implements the client-side behaviour of Fig. 2: rebuild
+a full verification path from a *suppressed* server response plus the
+local ICA cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ChainValidationError, RevocationError
+from repro.pki.certificate import Certificate
+
+IssuerLookup = Callable[[str], Optional[Certificate]]
+
+
+@dataclass(frozen=True)
+class CertificateChain:
+    """An ordered certificate path.
+
+    Attributes:
+        leaf: the end-entity certificate;
+        intermediates: ICAs ordered leaf-side first (index 0 signed the
+            leaf, the last one is signed by the root);
+        root: the trust anchor (not transmitted in TLS).
+    """
+
+    leaf: Certificate
+    intermediates: Tuple[Certificate, ...]
+    root: Certificate
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "intermediates", tuple(self.intermediates))
+
+    # -- accounting -----------------------------------------------------------
+
+    @property
+    def num_icas(self) -> int:
+        return len(self.intermediates)
+
+    def transmitted_certificates(
+        self, suppressed: Optional[Set[bytes]] = None
+    ) -> List[Certificate]:
+        """Certificates the server sends: the leaf plus every ICA whose
+        fingerprint is not in ``suppressed``."""
+        suppressed = suppressed or set()
+        sent = [self.leaf]
+        sent.extend(
+            ica for ica in self.intermediates if ica.fingerprint() not in suppressed
+        )
+        return sent
+
+    def transmitted_bytes(self, suppressed: Optional[Set[bytes]] = None) -> int:
+        return sum(c.size_bytes() for c in self.transmitted_certificates(suppressed))
+
+    def ica_bytes(self) -> int:
+        """DER bytes of the ICA certificates only (Fig. 5-left's metric)."""
+        return sum(c.size_bytes() for c in self.intermediates)
+
+    def ica_fingerprints(self) -> List[bytes]:
+        return [c.fingerprint() for c in self.intermediates]
+
+    def all_certificates(self) -> List[Certificate]:
+        return [self.leaf, *self.intermediates, self.root]
+
+    # -- validation -----------------------------------------------------------
+
+    def validate(
+        self,
+        trust_store,
+        at_time: int,
+        revocation=None,
+    ) -> None:
+        """Full path validation; raises ChainValidationError on failure.
+
+        Checks, leaf to root: signature by the next certificate's key,
+        validity window, CA bit on every non-leaf, trust anchor membership
+        and (optionally) revocation status.
+        """
+        path = [self.leaf, *self.intermediates, self.root]
+        if not trust_store.contains(self.root):
+            raise ChainValidationError(
+                f"root {self.root.subject!r} is not a trust anchor"
+            )
+        for cert in path:
+            if not cert.valid_at(at_time):
+                raise ChainValidationError(
+                    f"certificate {cert.subject!r} not valid at {at_time} "
+                    f"(window {cert.not_before}..{cert.not_after})"
+                )
+            if revocation is not None and revocation.is_revoked(cert):
+                raise RevocationError(f"certificate {cert.subject!r} is revoked")
+        for child, parent in zip(path, path[1:]):
+            if not parent.is_ca:
+                raise ChainValidationError(
+                    f"issuer {parent.subject!r} is not a CA certificate"
+                )
+            if child.issuer != parent.subject:
+                raise ChainValidationError(
+                    f"name chaining broken: {child.subject!r} names issuer "
+                    f"{child.issuer!r}, got {parent.subject!r}"
+                )
+            if not child.verify_signature(parent.public_key):
+                raise ChainValidationError(
+                    f"signature of {child.subject!r} does not verify under "
+                    f"{parent.subject!r}"
+                )
+        if not self.root.verify_signature(self.root.public_key):
+            raise ChainValidationError(
+                f"root {self.root.subject!r} self-signature invalid"
+            )
+
+
+def complete_path(
+    transmitted: Sequence[Certificate],
+    cache_lookup: IssuerLookup,
+    trust_store,
+) -> CertificateChain:
+    """Rebuild a full chain from a (possibly ICA-suppressed) server
+    Certificate message — the client-side pipeline of Fig. 2.
+
+    ``transmitted`` is leaf-first. Missing issuers are resolved through
+    ``cache_lookup`` (the ICA cache) and finally the trust store's roots.
+    Raises ChainValidationError when the path cannot be completed, which is
+    exactly the false-positive suppression failure the client recovers from
+    by retrying without the extension.
+    """
+    if not transmitted:
+        raise ChainValidationError("empty certificate message")
+    leaf = transmitted[0]
+    by_subject = {c.subject: c for c in transmitted[1:]}
+    intermediates: List[Certificate] = []
+    current = leaf
+    seen = {leaf.subject}
+    for _ in range(16):  # generous path-length bound
+        root = trust_store.get_by_subject(current.issuer)
+        if root is not None:
+            return CertificateChain(
+                leaf=leaf, intermediates=tuple(intermediates), root=root
+            )
+        issuer = by_subject.get(current.issuer)
+        if issuer is None:
+            issuer = cache_lookup(current.issuer)
+        if issuer is None:
+            raise ChainValidationError(
+                f"cannot complete path: no certificate for issuer "
+                f"{current.issuer!r} (suppression false positive?)"
+            )
+        if issuer.subject in seen:
+            raise ChainValidationError(
+                f"issuer loop detected at {issuer.subject!r}"
+            )
+        seen.add(issuer.subject)
+        intermediates.append(issuer)
+        current = issuer
+    raise ChainValidationError("path length exceeds 16 certificates")

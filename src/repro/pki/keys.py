@@ -1,0 +1,69 @@
+"""Simulated key pairs with exact published key sizes.
+
+Key material is deterministic: a key pair is fully defined by (algorithm,
+seed), and the public key bytes are a pseudorandom expansion of the seed to
+exactly ``algorithm.public_key_bytes``. This keeps every certificate,
+handshake and experiment reproducible from integer seeds while carrying
+byte-exact payload sizes through the TLS substrate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.pki.algorithms import SignatureAlgorithm
+
+
+def expand_bytes(seed: bytes, length: int, label: bytes = b"") -> bytes:
+    """Deterministically expand ``seed`` to ``length`` bytes (SHA-256 in
+    counter mode, domain-separated by ``label``)."""
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        block = hashlib.sha256(
+            label + counter.to_bytes(4, "big") + seed
+        ).digest()
+        out.extend(block)
+        counter += 1
+    return bytes(out[:length])
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """A public key: the algorithm plus ``public_key_bytes`` opaque bytes."""
+
+    algorithm: SignatureAlgorithm
+    key_bytes: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.key_bytes) != self.algorithm.public_key_bytes:
+            raise ValueError(
+                f"{self.algorithm.name} public key must be "
+                f"{self.algorithm.public_key_bytes} bytes, got {len(self.key_bytes)}"
+            )
+
+    def fingerprint(self) -> bytes:
+        return hashlib.sha256(self.key_bytes).digest()
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A simulated asymmetric key pair derived from an integer seed."""
+
+    algorithm: SignatureAlgorithm
+    seed: int
+    _public: PublicKey = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        seed_bytes = self.seed.to_bytes(16, "big", signed=False)
+        key_bytes = expand_bytes(
+            seed_bytes,
+            self.algorithm.public_key_bytes,
+            label=b"pk:" + self.algorithm.name.encode(),
+        )
+        object.__setattr__(self, "_public", PublicKey(self.algorithm, key_bytes))
+
+    @property
+    def public_key(self) -> PublicKey:
+        return self._public

@@ -1,0 +1,70 @@
+"""Certificate revocation lists.
+
+Revocation matters to the paper in one place: §4.2 requires the filter to
+support *dynamic updates* so "revoked or expired certificates" can be
+deleted from the advertised set. ``RevocationList`` is the source of truth
+those deletions are driven from, and plugs into
+:meth:`repro.pki.chain.CertificateChain.validate`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from repro.pki import asn1
+from repro.pki.certificate import Certificate
+from repro.pki.keys import KeyPair
+from repro.pki.signatures import sign_payload
+
+
+class RevocationList:
+    """A per-PKI revocation set keyed by (issuer, serial)."""
+
+    def __init__(self) -> None:
+        self._revoked: Set[Tuple[str, int]] = set()
+        self._revoked_at: Dict[Tuple[str, int], int] = {}
+
+    def revoke(self, certificate: Certificate, at_time: int = 0) -> None:
+        key = (certificate.issuer, certificate.serial)
+        self._revoked.add(key)
+        self._revoked_at.setdefault(key, at_time)
+
+    def unrevoke(self, certificate: Certificate) -> bool:
+        """Remove an entry (e.g. issued in error); True when present."""
+        key = (certificate.issuer, certificate.serial)
+        self._revoked_at.pop(key, None)
+        try:
+            self._revoked.remove(key)
+        except KeyError:
+            return False
+        return True
+
+    def is_revoked(self, certificate: Certificate) -> bool:
+        return (certificate.issuer, certificate.serial) in self._revoked
+
+    def revoked_at(self, certificate: Certificate) -> Optional[int]:
+        return self._revoked_at.get((certificate.issuer, certificate.serial))
+
+    def __len__(self) -> int:
+        return len(self._revoked)
+
+    def to_der(self, signer: KeyPair, this_update: int) -> bytes:
+        """A signed CRL-shaped document (for size accounting in the
+        revocation-traffic ablation)."""
+        entries = [
+            asn1.encode_sequence(
+                asn1.encode_utf8_string(issuer),
+                asn1.encode_integer(serial),
+                asn1.encode_generalized_time(
+                    self._revoked_at.get((issuer, serial), this_update)
+                ),
+            )
+            for issuer, serial in sorted(self._revoked)
+        ]
+        body = asn1.encode_sequence(
+            asn1.encode_generalized_time(this_update),
+            asn1.encode_sequence(*entries),
+        )
+        return asn1.encode_sequence(
+            body, asn1.encode_bit_string(sign_payload(signer, body))
+        )

@@ -1,0 +1,61 @@
+"""Signed Certificate Timestamps (RFC 6962, size-faithful simulation).
+
+Table 1 assumes two SCTs per handshake ("Chrome requests two to five SCTs
+... Apple requires three"); each SCT costs one log signature plus a fixed
+header (log id, timestamp). We encode the RFC 6962 v1 layout: 1-byte
+version, 32-byte log id, 8-byte timestamp, 2-byte extensions length, then
+the log's signature.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.pki.certificate import Certificate
+from repro.pki.keys import KeyPair, PublicKey
+from repro.pki.signatures import sign_payload, verify_payload
+
+_HEADER = struct.Struct(">B32sQH")
+
+
+@dataclass(frozen=True)
+class SignedCertificateTimestamp:
+    """One CT log's inclusion promise for a certificate."""
+
+    log_id: bytes  # 32 bytes
+    timestamp_ms: int
+    signature: bytes
+    log_algorithm_name: str
+
+    @classmethod
+    def create(
+        cls,
+        certificate: Certificate,
+        log_key: KeyPair,
+        log_id: bytes,
+        timestamp_ms: int,
+    ) -> "SignedCertificateTimestamp":
+        if len(log_id) != 32:
+            raise ValueError(f"log id must be 32 bytes, got {len(log_id)}")
+        signed_body = cls._signed_body(certificate, log_id, timestamp_ms)
+        return cls(
+            log_id=log_id,
+            timestamp_ms=timestamp_ms,
+            signature=sign_payload(log_key, signed_body),
+            log_algorithm_name=log_key.algorithm.name,
+        )
+
+    @staticmethod
+    def _signed_body(certificate: Certificate, log_id: bytes, timestamp_ms: int) -> bytes:
+        return log_id + timestamp_ms.to_bytes(8, "big") + certificate.fingerprint()
+
+    def to_bytes(self) -> bytes:
+        return _HEADER.pack(1, self.log_id, self.timestamp_ms, 0) + self.signature
+
+    def size_bytes(self) -> int:
+        return _HEADER.size + len(self.signature)
+
+    def verify(self, certificate: Certificate, log_public_key: PublicKey) -> bool:
+        body = self._signed_body(certificate, self.log_id, self.timestamp_ms)
+        return verify_payload(log_public_key, body, self.signature)

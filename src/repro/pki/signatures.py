@@ -1,0 +1,43 @@
+"""Simulated signing and verification.
+
+A signature over ``payload`` by a key pair is the deterministic expansion
+of ``(public key bytes, payload)`` to exactly ``signature_bytes``. Anyone
+holding the public key can recompute it, so:
+
+* sizes are byte-exact per algorithm (the property every experiment needs);
+* verification genuinely detects tampering (any payload or key change
+  yields different bytes);
+* there is **no unforgeability** — this substrate measures protocols, it
+  does not secure them. The module refuses nothing; it is the caller's
+  responsibility (documented in DESIGN.md) to not deploy this.
+"""
+
+from __future__ import annotations
+
+import hmac
+
+from repro.pki.keys import KeyPair, PublicKey, expand_bytes
+
+
+def sign_payload(keypair: KeyPair, payload: bytes) -> bytes:
+    """Produce a simulated signature of the correct per-algorithm size."""
+    return _signature_bytes(keypair.public_key, payload)
+
+
+def verify_payload(public_key: PublicKey, payload: bytes, signature: bytes) -> bool:
+    """Check a simulated signature (constant-time compare)."""
+    if len(signature) != public_key.algorithm.signature_bytes:
+        return False
+    expected = _signature_bytes(public_key, payload)
+    return hmac.compare_digest(expected, signature)
+
+
+def _signature_bytes(public_key: PublicKey, payload: bytes) -> bytes:
+    import hashlib
+
+    digest = hashlib.sha256(public_key.key_bytes + payload).digest()
+    return expand_bytes(
+        digest,
+        public_key.algorithm.signature_bytes,
+        label=b"sig:" + public_key.algorithm.name.encode(),
+    )

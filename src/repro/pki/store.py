@@ -1,0 +1,90 @@
+"""Trust anchors and ICA preload lists.
+
+``TrustStore`` holds root certificates (indexed by subject and by
+fingerprint). ``IntermediatePreload`` models Mozilla's Intermediate CA
+Preloading (the related work the paper cites as "a first step towards ICA
+certificate suppression"): a curated set of known ICA certificates a client
+ships with, which in our pipeline seeds the ICA cache and hence the filter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.errors import CertificateError
+from repro.pki.certificate import Certificate
+
+
+class TrustStore:
+    """A set of trusted root certificates."""
+
+    def __init__(self, roots: Iterable[Certificate] = ()) -> None:
+        self._by_fingerprint: Dict[bytes, Certificate] = {}
+        self._by_subject: Dict[str, Certificate] = {}
+        for root in roots:
+            self.add(root)
+
+    def add(self, root: Certificate) -> None:
+        if not root.is_ca:
+            raise CertificateError(
+                f"refusing non-CA certificate {root.subject!r} as trust anchor"
+            )
+        if not root.is_self_signed:
+            raise CertificateError(
+                f"trust anchor {root.subject!r} must be self-signed"
+            )
+        self._by_fingerprint[root.fingerprint()] = root
+        self._by_subject[root.subject] = root
+
+    def contains(self, cert: Certificate) -> bool:
+        return cert.fingerprint() in self._by_fingerprint
+
+    def get_by_subject(self, subject: str) -> Optional[Certificate]:
+        return self._by_subject.get(subject)
+
+    def __len__(self) -> int:
+        return len(self._by_fingerprint)
+
+    def __iter__(self) -> Iterator[Certificate]:
+        return iter(self._by_fingerprint.values())
+
+
+class IntermediatePreload:
+    """A Mozilla-style ICA preload list (CCADB export)."""
+
+    def __init__(self, certificates: Iterable[Certificate] = ()) -> None:
+        self._by_fingerprint: Dict[bytes, Certificate] = {}
+        for cert in certificates:
+            self.add(cert)
+
+    def add(self, cert: Certificate) -> None:
+        if not cert.is_ca or cert.is_self_signed:
+            raise CertificateError(
+                f"preload list accepts intermediate CA certificates only, "
+                f"got {cert.subject!r}"
+            )
+        self._by_fingerprint[cert.fingerprint()] = cert
+
+    def remove_expired(self, at_time: int) -> int:
+        """Drop expired entries (the CCADB list is curated the same way);
+        returns how many were removed."""
+        stale = [
+            fp
+            for fp, cert in self._by_fingerprint.items()
+            if not cert.valid_at(at_time)
+        ]
+        for fp in stale:
+            del self._by_fingerprint[fp]
+        return len(stale)
+
+    def certificates(self) -> List[Certificate]:
+        return list(self._by_fingerprint.values())
+
+    def fingerprints(self) -> List[bytes]:
+        return list(self._by_fingerprint.keys())
+
+    def __contains__(self, cert: Certificate) -> bool:
+        return cert.fingerprint() in self._by_fingerprint
+
+    def __len__(self) -> int:
+        return len(self._by_fingerprint)

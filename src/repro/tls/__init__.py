@@ -1,0 +1,85 @@
+"""Byte-accurate TLS 1.3 handshake substrate.
+
+Implements the message layer (ClientHello ... Finished codecs, extension
+framework, record framing), a size-faithful KEM simulation, the HKDF key
+schedule, and client/server handshake state machines including the paper's
+IC-filter ClientHello extension (§4.2) and the false-positive retry.
+
+This is a *handshake measurement* stack: message flows, sizes and
+validation semantics are real; record protection (encryption) is modelled
+as identity transforms because encrypted and plaintext handshake bytes are
+the same length for the purposes of every experiment in the paper.
+"""
+
+from repro.tls.record import (
+    RECORD_HEADER_BYTES,
+    MAX_FRAGMENT_BYTES,
+    ContentType,
+    fragment_payload,
+    wire_size,
+    parse_records,
+)
+from repro.tls.alerts import Alert, AlertDescription
+from repro.tls.extensions import Extension, ExtensionType, KeyShareEntry
+from repro.tls.kem import KEMKeyPair, encapsulate, decapsulate
+from repro.tls.messages import (
+    HandshakeType,
+    ClientHello,
+    ServerHello,
+    EncryptedExtensions,
+    CertificateMessage,
+    CertificateEntry,
+    CertificateVerify,
+    Finished,
+    decode_handshake,
+    encode_handshake,
+)
+from repro.tls.keyschedule import KeySchedule
+from repro.tls.client import ClientConfig, TLSClient
+from repro.tls.server import ServerConfig, TLSServer
+from repro.tls.session import HandshakeOutcome, HandshakeTrace, run_handshake
+from repro.tls.ech import (
+    ECHConfig,
+    encrypt_client_hello,
+    decrypt_client_hello,
+    observable_extension_types,
+)
+
+__all__ = [
+    "RECORD_HEADER_BYTES",
+    "MAX_FRAGMENT_BYTES",
+    "ContentType",
+    "fragment_payload",
+    "wire_size",
+    "parse_records",
+    "Alert",
+    "AlertDescription",
+    "Extension",
+    "ExtensionType",
+    "KeyShareEntry",
+    "KEMKeyPair",
+    "encapsulate",
+    "decapsulate",
+    "HandshakeType",
+    "ClientHello",
+    "ServerHello",
+    "EncryptedExtensions",
+    "CertificateMessage",
+    "CertificateEntry",
+    "CertificateVerify",
+    "Finished",
+    "decode_handshake",
+    "encode_handshake",
+    "KeySchedule",
+    "ClientConfig",
+    "TLSClient",
+    "ServerConfig",
+    "TLSServer",
+    "HandshakeOutcome",
+    "HandshakeTrace",
+    "run_handshake",
+    "ECHConfig",
+    "encrypt_client_hello",
+    "decrypt_client_hello",
+    "observable_extension_types",
+]

@@ -1,0 +1,57 @@
+"""TLS alerts (RFC 8446 §6) — the failure channel of the handshake.
+
+The suppression false-positive path surfaces here: a client that cannot
+complete the verification path sends ``unknown_ca``/``bad_certificate``
+and retries the handshake without the IC-filter extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DecodeError
+
+
+class AlertLevel:
+    WARNING = 1
+    FATAL = 2
+
+
+class AlertDescription:
+    CLOSE_NOTIFY = 0
+    UNEXPECTED_MESSAGE = 10
+    BAD_RECORD_MAC = 20
+    HANDSHAKE_FAILURE = 40
+    BAD_CERTIFICATE = 42
+    UNSUPPORTED_CERTIFICATE = 43
+    CERTIFICATE_REVOKED = 44
+    CERTIFICATE_EXPIRED = 45
+    UNKNOWN_CA = 48
+    DECODE_ERROR = 50
+    DECRYPT_ERROR = 51
+    PROTOCOL_VERSION = 70
+    MISSING_EXTENSION = 109
+    UNSUPPORTED_EXTENSION = 110
+
+
+@dataclass(frozen=True)
+class Alert:
+    level: int
+    description: int
+
+    def encode(self) -> bytes:
+        return bytes([self.level, self.description])
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Alert":
+        if len(data) != 2:
+            raise DecodeError(f"alert must be 2 bytes, got {len(data)}")
+        return cls(level=data[0], description=data[1])
+
+    @classmethod
+    def fatal(cls, description: int) -> "Alert":
+        return cls(AlertLevel.FATAL, description)
+
+    @property
+    def is_fatal(self) -> bool:
+        return self.level == AlertLevel.FATAL

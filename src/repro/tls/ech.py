@@ -1,0 +1,137 @@
+"""Encrypted ClientHello (draft-ietf-tls-esni) — the §6 privacy fix.
+
+The paper's answer to the filter-fingerprinting concern: "a solution to
+this drawback is the use of public key encryption to encrypt the
+ClientHello message as suggested in the IETF draft-ietf-tls-esni". This
+module provides a size- and semantics-faithful ECH simulation:
+
+* the **inner** ClientHello (real SNI, the IC-filter extension) is
+  AEAD-encrypted under a key derived from an HPKE-style encapsulation to
+  the server's published ECH config;
+* the **outer** ClientHello carries only the public name and the opaque
+  ``encrypted_client_hello`` extension — a passive observer sees neither
+  the destination nor the advertised filter;
+* sizes are exact: outer = inner + encapsulated key + AEAD tag + framing,
+  so the §5.2 budget discussion extends to ECH deployments.
+
+Crypto is simulated like the rest of the substrate (keystream =
+deterministic expansion; tag = keyed digest): confidentiality is not
+real, tamper-detection and size accounting are.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import DecodeError
+from repro.pki.keys import expand_bytes
+from repro.tls import extensions as ext
+from repro.tls.messages import ClientHello, decode_handshake
+
+#: The real ECH extension code point.
+ECH_EXTENSION_TYPE = 0xFE0D
+_ENC_BYTES = 32  # HPKE X25519 encapsulated key
+_TAG_BYTES = 16  # AEAD tag
+_HEADER = struct.Struct(">BH")  # config id + ciphertext length
+
+
+@dataclass(frozen=True)
+class ECHConfig:
+    """A server's published ECH configuration (DNS HTTPS record)."""
+
+    config_id: int
+    public_name: str
+    seed: int = 0
+
+    @property
+    def public_key(self) -> bytes:
+        return expand_bytes(
+            self.seed.to_bytes(16, "big"), 32, label=b"ech-pk"
+        )
+
+
+def _keystream(config: ECHConfig, enc: bytes, length: int) -> bytes:
+    shared = hashlib.sha256(b"ech-ss" + config.public_key + enc).digest()
+    return expand_bytes(shared, length, label=b"ech-ks")
+
+
+def _tag(config: ECHConfig, enc: bytes, ciphertext: bytes) -> bytes:
+    shared = hashlib.sha256(b"ech-ss" + config.public_key + enc).digest()
+    return hashlib.sha256(b"ech-tag" + shared + ciphertext).digest()[:_TAG_BYTES]
+
+
+def encrypt_client_hello(
+    inner_hello_bytes: bytes,
+    config: ECHConfig,
+    client_seed: int = 0,
+) -> bytes:
+    """Build the outer ClientHello wrapping ``inner_hello_bytes``."""
+    enc = expand_bytes(
+        client_seed.to_bytes(16, "big") + config.public_key[:8],
+        _ENC_BYTES,
+        label=b"ech-enc",
+    )
+    keystream = _keystream(config, enc, len(inner_hello_bytes))
+    ciphertext = bytes(a ^ b for a, b in zip(inner_hello_bytes, keystream))
+    body = (
+        _HEADER.pack(config.config_id, len(ciphertext) + _TAG_BYTES)
+        + enc
+        + ciphertext
+        + _tag(config, enc, ciphertext)
+    )
+    outer = ClientHello(
+        random=expand_bytes(client_seed.to_bytes(16, "big"), 32, b"ech-rand"),
+        session_id=expand_bytes(client_seed.to_bytes(16, "big"), 32, b"ech-sid"),
+        extensions=(
+            ext.server_name_extension(config.public_name),
+            ext.supported_versions_client(),
+            ext.Extension(ECH_EXTENSION_TYPE, body),
+        ),
+    )
+    return outer.encode()
+
+
+def decrypt_client_hello(outer_hello_bytes: bytes, config: ECHConfig) -> bytes:
+    """Recover the inner ClientHello (server side); raises DecodeError on
+    a wrong config or tampering."""
+    messages = decode_handshake(outer_hello_bytes)
+    if len(messages) != 1 or not isinstance(messages[0], ClientHello):
+        raise DecodeError("outer message is not a ClientHello")
+    ech = ext.find_extension(messages[0].extensions, ECH_EXTENSION_TYPE)
+    if ech is None:
+        raise DecodeError("outer ClientHello carries no ECH extension")
+    if len(ech.data) < _HEADER.size + _ENC_BYTES + _TAG_BYTES:
+        raise DecodeError("truncated ECH payload")
+    config_id, ct_len = _HEADER.unpack_from(ech.data, 0)
+    if config_id != config.config_id:
+        raise DecodeError(
+            f"ECH config id {config_id} does not match {config.config_id}"
+        )
+    offset = _HEADER.size
+    enc = ech.data[offset : offset + _ENC_BYTES]
+    offset += _ENC_BYTES
+    ciphertext = ech.data[offset:-_TAG_BYTES]
+    tag = ech.data[-_TAG_BYTES:]
+    if len(ciphertext) + _TAG_BYTES != ct_len:
+        raise DecodeError("ECH ciphertext length mismatch")
+    if _tag(config, enc, ciphertext) != tag:
+        raise DecodeError("ECH authentication tag mismatch")
+    keystream = _keystream(config, enc, len(ciphertext))
+    return bytes(a ^ b for a, b in zip(ciphertext, keystream))
+
+
+def observable_extension_types(outer_hello_bytes: bytes) -> List[int]:
+    """What a passive on-path observer learns: the outer extension types
+    (the IC filter must never appear here)."""
+    [hello] = decode_handshake(outer_hello_bytes)
+    return [e.extension_type for e in hello.extensions]
+
+
+def ech_overhead_bytes(inner_hello_bytes: int) -> int:
+    """Outer-minus-inner size for budget planning (enc + tag + ECH
+    framing + the outer hello's own skeleton)."""
+    probe = encrypt_client_hello(b"\x00" * inner_hello_bytes, ECHConfig(1, "p.example"))
+    return len(probe) - inner_hello_bytes

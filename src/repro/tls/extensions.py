@@ -1,0 +1,213 @@
+"""TLS extension framework (RFC 8446 §4.2).
+
+Extensions are (uint16 type, opaque data) pairs; lists carry a uint16
+aggregate length. The IC-suppression filter travels as a private-use
+extension type (0xFE00), exactly as the paper proposes adding it "to the
+ClientHello message as a TLS 1.3 extension"; its payload codec lives in
+:mod:`repro.core.extension` so the TLS layer stays mechanism-agnostic.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import DecodeError
+
+
+class ExtensionType:
+    SERVER_NAME = 0
+    SUPPORTED_GROUPS = 10
+    SIGNATURE_ALGORITHMS = 13
+    SUPPORTED_VERSIONS = 43
+    KEY_SHARE = 51
+    #: Private-use code point carrying the serialized ICA filter (§4.2).
+    ICA_SUPPRESSION = 0xFE00
+
+
+#: Synthetic TLS 1.3 group code points for the simulated KEMs.
+KEM_GROUP_IDS: Dict[str, int] = {
+    "x25519": 0x001D,
+    "ntru-hps-509": 0x2F01,
+    "lightsaber": 0x2F02,
+    "kyber512": 0x2F03,
+    "kyber768": 0x2F04,
+}
+_GROUP_TO_KEM = {gid: name for name, gid in KEM_GROUP_IDS.items()}
+
+#: Synthetic signature-scheme code points (conventional ones are real TLS
+#: values; PQ schemes use the private-use range).
+SIGNATURE_SCHEME_IDS: Dict[str, int] = {
+    "ecdsa-p256": 0x0403,
+    "rsa-2048": 0x0804,
+    "ed25519": 0x0807,
+    "falcon-512": 0xFE01,
+    "falcon-1024": 0xFE02,
+    "dilithium2": 0xFE03,
+    "dilithium3": 0xFE04,
+    "dilithium5": 0xFE05,
+    "sphincs-128s": 0xFE06,
+    "sphincs-128f": 0xFE07,
+    "sphincs-192s": 0xFE08,
+    "sphincs-256s": 0xFE09,
+    "rainbow-ia": 0xFE0A,
+}
+_SCHEME_TO_NAME = {sid: name for name, sid in SIGNATURE_SCHEME_IDS.items()}
+
+
+def signature_algorithm_for_scheme(scheme_id: int) -> str:
+    try:
+        return _SCHEME_TO_NAME[scheme_id]
+    except KeyError:
+        raise DecodeError(f"unknown signature scheme 0x{scheme_id:04x}") from None
+
+
+def kem_name_for_group(group_id: int) -> str:
+    try:
+        return _GROUP_TO_KEM[group_id]
+    except KeyError:
+        raise DecodeError(f"unknown key-share group 0x{group_id:04x}") from None
+
+
+@dataclass(frozen=True)
+class Extension:
+    extension_type: int
+    data: bytes
+
+    def encode(self) -> bytes:
+        return struct.pack(">HH", self.extension_type, len(self.data)) + self.data
+
+    @property
+    def size_bytes(self) -> int:
+        return 4 + len(self.data)
+
+
+def encode_extensions(extensions: Sequence[Extension]) -> bytes:
+    body = b"".join(ext.encode() for ext in extensions)
+    if len(body) > 0xFFFF:
+        raise DecodeError(f"extension block of {len(body)} bytes exceeds uint16")
+    return struct.pack(">H", len(body)) + body
+
+
+def decode_extensions(data: bytes, offset: int = 0) -> Tuple[List[Extension], int]:
+    if offset + 2 > len(data):
+        raise DecodeError("truncated extensions length")
+    (total,) = struct.unpack_from(">H", data, offset)
+    offset += 2
+    end = offset + total
+    if end > len(data):
+        raise DecodeError("truncated extension block")
+    extensions = []
+    while offset < end:
+        if offset + 4 > end:
+            raise DecodeError("truncated extension header")
+        ext_type, length = struct.unpack_from(">HH", data, offset)
+        offset += 4
+        if offset + length > end:
+            raise DecodeError(f"truncated extension 0x{ext_type:04x}")
+        extensions.append(Extension(ext_type, data[offset : offset + length]))
+        offset += length
+    return extensions, end
+
+
+def find_extension(
+    extensions: Sequence[Extension], extension_type: int
+) -> Optional[Extension]:
+    for ext in extensions:
+        if ext.extension_type == extension_type:
+            return ext
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Typed extension payloads
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class KeyShareEntry:
+    """One key-share: a group code point plus opaque key-exchange bytes
+    (a KEM public key client-side, a KEM ciphertext server-side)."""
+
+    group_id: int
+    key_exchange: bytes
+
+    def encode(self) -> bytes:
+        return struct.pack(">HH", self.group_id, len(self.key_exchange)) + (
+            self.key_exchange
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "KeyShareEntry":
+        if len(data) < 4:
+            raise DecodeError("truncated KeyShareEntry")
+        group_id, length = struct.unpack_from(">HH", data, 0)
+        if 4 + length != len(data):
+            raise DecodeError("KeyShareEntry length mismatch")
+        return cls(group_id, data[4:])
+
+
+def client_key_share_extension(entry: KeyShareEntry) -> Extension:
+    body = entry.encode()
+    return Extension(
+        ExtensionType.KEY_SHARE, struct.pack(">H", len(body)) + body
+    )
+
+
+def decode_client_key_share(ext: Extension) -> KeyShareEntry:
+    if len(ext.data) < 2:
+        raise DecodeError("truncated client key_share")
+    (length,) = struct.unpack_from(">H", ext.data, 0)
+    if 2 + length != len(ext.data):
+        raise DecodeError("client key_share length mismatch")
+    return KeyShareEntry.decode(ext.data[2:])
+
+
+def server_key_share_extension(entry: KeyShareEntry) -> Extension:
+    return Extension(ExtensionType.KEY_SHARE, entry.encode())
+
+
+def decode_server_key_share(ext: Extension) -> KeyShareEntry:
+    return KeyShareEntry.decode(ext.data)
+
+
+def server_name_extension(hostname: str) -> Extension:
+    name = hostname.encode("idna" if any(ord(c) > 127 for c in hostname) else "ascii")
+    entry = b"\x00" + struct.pack(">H", len(name)) + name
+    return Extension(
+        ExtensionType.SERVER_NAME, struct.pack(">H", len(entry)) + entry
+    )
+
+
+def decode_server_name(ext: Extension) -> str:
+    if len(ext.data) < 5:
+        raise DecodeError("truncated server_name")
+    (list_len,) = struct.unpack_from(">H", ext.data, 0)
+    name_type = ext.data[2]
+    (name_len,) = struct.unpack_from(">H", ext.data, 3)
+    if name_type != 0 or 5 + name_len != len(ext.data) or list_len + 2 != len(ext.data):
+        raise DecodeError("malformed server_name")
+    return ext.data[5 : 5 + name_len].decode("ascii")
+
+
+def supported_versions_client() -> Extension:
+    return Extension(ExtensionType.SUPPORTED_VERSIONS, b"\x02\x03\x04")
+
+
+def supported_versions_server() -> Extension:
+    return Extension(ExtensionType.SUPPORTED_VERSIONS, b"\x03\x04")
+
+
+def signature_algorithms_extension(scheme_ids: Sequence[int]) -> Extension:
+    body = struct.pack(">H", 2 * len(scheme_ids)) + b"".join(
+        struct.pack(">H", s) for s in scheme_ids
+    )
+    return Extension(ExtensionType.SIGNATURE_ALGORITHMS, body)
+
+
+def supported_groups_extension(group_ids: Sequence[int]) -> Extension:
+    body = struct.pack(">H", 2 * len(group_ids)) + b"".join(
+        struct.pack(">H", g) for g in group_ids
+    )
+    return Extension(ExtensionType.SUPPORTED_GROUPS, body)

@@ -1,0 +1,70 @@
+"""Size-faithful KEM simulation.
+
+Public keys and ciphertexts carry exactly the published byte sizes of the
+simulated scheme (X25519, NTRU-HPS-509, LightSaber, Kyber — §5.2 of the
+paper sizes ClientHello around these). The shared secret is derived as
+``H(public_key || ciphertext)``, which both sides can compute (the
+decapsulator knows its own public key), giving a *correct* KEM without
+security — consistent with the rest of the measurement substrate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.pki.algorithms import KEMAlgorithm, get_kem_algorithm
+from repro.pki.keys import expand_bytes
+
+
+@dataclass(frozen=True)
+class KEMKeyPair:
+    """An ephemeral KEM key pair derived from an integer seed."""
+
+    algorithm: KEMAlgorithm
+    seed: int
+    public_key: bytes = field(init=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if isinstance(self.algorithm, str):
+            object.__setattr__(self, "algorithm", get_kem_algorithm(self.algorithm))
+        pk = expand_bytes(
+            self.seed.to_bytes(16, "big"),
+            self.algorithm.public_key_bytes,
+            label=b"kem-pk:" + self.algorithm.name.encode(),
+        )
+        object.__setattr__(self, "public_key", pk)
+
+
+def encapsulate(
+    algorithm: KEMAlgorithm, public_key: bytes, entropy_seed: int
+) -> Tuple[bytes, bytes]:
+    """Return (ciphertext, shared_secret) against ``public_key``."""
+    if len(public_key) != algorithm.public_key_bytes:
+        raise ValueError(
+            f"{algorithm.name} public key must be {algorithm.public_key_bytes} "
+            f"bytes, got {len(public_key)}"
+        )
+    ciphertext = expand_bytes(
+        entropy_seed.to_bytes(16, "big") + public_key[:32],
+        algorithm.ciphertext_bytes,
+        label=b"kem-ct:" + algorithm.name.encode(),
+    )
+    return ciphertext, _shared(algorithm, public_key, ciphertext)
+
+
+def decapsulate(keypair: KEMKeyPair, ciphertext: bytes) -> bytes:
+    if len(ciphertext) != keypair.algorithm.ciphertext_bytes:
+        raise ValueError(
+            f"{keypair.algorithm.name} ciphertext must be "
+            f"{keypair.algorithm.ciphertext_bytes} bytes, got {len(ciphertext)}"
+        )
+    return _shared(keypair.algorithm, keypair.public_key, ciphertext)
+
+
+def _shared(algorithm: KEMAlgorithm, public_key: bytes, ciphertext: bytes) -> bytes:
+    digest = hashlib.sha256(
+        b"kem-ss:" + algorithm.name.encode() + public_key + ciphertext
+    ).digest()
+    return digest[: algorithm.shared_secret_bytes]

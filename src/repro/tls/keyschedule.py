@@ -1,0 +1,103 @@
+"""TLS 1.3 key schedule (RFC 8446 §7.1), real HKDF over SHA-256.
+
+The schedule binds the Finished MACs to the full transcript, which is what
+makes the handshake trace in our simulator tamper-evident: any change to
+any message (including a suppressed Certificate message) changes the
+transcript hash and breaks Finished verification.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import struct
+
+_HASH_LEN = 32
+
+
+def hkdf_extract(salt: bytes, ikm: bytes) -> bytes:
+    return hmac.new(salt or b"\x00" * _HASH_LEN, ikm, hashlib.sha256).digest()
+
+
+def hkdf_expand(prk: bytes, info: bytes, length: int) -> bytes:
+    out = b""
+    block = b""
+    counter = 1
+    while len(out) < length:
+        block = hmac.new(prk, block + info + bytes([counter]), hashlib.sha256).digest()
+        out += block
+        counter += 1
+    return out[:length]
+
+
+def hkdf_expand_label(secret: bytes, label: str, context: bytes, length: int) -> bytes:
+    full_label = b"tls13 " + label.encode("ascii")
+    info = (
+        struct.pack(">H", length)
+        + bytes([len(full_label)])
+        + full_label
+        + bytes([len(context)])
+        + context
+    )
+    return hkdf_expand(secret, info, length)
+
+
+class KeySchedule:
+    """Tracks the transcript and derives handshake/application secrets."""
+
+    def __init__(self) -> None:
+        self._transcript = hashlib.sha256()
+        self._early_secret = hkdf_extract(b"", b"\x00" * _HASH_LEN)
+        self._handshake_secret = b""
+        self._master_secret = b""
+
+    # -- transcript -------------------------------------------------------------
+
+    def update_transcript(self, handshake_bytes: bytes) -> None:
+        self._transcript.update(handshake_bytes)
+
+    def transcript_hash(self) -> bytes:
+        return self._transcript.copy().digest()
+
+    # -- secrets ---------------------------------------------------------------
+
+    def inject_shared_secret(self, shared_secret: bytes) -> None:
+        derived = hkdf_expand_label(
+            self._early_secret, "derived", hashlib.sha256(b"").digest(), _HASH_LEN
+        )
+        self._handshake_secret = hkdf_extract(derived, shared_secret)
+        derived2 = hkdf_expand_label(
+            self._handshake_secret, "derived", hashlib.sha256(b"").digest(), _HASH_LEN
+        )
+        self._master_secret = hkdf_extract(derived2, b"\x00" * _HASH_LEN)
+
+    def _require_secret(self) -> bytes:
+        if not self._handshake_secret:
+            raise RuntimeError("shared secret not injected yet")
+        return self._handshake_secret
+
+    def handshake_traffic_secret(self, role: str) -> bytes:
+        label = {"client": "c hs traffic", "server": "s hs traffic"}[role]
+        return hkdf_expand_label(
+            self._require_secret(), label, self.transcript_hash(), _HASH_LEN
+        )
+
+    def finished_key(self, role: str) -> bytes:
+        return hkdf_expand_label(
+            self.handshake_traffic_secret(role), "finished", b"", _HASH_LEN
+        )
+
+    def finished_mac(self, role: str) -> bytes:
+        return hmac.new(
+            self.finished_key(role), self.transcript_hash(), hashlib.sha256
+        ).digest()
+
+    def verify_finished(self, role: str, verify_data: bytes) -> bool:
+        return hmac.compare_digest(self.finished_mac(role), verify_data)
+
+    def exporter_secret(self) -> bytes:
+        if not self._master_secret:
+            raise RuntimeError("shared secret not injected yet")
+        return hkdf_expand_label(
+            self._master_secret, "exp master", self.transcript_hash(), _HASH_LEN
+        )

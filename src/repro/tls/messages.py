@@ -1,0 +1,341 @@
+"""TLS 1.3 handshake message codecs (RFC 8446 §4).
+
+Every message encodes to the real wire layout (4-byte handshake header,
+vector length prefixes), so the flight sizes the TCP model counts are the
+sizes a packet capture would show. The Certificate message additionally
+carries OCSP/SCT staples as per-entry extensions, matching how Table 1
+accounts "one extra OCSP staple and two SCTs".
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.errors import DecodeError
+from repro.tls.extensions import (
+    Extension,
+    decode_extensions,
+    encode_extensions,
+)
+
+_TLS12 = 0x0303
+_TLS_AES_128_GCM_SHA256 = 0x1301
+
+#: Per-certificate-entry extension code points for staples.
+ENTRY_EXT_OCSP = 5
+ENTRY_EXT_SCT = 18
+
+
+class HandshakeType:
+    CLIENT_HELLO = 1
+    SERVER_HELLO = 2
+    ENCRYPTED_EXTENSIONS = 8
+    CERTIFICATE = 11
+    CERTIFICATE_REQUEST = 13
+    CERTIFICATE_VERIFY = 15
+    FINISHED = 20
+
+
+def _u8v(data: bytes) -> bytes:
+    return bytes([len(data)]) + data
+
+
+def _u16v(data: bytes) -> bytes:
+    return struct.pack(">H", len(data)) + data
+
+
+def _u24(n: int) -> bytes:
+    return n.to_bytes(3, "big")
+
+
+def encode_handshake(msg_type: int, body: bytes) -> bytes:
+    return bytes([msg_type]) + _u24(len(body)) + body
+
+
+def split_handshake_stream(data: bytes) -> List[Tuple[int, bytes]]:
+    """Split a handshake byte stream into (type, body) messages."""
+    out = []
+    offset = 0
+    while offset < len(data):
+        if offset + 4 > len(data):
+            raise DecodeError("truncated handshake header")
+        msg_type = data[offset]
+        length = int.from_bytes(data[offset + 1 : offset + 4], "big")
+        offset += 4
+        if offset + length > len(data):
+            raise DecodeError(
+                f"truncated handshake body: type {msg_type} wants {length} bytes"
+            )
+        out.append((msg_type, data[offset : offset + length]))
+        offset += length
+    return out
+
+
+@dataclass(frozen=True)
+class ClientHello:
+    random: bytes
+    session_id: bytes
+    extensions: Tuple[Extension, ...]
+    cipher_suites: Tuple[int, ...] = (_TLS_AES_128_GCM_SHA256,)
+
+    def encode(self) -> bytes:
+        suites = b"".join(struct.pack(">H", s) for s in self.cipher_suites)
+        body = (
+            struct.pack(">H", _TLS12)
+            + self.random
+            + _u8v(self.session_id)
+            + _u16v(suites)
+            + _u8v(b"\x00")  # legacy compression: null only
+            + encode_extensions(self.extensions)
+        )
+        return encode_handshake(HandshakeType.CLIENT_HELLO, body)
+
+    @classmethod
+    def decode_body(cls, body: bytes) -> "ClientHello":
+        if len(body) < 35:
+            raise DecodeError("ClientHello too short")
+        offset = 2  # legacy version
+        random = body[offset : offset + 32]
+        offset += 32
+        sid_len = body[offset]
+        offset += 1
+        if offset + sid_len + 2 > len(body):
+            raise DecodeError("truncated ClientHello session id")
+        session_id = body[offset : offset + sid_len]
+        offset += sid_len
+        (suites_len,) = struct.unpack_from(">H", body, offset)
+        offset += 2
+        if suites_len % 2 or offset + suites_len + 1 > len(body):
+            raise DecodeError("truncated ClientHello cipher suites")
+        suites = tuple(
+            struct.unpack_from(">H", body, offset + i)[0]
+            for i in range(0, suites_len, 2)
+        )
+        offset += suites_len
+        comp_len = body[offset]
+        offset += 1 + comp_len
+        if offset > len(body):
+            raise DecodeError("truncated ClientHello compression methods")
+        extensions, offset = decode_extensions(body, offset)
+        if offset != len(body):
+            raise DecodeError("trailing bytes after ClientHello extensions")
+        return cls(
+            random=random,
+            session_id=session_id,
+            extensions=tuple(extensions),
+            cipher_suites=suites,
+        )
+
+
+@dataclass(frozen=True)
+class ServerHello:
+    random: bytes
+    session_id: bytes
+    extensions: Tuple[Extension, ...]
+    cipher_suite: int = _TLS_AES_128_GCM_SHA256
+
+    def encode(self) -> bytes:
+        body = (
+            struct.pack(">H", _TLS12)
+            + self.random
+            + _u8v(self.session_id)
+            + struct.pack(">H", self.cipher_suite)
+            + b"\x00"  # legacy compression
+            + encode_extensions(self.extensions)
+        )
+        return encode_handshake(HandshakeType.SERVER_HELLO, body)
+
+    @classmethod
+    def decode_body(cls, body: bytes) -> "ServerHello":
+        if len(body) < 38:
+            raise DecodeError("ServerHello too short")
+        offset = 2
+        random = body[offset : offset + 32]
+        offset += 32
+        sid_len = body[offset]
+        offset += 1
+        if offset + sid_len + 3 > len(body):
+            raise DecodeError("truncated ServerHello session id")
+        session_id = body[offset : offset + sid_len]
+        offset += sid_len
+        (suite,) = struct.unpack_from(">H", body, offset)
+        offset += 3  # suite + compression
+        extensions, offset = decode_extensions(body, offset)
+        if offset != len(body):
+            raise DecodeError("trailing bytes after ServerHello extensions")
+        return cls(
+            random=random,
+            session_id=session_id,
+            extensions=tuple(extensions),
+            cipher_suite=suite,
+        )
+
+
+@dataclass(frozen=True)
+class EncryptedExtensions:
+    extensions: Tuple[Extension, ...] = ()
+
+    def encode(self) -> bytes:
+        return encode_handshake(
+            HandshakeType.ENCRYPTED_EXTENSIONS, encode_extensions(self.extensions)
+        )
+
+    @classmethod
+    def decode_body(cls, body: bytes) -> "EncryptedExtensions":
+        extensions, offset = decode_extensions(body, 0)
+        if offset != len(body):
+            raise DecodeError("trailing bytes after EncryptedExtensions")
+        return cls(extensions=tuple(extensions))
+
+
+@dataclass(frozen=True)
+class CertificateRequest:
+    """Server requests client authentication (RFC 8446 §4.3.2)."""
+
+    context: bytes = b""
+    extensions: Tuple[Extension, ...] = ()
+
+    def encode(self) -> bytes:
+        body = _u8v(self.context) + encode_extensions(self.extensions)
+        return encode_handshake(HandshakeType.CERTIFICATE_REQUEST, body)
+
+    @classmethod
+    def decode_body(cls, body: bytes) -> "CertificateRequest":
+        if not body:
+            raise DecodeError("empty CertificateRequest")
+        ctx_len = body[0]
+        context = body[1 : 1 + ctx_len]
+        extensions, offset = decode_extensions(body, 1 + ctx_len)
+        if offset != len(body):
+            raise DecodeError("trailing bytes after CertificateRequest")
+        return cls(context=context, extensions=tuple(extensions))
+
+
+@dataclass(frozen=True)
+class CertificateEntry:
+    """One cert_data plus its per-entry extensions (OCSP staple / SCTs)."""
+
+    cert_data: bytes
+    extensions: Tuple[Extension, ...] = ()
+
+    def encode(self) -> bytes:
+        return (
+            _u24(len(self.cert_data))
+            + self.cert_data
+            + encode_extensions(self.extensions)
+        )
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.encode())
+
+
+@dataclass(frozen=True)
+class CertificateMessage:
+    entries: Tuple[CertificateEntry, ...]
+    context: bytes = b""
+
+    def encode(self) -> bytes:
+        entries = b"".join(e.encode() for e in self.entries)
+        body = _u8v(self.context) + _u24(len(entries)) + entries
+        return encode_handshake(HandshakeType.CERTIFICATE, body)
+
+    @classmethod
+    def decode_body(cls, body: bytes) -> "CertificateMessage":
+        if not body:
+            raise DecodeError("empty Certificate message")
+        ctx_len = body[0]
+        offset = 1 + ctx_len
+        context = body[1:offset]
+        if offset + 3 > len(body):
+            raise DecodeError("truncated certificate_list length")
+        total = int.from_bytes(body[offset : offset + 3], "big")
+        offset += 3
+        end = offset + total
+        if end != len(body):
+            raise DecodeError("certificate_list length mismatch")
+        entries = []
+        while offset < end:
+            if offset + 3 > end:
+                raise DecodeError("truncated certificate entry")
+            cert_len = int.from_bytes(body[offset : offset + 3], "big")
+            offset += 3
+            cert_data = body[offset : offset + cert_len]
+            if len(cert_data) != cert_len:
+                raise DecodeError("truncated cert_data")
+            offset += cert_len
+            extensions, offset = decode_extensions(body, offset)
+            entries.append(CertificateEntry(cert_data, tuple(extensions)))
+        return cls(entries=tuple(entries), context=context)
+
+    def certificate_payload_bytes(self) -> int:
+        """DER bytes of the certificates themselves (no framing)."""
+        return sum(len(e.cert_data) for e in self.entries)
+
+
+@dataclass(frozen=True)
+class CertificateVerify:
+    scheme_id: int
+    signature: bytes
+
+    def encode(self) -> bytes:
+        body = struct.pack(">H", self.scheme_id) + _u16v(self.signature)
+        return encode_handshake(HandshakeType.CERTIFICATE_VERIFY, body)
+
+    @classmethod
+    def decode_body(cls, body: bytes) -> "CertificateVerify":
+        if len(body) < 4:
+            raise DecodeError("CertificateVerify too short")
+        scheme_id, sig_len = struct.unpack_from(">HH", body, 0)
+        if 4 + sig_len != len(body):
+            raise DecodeError("CertificateVerify length mismatch")
+        return cls(scheme_id=scheme_id, signature=body[4:])
+
+
+@dataclass(frozen=True)
+class Finished:
+    verify_data: bytes
+
+    def encode(self) -> bytes:
+        return encode_handshake(HandshakeType.FINISHED, self.verify_data)
+
+    @classmethod
+    def decode_body(cls, body: bytes) -> "Finished":
+        if len(body) != 32:
+            raise DecodeError(f"Finished must carry 32 bytes, got {len(body)}")
+        return cls(verify_data=body)
+
+
+HandshakeMessage = Union[
+    ClientHello,
+    ServerHello,
+    EncryptedExtensions,
+    CertificateRequest,
+    CertificateMessage,
+    CertificateVerify,
+    Finished,
+]
+
+_DECODERS = {
+    HandshakeType.CLIENT_HELLO: ClientHello.decode_body,
+    HandshakeType.SERVER_HELLO: ServerHello.decode_body,
+    HandshakeType.ENCRYPTED_EXTENSIONS: EncryptedExtensions.decode_body,
+    HandshakeType.CERTIFICATE: CertificateMessage.decode_body,
+    HandshakeType.CERTIFICATE_REQUEST: CertificateRequest.decode_body,
+    HandshakeType.CERTIFICATE_VERIFY: CertificateVerify.decode_body,
+    HandshakeType.FINISHED: Finished.decode_body,
+}
+
+
+def decode_handshake(data: bytes) -> List[HandshakeMessage]:
+    """Decode a handshake byte stream into typed messages."""
+    messages = []
+    for msg_type, body in split_handshake_stream(data):
+        try:
+            decoder = _DECODERS[msg_type]
+        except KeyError:
+            raise DecodeError(f"unknown handshake type {msg_type}") from None
+        messages.append(decoder(body))
+    return messages

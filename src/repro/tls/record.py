@@ -1,0 +1,82 @@
+"""TLS record layer framing (RFC 8446 §5).
+
+Handshake payloads are fragmented into records of at most 2^14 bytes, each
+carrying a 5-byte header. That overhead is part of what the TCP flight
+model counts, so the framing here is real, not estimated.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Tuple
+
+from repro.errors import DecodeError
+
+RECORD_HEADER_BYTES = 5
+MAX_FRAGMENT_BYTES = 1 << 14  # 16384
+_LEGACY_VERSION = 0x0303
+
+_HEADER = struct.Struct(">BHH")
+
+
+class ContentType:
+    CHANGE_CIPHER_SPEC = 20
+    ALERT = 21
+    HANDSHAKE = 22
+    APPLICATION_DATA = 23
+
+
+def fragment_payload(
+    payload: bytes, content_type: int = ContentType.HANDSHAKE
+) -> List[bytes]:
+    """Split ``payload`` into framed TLSPlaintext records."""
+    if not payload:
+        return []
+    records = []
+    for start in range(0, len(payload), MAX_FRAGMENT_BYTES):
+        fragment = payload[start : start + MAX_FRAGMENT_BYTES]
+        records.append(
+            _HEADER.pack(content_type, _LEGACY_VERSION, len(fragment)) + fragment
+        )
+    return records
+
+
+def wire_size(payload_bytes: int) -> int:
+    """Bytes on the wire for a handshake payload of the given size,
+    including record headers."""
+    if payload_bytes <= 0:
+        return 0
+    num_records = -(-payload_bytes // MAX_FRAGMENT_BYTES)
+    return payload_bytes + num_records * RECORD_HEADER_BYTES
+
+
+def parse_records(data: bytes) -> List[Tuple[int, bytes]]:
+    """Parse concatenated records into (content_type, fragment) pairs."""
+    out = []
+    offset = 0
+    while offset < len(data):
+        if offset + RECORD_HEADER_BYTES > len(data):
+            raise DecodeError("truncated record header")
+        content_type, version, length = _HEADER.unpack_from(data, offset)
+        if version != _LEGACY_VERSION:
+            raise DecodeError(f"unexpected record version 0x{version:04x}")
+        if length > MAX_FRAGMENT_BYTES:
+            raise DecodeError(f"record fragment of {length} bytes exceeds maximum")
+        offset += RECORD_HEADER_BYTES
+        if offset + length > len(data):
+            raise DecodeError("truncated record fragment")
+        out.append((content_type, data[offset : offset + length]))
+        offset += length
+    return out
+
+
+def coalesce_handshake(data: bytes) -> bytes:
+    """Reassemble the handshake byte stream from framed records."""
+    fragments = []
+    for content_type, fragment in parse_records(data):
+        if content_type != ContentType.HANDSHAKE:
+            raise DecodeError(
+                f"expected handshake records, got content type {content_type}"
+            )
+        fragments.append(fragment)
+    return b"".join(fragments)

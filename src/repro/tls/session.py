@@ -1,0 +1,207 @@
+"""Paired in-memory handshake runner.
+
+``run_handshake`` wires a :class:`TLSClient` to a :class:`TLSServer`,
+implements the paper's false-positive recovery ("on this repeated
+handshake, the client does not include the IC Suppression extension and
+the handshake is completed as usual", §4.2), and returns a trace with the
+byte accounting every experiment consumes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+from repro.errors import HandshakeError
+from repro.tls.client import ClientConfig, TLSClient
+from repro.tls.record import wire_size
+from repro.tls.server import ServerConfig, ServerFlightResult, TLSServer
+
+
+class HandshakeOutcome(enum.Enum):
+    COMPLETED = "completed"
+    COMPLETED_AFTER_RETRY = "completed-after-retry"
+    FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class AttemptTrace:
+    """Byte accounting for one handshake attempt."""
+
+    client_hello_bytes: int
+    server_flight_bytes: int
+    client_finished_bytes: int
+    certificate_payload_bytes: int
+    auth_data_bytes: int
+    ica_bytes_sent: int
+    ica_bytes_suppressed: int
+    suppressed_ica_count: int
+    used_suppression_extension: bool
+    succeeded: bool
+    failure_reason: str = ""
+    #: mTLS: the client's own chain accounting (zero in server-auth-only).
+    client_auth_ica_bytes_sent: int = 0
+    client_auth_ica_bytes_suppressed: int = 0
+    client_auth_suppressed_count: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return (
+            self.client_hello_bytes
+            + self.server_flight_bytes
+            + self.client_finished_bytes
+        )
+
+    @property
+    def total_wire_bytes(self) -> int:
+        """Total including TLS record framing."""
+        return (
+            wire_size(self.client_hello_bytes)
+            + wire_size(self.server_flight_bytes)
+            + wire_size(self.client_finished_bytes)
+        )
+
+
+@dataclass(frozen=True)
+class HandshakeTrace:
+    outcome: HandshakeOutcome
+    attempts: List[AttemptTrace]
+
+    @property
+    def succeeded(self) -> bool:
+        return self.outcome is not HandshakeOutcome.FAILED
+
+    @property
+    def retried(self) -> bool:
+        return len(self.attempts) > 1
+
+    @property
+    def false_positive(self) -> bool:
+        """True when a suppression attempt failed and the plain retry
+        succeeded — the observable signature of a filter false positive."""
+        return self.outcome is HandshakeOutcome.COMPLETED_AFTER_RETRY
+
+    # -- aggregates over every attempt (a false positive pays for both) --------
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(a.total_bytes for a in self.attempts)
+
+    @property
+    def total_wire_bytes(self) -> int:
+        return sum(a.total_wire_bytes for a in self.attempts)
+
+    @property
+    def ica_bytes_sent(self) -> int:
+        return sum(a.ica_bytes_sent for a in self.attempts)
+
+    @property
+    def ica_bytes_suppressed(self) -> int:
+        """ICA bytes avoided, net of retry overhead (only counted on the
+        attempt that completed)."""
+        return sum(
+            a.ica_bytes_suppressed for a in self.attempts if a.succeeded
+        )
+
+    @property
+    def auth_data_bytes(self) -> int:
+        return sum(a.auth_data_bytes for a in self.attempts)
+
+    @property
+    def suppressed_ica_count(self) -> int:
+        return sum(a.suppressed_ica_count for a in self.attempts if a.succeeded)
+
+    @property
+    def final_attempt(self) -> AttemptTrace:
+        return self.attempts[-1]
+
+
+def _run_attempt(
+    client_config: ClientConfig, server_config: ServerConfig
+) -> AttemptTrace:
+    client = TLSClient(client_config)
+    server = TLSServer(server_config)
+
+    hello = client.create_client_hello()
+    flight: ServerFlightResult = server.process_client_hello(hello)
+    result = client.process_server_flight(flight.flight)
+
+    staple_bytes = (
+        server_config.ocsp_staple.size_bytes() if server_config.ocsp_staple else 0
+    ) + sum(s.size_bytes() for s in server_config.scts)
+    cv_sig_bytes = server_config.credential.keypair.algorithm.signature_bytes
+    auth_bytes = flight.certificate_payload_bytes + staple_bytes + cv_sig_bytes
+
+    succeeded = result.complete
+    if succeeded:
+        verdict = server.process_client_flight(result.client_finished)
+        if not verdict.ok:
+            succeeded = False
+            result = replace(
+                result,
+                failure_reason=verdict.reason or "client flight rejected",
+                needs_retry=verdict.needs_retry,
+            )
+
+    return AttemptTrace(
+        client_hello_bytes=len(hello),
+        server_flight_bytes=len(flight.flight),
+        client_finished_bytes=len(result.client_finished),
+        certificate_payload_bytes=flight.certificate_payload_bytes,
+        auth_data_bytes=auth_bytes,
+        ica_bytes_sent=flight.ica_bytes_sent,
+        ica_bytes_suppressed=flight.ica_bytes_suppressed,
+        suppressed_ica_count=result.suppressed_ica_count if succeeded else 0,
+        used_suppression_extension=client_config.ica_filter_payload is not None,
+        succeeded=succeeded,
+        failure_reason=result.failure_reason,
+        client_auth_ica_bytes_sent=result.own_ica_bytes_sent,
+        client_auth_ica_bytes_suppressed=result.own_ica_bytes_suppressed,
+        client_auth_suppressed_count=result.own_suppressed_ica_count,
+    )
+
+
+def run_handshake(
+    client_config: ClientConfig, server_config: ServerConfig
+) -> HandshakeTrace:
+    """Run a handshake, retrying once without the IC-filter extension when
+    the suppression attempt cannot complete the verification path."""
+    first = _run_attempt(client_config, server_config)
+    if first.succeeded:
+        return HandshakeTrace(HandshakeOutcome.COMPLETED, [first])
+
+    # Two false-positive recoveries exist: the client's filter caused the
+    # server to over-suppress (retry without the ClientHello extension),
+    # or — under mutual TLS — the server's advertised filter caused the
+    # *client* to over-suppress its own chain (retry without client-side
+    # suppression).
+    server_fp = (
+        client_config.ica_filter_payload is not None
+        and "cannot complete path" in first.failure_reason
+        and not first.failure_reason.startswith("client-auth:")
+    )
+    client_fp = (
+        client_config.own_suppression_handler is not None
+        and first.failure_reason.startswith("client-auth:")
+        and "cannot complete path" in first.failure_reason
+    )
+    if not server_fp and not client_fp:
+        return HandshakeTrace(HandshakeOutcome.FAILED, [first])
+
+    plain_config = replace(
+        client_config,
+        ica_filter_payload=(
+            None if server_fp else client_config.ica_filter_payload
+        ),
+        own_suppression_handler=(
+            None if client_fp else client_config.own_suppression_handler
+        ),
+        seed=client_config.seed + 1,
+    )
+    second = _run_attempt(plain_config, server_config)
+    if second.succeeded:
+        return HandshakeTrace(
+            HandshakeOutcome.COMPLETED_AFTER_RETRY, [first, second]
+        )
+    return HandshakeTrace(HandshakeOutcome.FAILED, [first, second])

@@ -1,0 +1,62 @@
+"""Synthetic web workload: domain rankings, PKI population, browsing.
+
+Substitutes the paper's live inputs (Tranco list crawls, real user
+browsing) with calibrated generative models:
+
+* :mod:`repro.webmodel.tranco` — a ranked domain universe with Zipf
+  popularity (the Tranco Top-1M stand-in);
+* :mod:`repro.webmodel.chains` — the chain-size mixes of Table 2;
+* :mod:`repro.webmodel.population` — a 1400-ICA universe (the CCADB
+  preload count) with head-heavy popularity such that a top-10K crawl
+  observes the paper's 220-245 distinct ICAs;
+* :mod:`repro.webmodel.crawler` — the monthly top-10K crawl (Table 2);
+* :mod:`repro.webmodel.browsing` — the Burklen et al. user model the
+  paper cites (Zipf-1.9 domain visits, Pareto-2.5 pages per domain,
+  third-party content per page);
+* :mod:`repro.webmodel.session_sim` — the full browsing-session simulator
+  behind Fig. 5.
+"""
+
+from repro.webmodel.tranco import DomainRanking
+from repro.webmodel.chains import ChainMix, TABLE2_MONTHS, table2_mix
+from repro.webmodel.population import ICAPopulation, PopulationConfig
+from repro.webmodel.crawler import CrawlStats, crawl_top_domains
+from repro.webmodel.browsing import BrowsingModel, BrowsingConfig, Visit
+from repro.webmodel.session_sim import (
+    SessionConfig,
+    SessionResult,
+    BrowsingSessionSimulator,
+)
+from repro.webmodel.nonweb import (
+    ScenarioConfig,
+    ScenarioResult,
+    simulate_scenario,
+    compare_environments,
+    WEB_BROWSING,
+    MOBILE_APP,
+    IOT_FLEET,
+)
+
+__all__ = [
+    "DomainRanking",
+    "ChainMix",
+    "TABLE2_MONTHS",
+    "table2_mix",
+    "ICAPopulation",
+    "PopulationConfig",
+    "CrawlStats",
+    "crawl_top_domains",
+    "BrowsingModel",
+    "BrowsingConfig",
+    "Visit",
+    "SessionConfig",
+    "SessionResult",
+    "BrowsingSessionSimulator",
+    "ScenarioConfig",
+    "ScenarioResult",
+    "simulate_scenario",
+    "compare_environments",
+    "WEB_BROWSING",
+    "MOBILE_APP",
+    "IOT_FLEET",
+]

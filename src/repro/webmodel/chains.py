@@ -1,0 +1,80 @@
+"""Chain-size mixes — Table 2 of the paper.
+
+The table reports, for each monthly Tranco Top-10K crawl, the share of
+servers whose chains carried 0, 1, 2, 3 or more than 3 ICAs, plus the
+distinct-ICA count. These observed rows are both the calibration target
+of :mod:`repro.webmodel.population` and the ground truth the Table-2
+benchmark compares against.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ChainMix:
+    """Probabilities of a server chain carrying 0..4+ ICAs."""
+
+    p0: float
+    p1: float
+    p2: float
+    p3: float
+    p4_plus: float
+    unique_icas: int
+
+    def __post_init__(self) -> None:
+        total = self.p0 + self.p1 + self.p2 + self.p3 + self.p4_plus
+        if abs(total - 1.0) > 1e-6:
+            raise ConfigurationError(
+                f"chain mix must sum to 1, got {total:.6f}"
+            )
+
+    def probabilities(self) -> Tuple[float, float, float, float, float]:
+        return (self.p0, self.p1, self.p2, self.p3, self.p4_plus)
+
+    def sample_depth(self, rng: random.Random) -> int:
+        """Draw a chain's ICA count (4 stands for '>3')."""
+        u = rng.random()
+        acc = 0.0
+        for depth, p in enumerate(self.probabilities()):
+            acc += p
+            if u < acc:
+                return depth
+        return 4
+
+    def mean_icas(self) -> float:
+        return self.p1 + 2 * self.p2 + 3 * self.p3 + 4 * self.p4_plus
+
+
+def _mix(p0, p1, p2, p3, p4, unique) -> ChainMix:
+    return ChainMix(p0 / 100, p1 / 100, p2 / 100, p3 / 100, p4 / 100, unique)
+
+
+#: Table 2 as printed (percentages; Top-10K entries, Jan-Jun 2022).
+TABLE2_MONTHS: Dict[str, ChainMix] = {
+    "Jan. '22": _mix(30.8, 35.6, 24.1, 9.4, 0.1, 220),
+    "Feb. '22": _mix(14.4, 43.5, 30.2, 11.8, 0.1, 236),
+    "Mar. '22": _mix(13.3, 44.8, 30.2, 11.6, 0.1, 228),
+    "Apr. '22": _mix(13.7, 44.7, 30.0, 11.5, 0.1, 231),
+    "May '22": _mix(19.7, 41.6, 27.5, 11.0, 0.2, 224),
+    "Jun. '22": _mix(24.1, 39.1, 26.5, 10.1, 0.2, 245),
+}
+
+
+def table2_mix(month: str) -> ChainMix:
+    try:
+        return TABLE2_MONTHS[month]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown Table-2 month {month!r}; known: {list(TABLE2_MONTHS)}"
+        ) from None
+
+
+#: The paper's headline month: the filter experiments use the June 2022
+#: population (245 ICAs).
+PAPER_MONTH = "Jun. '22"

@@ -1,0 +1,228 @@
+"""Non-Web workloads: IoT fleets and mobile apps (the paper's §7 plan).
+
+The conclusion promises to "evaluate the ICA suppression performance in
+non-Web-based environments (e.g., IoT, mobile devices)". These
+environments differ from browsing in every parameter that matters to the
+mechanism:
+
+* **peer sets are tiny and closed** — a device talks to a handful of
+  gateways under one private PKI, so the filter can be both tiny and run
+  at an aggressive FPP (§5.2's service-mesh observation);
+* **connections are frequent and short** — telemetry every few minutes,
+  API calls all day — so per-handshake byte savings compound;
+* **links are constrained** — small initial windows and long RTTs
+  (cellular, satellite) amplify every extra flight.
+
+``simulate_scenario`` runs a day of connections for a parameterized
+scenario through the real suppression pipeline (live handshakes, real
+filters) and reports the deployment-facing metrics; three presets model
+web browsing, a mobile app and an IoT fleet for the comparison table.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.filter_config import plan_filter
+from repro.core.suppression import ClientSuppressor, ServerSuppressor
+from repro.errors import SimulationError
+from repro.netsim.tcp import TCPConfig, flights_needed
+from repro.pki import IntermediatePreload, build_hierarchy
+from repro.tls.record import wire_size
+from repro.tls.server import ServerConfig
+from repro.tls.session import run_handshake
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """One non-Web (or Web) deployment scenario."""
+
+    name: str
+    algorithm: str
+    kem: str
+    #: Distinct TLS peers the client contacts.
+    num_peers: int
+    #: Distinct ICAs across those peers' chains.
+    num_icas: int
+    #: Handshakes per day (resumption and connection reuse already netted
+    #: out — these are full handshakes).
+    handshakes_per_day: int
+    #: Filter false-positive target (closed worlds can afford tiny FPPs).
+    fpp: float
+    rtt_s: float
+    initcwnd_segments: int
+    filter_kind: str = "vacuum"
+    seed: int = 0
+
+
+#: Presets for the comparison experiment.
+WEB_BROWSING = ScenarioConfig(
+    name="web-browsing",
+    algorithm="dilithium3",
+    kem="ntru-hps-509",
+    num_peers=40,
+    num_icas=35,
+    handshakes_per_day=200,
+    fpp=1e-3,
+    rtt_s=0.045,
+    initcwnd_segments=10,
+    seed=1,
+)
+MOBILE_APP = ScenarioConfig(
+    name="mobile-app",
+    algorithm="dilithium2",
+    kem="kyber512",
+    num_peers=6,
+    num_icas=5,
+    handshakes_per_day=120,
+    fpp=1e-5,
+    rtt_s=0.07,  # LTE
+    initcwnd_segments=10,
+    seed=2,
+)
+IOT_FLEET = ScenarioConfig(
+    name="iot-fleet",
+    algorithm="falcon-512",
+    kem="kyber512",
+    num_peers=3,
+    num_icas=4,
+    handshakes_per_day=288,  # telemetry every 5 minutes
+    fpp=1e-6,
+    rtt_s=0.3,  # NB-IoT / satellite backhaul
+    initcwnd_segments=4,
+    seed=3,
+)
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    config: ScenarioConfig
+    filter_payload_bytes: int
+    suppression_rate: float
+    bytes_saved_per_day: int
+    flight_rtts_saved_per_day: int
+    handshake_seconds_saved_per_day: float
+    false_positives: int
+
+
+def simulate_scenario(
+    config: ScenarioConfig, sample_handshakes: int = 60
+) -> ScenarioResult:
+    """Run ``sample_handshakes`` live handshakes for the scenario and
+    scale the per-handshake savings to a day."""
+    if sample_handshakes < 1:
+        raise SimulationError("need at least one sampled handshake")
+    hierarchy = build_hierarchy(
+        config.algorithm,
+        total_icas=config.num_icas,
+        num_roots=1,
+        seed=config.seed,
+    )
+    store = hierarchy.trust_store()
+    credentials = [
+        hierarchy.issue_credential(f"{config.name}-peer-{i}.local")
+        for i in range(config.num_peers)
+    ]
+    suppressor = ClientSuppressor(
+        preload=IntermediatePreload(hierarchy.ica_certificates()),
+        plan=plan_filter(
+            max(8, config.num_icas),
+            filter_kind=config.filter_kind,
+            fpp=config.fpp,
+            budget_bytes=None,
+            headroom=1.5,
+            seed=config.seed,
+        ),
+    )
+    server_suppressor = ServerSuppressor()
+    tcp = TCPConfig(initcwnd_segments=config.initcwnd_segments)
+    rng = random.Random(config.seed ^ 0x0A7)
+
+    bytes_saved = 0
+    rtts_saved = 0
+    total_icas = suppressed_icas = 0
+    fps = 0
+    for i in range(sample_handshakes):
+        credential = rng.choice(credentials)
+        server = ServerConfig(
+            credential=credential,
+            suppression_handler=server_suppressor,
+            seed=config.seed * 1000 + i,
+        )
+        with_f = run_handshake(
+            suppressor.client_config(
+                store, credential.chain.leaf.subject, kem_name=config.kem,
+                at_time=100, seed=i,
+            ),
+            server,
+        )
+        without = run_handshake(
+            suppressor.client_config(
+                store, credential.chain.leaf.subject, kem_name=config.kem,
+                at_time=100, use_suppression=False, seed=i,
+            ),
+            server,
+        )
+        if not (with_f.succeeded and without.succeeded):
+            raise SimulationError(
+                f"scenario handshake failed: "
+                f"{with_f.final_attempt.failure_reason or without.final_attempt.failure_reason}"
+            )
+        bytes_saved += without.total_wire_bytes - with_f.total_wire_bytes
+        flights_without = flights_needed(
+            wire_size(without.attempts[-1].server_flight_bytes), tcp
+        )
+        flights_with = flights_needed(
+            wire_size(with_f.attempts[-1].server_flight_bytes), tcp
+        )
+        rtts_saved += max(0, flights_without - flights_with)
+        total_icas += credential.chain.num_icas
+        suppressed_icas += with_f.suppressed_ica_count
+        fps += with_f.false_positive
+
+    scale = config.handshakes_per_day / sample_handshakes
+    return ScenarioResult(
+        config=config,
+        filter_payload_bytes=len(suppressor.extension_payload()),
+        suppression_rate=suppressed_icas / total_icas if total_icas else 1.0,
+        bytes_saved_per_day=round(bytes_saved * scale),
+        flight_rtts_saved_per_day=round(rtts_saved * scale),
+        handshake_seconds_saved_per_day=rtts_saved * scale * config.rtt_s,
+        false_positives=fps,
+    )
+
+
+def compare_environments(
+    scenarios: Tuple[ScenarioConfig, ...] = (WEB_BROWSING, MOBILE_APP, IOT_FLEET),
+    sample_handshakes: int = 60,
+) -> List[ScenarioResult]:
+    return [simulate_scenario(s, sample_handshakes) for s in scenarios]
+
+
+def format_environments(results: List[ScenarioResult]) -> str:
+    from repro.analysis.tables import format_table
+
+    rows = []
+    for r in results:
+        c = r.config
+        rows.append(
+            [
+                c.name,
+                c.algorithm,
+                c.num_peers,
+                f"{c.fpp:g}",
+                r.filter_payload_bytes,
+                f"{100 * r.suppression_rate:.0f}%",
+                f"{r.bytes_saved_per_day / 1e6:.2f}",
+                r.flight_rtts_saved_per_day,
+                f"{r.handshake_seconds_saved_per_day:.1f}",
+            ]
+        )
+    return format_table(
+        ["environment", "algorithm", "peers", "fpp", "filter B",
+         "suppression", "MB saved/day", "RTTs saved/day", "sec saved/day"],
+        rows,
+        title="Non-Web environments (§7 future work) — a day of handshakes",
+    )

@@ -1,0 +1,162 @@
+"""ICA population model: who signs the web's certificates.
+
+Couples the domain ranking to the synthetic PKI:
+
+* the ICA universe holds ~1400 distinct intermediates (the CCADB /
+  Firefox preload count the paper reports for June 2022);
+* each domain's chain depth follows the month's Table-2 mix;
+* the issuing path is drawn from a head-heavy Zipf over paths, calibrated
+  so a Top-10K crawl observes the paper's 220-245 distinct ICAs;
+* tail domains (rank > ``hot_rank_threshold``) mix in a uniform draw over
+  the whole universe (``tail_uniform_share``), which is what pushes the
+  browsing session's known-ICA rate down to the paper's observed 69-74 %
+  despite the head's concentration.
+
+Every assignment is a pure function of (seed, rank), so the same domain
+always presents the same chain — a property both the crawler and the
+browsing simulator rely on.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.pki.authority import Hierarchy, ICAPath, ServerCredential, build_hierarchy
+from repro.pki.certificate import Certificate
+from repro.webmodel.chains import PAPER_MONTH, ChainMix, table2_mix
+from repro.webmodel.tranco import DomainRanking
+
+
+@dataclass(frozen=True)
+class PopulationConfig:
+    """Knobs of the population model (defaults = paper calibration)."""
+
+    algorithm: str = "ecdsa-p256"
+    universe_icas: int = 1400
+    num_roots: int = 7
+    head_exponent: float = 2.1
+    tail_uniform_share: float = 0.85
+    hot_rank_threshold: int = 10_000
+    month: str = PAPER_MONTH
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.tail_uniform_share <= 1.0:
+            raise ConfigurationError(
+                f"tail_uniform_share must be in [0,1], got {self.tail_uniform_share}"
+            )
+        if self.head_exponent <= 1.0:
+            raise ConfigurationError(
+                f"head_exponent must exceed 1, got {self.head_exponent}"
+            )
+
+
+class ICAPopulation:
+    """The web's CA population, addressable by domain rank."""
+
+    def __init__(
+        self,
+        config: PopulationConfig = PopulationConfig(),
+        ranking: Optional[DomainRanking] = None,
+    ) -> None:
+        self.config = config
+        self.ranking = ranking or DomainRanking(seed=config.seed)
+        self.hierarchy: Hierarchy = build_hierarchy(
+            config.algorithm,
+            total_icas=config.universe_icas,
+            num_roots=config.num_roots,
+            depth_weights={1: 0.50, 2: 0.35, 3: 0.145, 4: 0.005},
+            seed=config.seed,
+        )
+        shuffle_rng = random.Random(config.seed ^ 0xBEEF)
+        self._paths_by_depth: Dict[int, List[ICAPath]] = {}
+        for path in self.hierarchy.paths:
+            self._paths_by_depth.setdefault(path.depth, []).append(path)
+        for depth, paths in self._paths_by_depth.items():
+            shuffle_rng.shuffle(paths)  # popularity order, decoupled from creation
+        self._cum_weights: Dict[int, List[float]] = {
+            depth: self._cumulative_zipf(len(paths))
+            for depth, paths in self._paths_by_depth.items()
+        }
+        self._mix: ChainMix = table2_mix(config.month)
+        self._credentials: Dict[int, ServerCredential] = {}
+
+    # -- internals ------------------------------------------------------------
+
+    def _cumulative_zipf(self, n: int) -> List[float]:
+        acc = 0.0
+        out = []
+        for i in range(n):
+            acc += 1.0 / (i + 1) ** self.config.head_exponent
+            out.append(acc)
+        return out
+
+    def _rng_for(self, rank: int, salt: int) -> random.Random:
+        return random.Random(
+            (self.config.seed << 32) ^ (rank * 0x9E3779B1) ^ (salt * 0x85EBCA6B)
+        )
+
+    def _available_depth(self, depth: int) -> int:
+        while depth > 0 and not self._paths_by_depth.get(depth):
+            depth -= 1
+        return depth
+
+    # -- assignment -----------------------------------------------------------
+
+    def depth_for_rank(self, rank: int) -> int:
+        """Chain depth (ICA count) of the domain at ``rank``."""
+        depth = self._mix.sample_depth(self._rng_for(rank, 1))
+        return self._available_depth(depth)
+
+    def path_for_rank(self, rank: int) -> ICAPath:
+        depth = self.depth_for_rank(rank)
+        if depth == 0:
+            roots = self._paths_by_depth.get(0, [])
+            if not roots:
+                raise ConfigurationError("hierarchy has no root-direct paths")
+            return roots[self._rng_for(rank, 2).randrange(len(roots))]
+        paths = self._paths_by_depth[depth]
+        rng = self._rng_for(rank, 3)
+        if (
+            rank > self.config.hot_rank_threshold
+            and rng.random() < self.config.tail_uniform_share
+        ):
+            return paths[rng.randrange(len(paths))]
+        cum = self._cum_weights[depth]
+        u = rng.random() * cum[-1]
+        return paths[min(bisect.bisect_left(cum, u), len(paths) - 1)]
+
+    # -- issuance ------------------------------------------------------------
+
+    def credential_for_rank(self, rank: int) -> ServerCredential:
+        """The server credential (chain + leaf key) for a domain; cached,
+        so a domain presents one stable chain across the simulation."""
+        cred = self._credentials.get(rank)
+        if cred is None:
+            cred = self.hierarchy.issue_credential(
+                self.ranking.domain(rank), self.path_for_rank(rank)
+            )
+            self._credentials[rank] = cred
+        return cred
+
+    def chain_for_rank(self, rank: int):
+        return self.credential_for_rank(rank).chain
+
+    # -- population views --------------------------------------------------------
+
+    def ica_universe(self) -> List[Certificate]:
+        return self.hierarchy.ica_certificates()
+
+    def hot_ica_certificates(self, top_n: int = 10_000) -> List[Certificate]:
+        """Distinct ICAs observed across the top-``top_n`` domains — the
+        paper's filter contents (245 for the June '22 crawl)."""
+        seen: Dict[bytes, Certificate] = {}
+        for rank in range(1, top_n + 1):
+            path = self.path_for_rank(rank)
+            for cert in path.ica_certificates():
+                seen.setdefault(cert.fingerprint(), cert)
+        return list(seen.values())

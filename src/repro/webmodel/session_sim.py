@@ -1,0 +1,356 @@
+"""Browsing-session simulator — the engine behind Fig. 5.
+
+Mirrors the paper's §5.3 methodology: a simulated user visits domains
+(Burklen model over the synthetic Tranco ranking); for every *unique*
+destination the simulator runs a **real handshake** through the TLS
+substrate with the IC-filter extension attached, so suppressions, misses
+and false positives are produced by the actual cuckoo-filter lookups, not
+by sampling an epsilon. Per destination it records chain composition,
+suppression outcome and an RTT draw; the result object then reproduces
+the paper's three panels:
+
+* Fig. 5-left — ICA bytes exchanged with/without suppression, measured
+  for the baseline PKI and extrapolated to the PQ algorithms (exact here,
+  because certificate size is ``attrs + pk + sig`` by construction);
+* Fig. 5-center — PQ-authentication-induced latency vs RTT (flight
+  model), the input to the linear fit;
+* Fig. 5-right — TTFB distributions per scenario, with a false positive
+  doubling the observed TTFB, as in the paper.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.estimator import crypto_cpu_seconds
+from repro.core.suppression import ClientSuppressor, ServerSuppressor
+from repro.errors import SimulationError
+from repro.netsim.latency import LogNormalRTT
+from repro.netsim.tcp import TCPConfig, time_to_first_byte_s
+from repro.pki import build_hierarchy
+from repro.pki.algorithms import get_signature_algorithm
+from repro.pki.certificate import DEFAULT_ATTRIBUTE_BYTES
+from repro.pki.keys import KeyPair
+from repro.pki.ocsp import OCSPStaple
+from repro.pki.sct import SignedCertificateTimestamp
+from repro.pki.store import IntermediatePreload
+from repro.tls.server import ServerConfig
+from repro.tls.session import HandshakeOutcome, run_handshake
+from repro.webmodel.browsing import BrowsingConfig, BrowsingModel
+from repro.webmodel.population import ICAPopulation, PopulationConfig
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Parameters of one browsing-session experiment (§5.3 defaults)."""
+
+    num_domains: int = 200
+    filter_kind: str = "cuckoo"
+    fpp: float = 1e-3
+    load_factor: float = 0.9
+    kem_name: str = "ntru-hps-509"
+    baseline_algorithm: str = "rsa-2048"
+    pq_algorithms: Tuple[str, ...] = ("dilithium3", "dilithium5", "sphincs-128f")
+    rtt_median_s: float = 0.045
+    rtt_sigma: float = 0.5
+    initcwnd_segments: int = 10
+    include_staples: bool = True
+    at_time: int = 1_000
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class DestinationOutcome:
+    """One unique destination's handshake record."""
+
+    rank: int
+    num_icas: int
+    icas_sent_first: int
+    suppressed_count: int
+    false_positive: bool
+    rtt_s: float
+
+    @property
+    def icas_sent_total(self) -> int:
+        """ICA certs transmitted across attempts (a false positive pays
+        the partial first attempt plus the full retry)."""
+        return self.icas_sent_first + (self.num_icas if self.false_positive else 0)
+
+
+@dataclass
+class SessionResult:
+    """Aggregated session metrics with per-algorithm extrapolation."""
+
+    config: SessionConfig
+    outcomes: List[DestinationOutcome]
+    filter_payload_bytes: int
+    filter_lookup_seconds: float
+
+    # -- basic counts ------------------------------------------------------------
+
+    @property
+    def unique_destinations(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def false_positives(self) -> int:
+        return sum(o.false_positive for o in self.outcomes)
+
+    @property
+    def total_icas(self) -> int:
+        return sum(o.num_icas for o in self.outcomes)
+
+    @property
+    def known_ica_rate(self) -> float:
+        """Share of encountered ICA certs the filter suppressed (the
+        paper's 'common ICA certs' rate, 69-74 %)."""
+        total = self.total_icas
+        return sum(o.suppressed_count for o in self.outcomes) / total if total else 0.0
+
+    # -- Fig. 5-left: ICA data volume ----------------------------------------------
+
+    def ica_cert_bytes(self, algorithm_name: str) -> int:
+        """Per-certificate DER size under ``algorithm_name``."""
+        alg = get_signature_algorithm(algorithm_name)
+        return alg.auth_bytes_per_certificate(DEFAULT_ATTRIBUTE_BYTES)
+
+    def ica_data_bytes(self, algorithm_name: str, suppressed: bool) -> int:
+        per_cert = self.ica_cert_bytes(algorithm_name)
+        if suppressed:
+            return per_cert * sum(o.icas_sent_total for o in self.outcomes)
+        return per_cert * self.total_icas
+
+    def ica_savings_bytes(self, algorithm_name: str) -> int:
+        return self.ica_data_bytes(algorithm_name, False) - self.ica_data_bytes(
+            algorithm_name, True
+        )
+
+    def ica_reduction_ratio(self) -> float:
+        """Fractional reduction in exchanged ICA data (algorithm-free:
+        every ICA cert has the same size within a deployment)."""
+        total = self.total_icas
+        if not total:
+            return 0.0
+        sent = sum(o.icas_sent_total for o in self.outcomes)
+        return 1.0 - sent / total
+
+    # -- Fig. 5-right: TTFB -----------------------------------------------------------
+
+    def ttfb_samples(
+        self, algorithm_name: str, suppressed: bool
+    ) -> List[float]:
+        """Per-destination TTFB under the scenario, per the paper's
+        method: flight-model TTFB, filter-lookup time added when
+        suppression is on, and a false positive doubling the TTFB."""
+        tcp = TCPConfig(initcwnd_segments=self.config.initcwnd_segments)
+        alg = get_signature_algorithm(algorithm_name)
+        cpu = crypto_cpu_seconds(alg, self.config.kem_name)
+        samples = []
+        for outcome in self.outcomes:
+            n_sent = outcome.icas_sent_first if suppressed else outcome.num_icas
+            ch, flight = flight_sizes(
+                algorithm_name,
+                self.config.kem_name,
+                n_sent,
+                self.config.include_staples,
+            )
+            if suppressed:
+                ch += self.filter_payload_bytes + 4  # extension framing
+            ttfb = time_to_first_byte_s(ch, flight, outcome.rtt_s, tcp, cpu)
+            if suppressed:
+                ttfb += self.filter_lookup_seconds
+                if outcome.false_positive:
+                    ttfb *= 2
+            samples.append(ttfb)
+        return samples
+
+
+@functools.lru_cache(maxsize=None)
+def _micro_credential(algorithm_name: str, n_icas: int):
+    """A credential whose chain has exactly ``n_icas`` intermediates,
+    used to measure exact flight sizes for any algorithm."""
+    from repro.pki.authority import CertificateAuthority, ServerCredential
+    from repro.pki.chain import CertificateChain
+    from repro.pki.store import TrustStore
+
+    root = CertificateAuthority.create_root(
+        "Flight Probe Root", algorithm_name, seed=0xF11
+    )
+    issuer = root
+    authorities = []
+    for i in range(n_icas):
+        issuer = issuer.create_subordinate(
+            f"Flight Probe ICA {i}", seed=0xF20 + i
+        )
+        authorities.append(issuer)
+    alg = get_signature_algorithm(algorithm_name)
+    keypair = KeyPair(alg, 0xF99)
+    leaf = issuer.issue_leaf_with_key("flight-probe.example", keypair)
+    chain = CertificateChain(
+        leaf=leaf,
+        intermediates=tuple(ca.certificate for ca in reversed(authorities)),
+        root=root.certificate,
+    )
+    return ServerCredential(chain=chain, keypair=keypair), TrustStore(
+        [root.certificate]
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def flight_sizes(
+    algorithm_name: str, kem_name: str, n_icas: int, staples: bool
+) -> Tuple[int, int]:
+    """(ClientHello bytes, server-flight bytes) measured by running one
+    real handshake with the given chain shape — exact by construction."""
+    from repro.tls.client import ClientConfig
+
+    credential, store = _micro_credential(algorithm_name, n_icas)
+    responder = KeyPair(get_signature_algorithm(algorithm_name), 0xE5D)
+    ocsp = scts = None
+    sct_list: List[SignedCertificateTimestamp] = []
+    if staples:
+        ocsp = OCSPStaple.create(credential.chain.leaf, responder, produced_at=1)
+        sct_list = [
+            SignedCertificateTimestamp.create(
+                credential.chain.leaf, responder, bytes([i]) * 32, 7
+            )
+            for i in (1, 2)
+        ]
+    server = ServerConfig(credential=credential, ocsp_staple=ocsp, scts=sct_list)
+    client = ClientConfig(
+        trust_store=store,
+        kem_name=kem_name,
+        hostname="flight-probe.example",
+        at_time=10,
+    )
+    trace = run_handshake(client, server)
+    if not trace.succeeded:
+        raise SimulationError(
+            f"flight probe failed: {trace.final_attempt.failure_reason}"
+        )
+    attempt = trace.attempts[0]
+    return attempt.client_hello_bytes, attempt.server_flight_bytes
+
+
+class BrowsingSessionSimulator:
+    """Runs browsing sessions against a shared population."""
+
+    def __init__(
+        self,
+        config: SessionConfig = SessionConfig(),
+        population: Optional[ICAPopulation] = None,
+    ) -> None:
+        self.config = config
+        self.population = population or ICAPopulation(
+            PopulationConfig(seed=config.seed)
+        )
+        hot = self.population.hot_ica_certificates()
+        self.suppressor = ClientSuppressor(
+            preload=IntermediatePreload(hot),
+            filter_kind=config.filter_kind,
+            fpp=config.fpp,
+            load_factor=config.load_factor,
+            budget_bytes=None,  # see EXPERIMENTS.md on the 550-byte budget
+            seed=config.seed,
+        )
+        self.server_suppressor = ServerSuppressor(max_cached_filters=8)
+        self.trust_store = self.population.hierarchy.trust_store()
+        self._staples_cache: Dict[int, Tuple[Optional[OCSPStaple], list]] = {}
+        self._responder = KeyPair(
+            get_signature_algorithm(self.population.config.algorithm), 0xCA7
+        )
+        self._lookup_seconds = self._measure_lookup_seconds()
+
+    def _measure_lookup_seconds(self) -> float:
+        import time
+
+        filt = self.suppressor.filter
+        probes = [bytes([i % 256]) * 32 for i in range(2000)]
+        start = time.perf_counter()
+        for probe in probes:
+            filt.contains(probe)
+        return (time.perf_counter() - start) / len(probes)
+
+    def _staples_for(self, rank: int):
+        cached = self._staples_cache.get(rank)
+        if cached is not None:
+            return cached
+        if not self.config.include_staples:
+            result = (None, [])
+        else:
+            leaf = self.population.credential_for_rank(rank).chain.leaf
+            result = (
+                OCSPStaple.create(leaf, self._responder, produced_at=1),
+                [
+                    SignedCertificateTimestamp.create(
+                        leaf, self._responder, bytes([i]) * 32, 7
+                    )
+                    for i in (1, 2)
+                ],
+            )
+        self._staples_cache[rank] = result
+        return result
+
+    def run(self, run_index: int = 0) -> SessionResult:
+        """Simulate one session (the paper runs 10 with 200 domains)."""
+        cfg = self.config
+        browsing = BrowsingModel(
+            BrowsingConfig(seed=cfg.seed * 1009 + run_index),
+            ranking=self.population.ranking,
+        )
+        visits = browsing.session(cfg.num_domains)
+        destinations = browsing.unique_destination_ranks(visits)
+        rtt_sampler = LogNormalRTT(
+            cfg.rtt_median_s, cfg.rtt_sigma, seed=cfg.seed * 31 + run_index
+        )
+        outcomes: List[DestinationOutcome] = []
+        for i, rank in enumerate(destinations):
+            credential = self.population.credential_for_rank(rank)
+            ocsp, scts = self._staples_for(rank)
+            server_config = ServerConfig(
+                credential=credential,
+                suppression_handler=self.server_suppressor,
+                ocsp_staple=ocsp,
+                scts=list(scts),
+                seed=run_index * 1_000_003 + i,
+            )
+            client_config = self.suppressor.client_config(
+                self.trust_store,
+                hostname=credential.chain.leaf.subject,
+                kem_name=cfg.kem_name,
+                at_time=cfg.at_time,
+                seed=run_index * 7_000_003 + i,
+            )
+            trace = run_handshake(client_config, server_config)
+            if not trace.succeeded:
+                raise SimulationError(
+                    f"handshake to rank {rank} failed: "
+                    f"{trace.final_attempt.failure_reason}"
+                )
+            chain = credential.chain
+            first = trace.attempts[0]
+            ica_size = chain.intermediates[0].size_bytes() if chain.num_icas else 1
+            sent_first = (
+                first.ica_bytes_sent // ica_size if chain.num_icas else 0
+            )
+            outcomes.append(
+                DestinationOutcome(
+                    rank=rank,
+                    num_icas=chain.num_icas,
+                    icas_sent_first=sent_first,
+                    suppressed_count=chain.num_icas - sent_first,
+                    false_positive=trace.false_positive,
+                    rtt_s=rtt_sampler.sample(),
+                )
+            )
+        return SessionResult(
+            config=cfg,
+            outcomes=outcomes,
+            filter_payload_bytes=len(self.suppressor.extension_payload()),
+            filter_lookup_seconds=self._lookup_seconds,
+        )
+
+    def run_many(self, runs: int = 10) -> List[SessionResult]:
+        return [self.run(i) for i in range(runs)]

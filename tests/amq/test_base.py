@@ -1,0 +1,78 @@
+"""Tests for FilterParams validation and AMQFilter shared behaviour."""
+
+import pytest
+
+from repro.amq import BloomFilter, CuckooFilter, FilterParams
+from repro.errors import ConfigurationError
+
+
+class TestFilterParams:
+    def test_defaults(self):
+        p = FilterParams(capacity=100)
+        assert p.fpp == 1e-3
+        assert p.load_factor == 0.95
+        assert p.seed == 0
+
+    def test_frozen(self):
+        p = FilterParams(capacity=100)
+        with pytest.raises(AttributeError):
+            p.capacity = 5
+
+    @pytest.mark.parametrize("capacity", [0, -1, -100])
+    def test_bad_capacity(self, capacity):
+        with pytest.raises(ConfigurationError):
+            FilterParams(capacity=capacity)
+
+    @pytest.mark.parametrize("fpp", [0.0, 1.0, -0.5, 2.0])
+    def test_bad_fpp(self, fpp):
+        with pytest.raises(ConfigurationError):
+            FilterParams(capacity=10, fpp=fpp)
+
+    @pytest.mark.parametrize("lf", [0.0, 1.5, -0.1])
+    def test_bad_load_factor(self, lf):
+        with pytest.raises(ConfigurationError):
+            FilterParams(capacity=10, load_factor=lf)
+
+    def test_bad_seed(self):
+        with pytest.raises(ConfigurationError):
+            FilterParams(capacity=10, seed=-1)
+
+    def test_load_factor_of_one_allowed(self):
+        assert FilterParams(capacity=10, load_factor=1.0).load_factor == 1.0
+
+
+class TestSharedBehaviour:
+    def test_len_tracks_insertions(self, paper_params, items_245):
+        f = CuckooFilter(paper_params)
+        assert len(f) == 0
+        f.insert_all(items_245[:10])
+        assert len(f) == 10
+
+    def test_in_operator(self, paper_params):
+        f = CuckooFilter(paper_params)
+        f.insert(b"cert-a")
+        assert b"cert-a" in f
+
+    def test_insert_all_returns_count(self, paper_params, items_245):
+        f = CuckooFilter(paper_params)
+        assert f.insert_all(items_245) == 245
+
+    def test_bits_per_item_infinite_when_empty(self, paper_params):
+        f = CuckooFilter(paper_params)
+        assert f.bits_per_item() == float("inf")
+
+    def test_bits_per_item_finite_when_loaded(self, paper_params, items_245):
+        f = CuckooFilter(paper_params)
+        f.insert_all(items_245)
+        bpi = f.bits_per_item()
+        # 13-bit fingerprints at <=50% table fill: between 13 and ~60.
+        assert 13 <= bpi <= 120
+
+    def test_params_property_round_trip(self, paper_params):
+        assert CuckooFilter(paper_params).params == paper_params
+
+    def test_bloom_rejects_delete(self, paper_params):
+        f = BloomFilter(paper_params)
+        f.insert(b"x")
+        with pytest.raises(Exception):
+            f.delete(b"x")

@@ -1,0 +1,159 @@
+"""Unit tests for the Bloom and counting-Bloom filters."""
+
+import math
+
+import pytest
+
+from repro.amq import BloomFilter, CountingBloomFilter, FilterParams
+from repro.amq.bloom import _optimal_geometry
+from repro.errors import (
+    DeletionUnsupportedError,
+    FilterFullError,
+    FilterSerializationError,
+)
+from tests.conftest import make_items
+
+
+class TestOptimalGeometry:
+    def test_textbook_values(self):
+        # n=1000, eps=1%: m ~= 9585 bits, k ~= 7.
+        m, k = _optimal_geometry(1000, 0.01)
+        assert abs(m - 9586) <= 2
+        assert k == 7
+
+    def test_lower_fpp_means_more_bits(self):
+        m_hi, _ = _optimal_geometry(500, 0.01)
+        m_lo, _ = _optimal_geometry(500, 0.0001)
+        assert m_lo > m_hi
+
+    def test_k_at_least_one(self):
+        _, k = _optimal_geometry(10, 0.5)
+        assert k >= 1
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self, paper_params, items_245):
+        f = BloomFilter(paper_params)
+        f.insert_all(items_245)
+        assert all(f.contains(i) for i in items_245)
+
+    def test_fpp_near_target(self, rng, paper_params, items_245):
+        f = BloomFilter(paper_params)
+        f.insert_all(items_245)
+        probes = make_items(rng, 30000, size=24)
+        fp = sum(f.contains(p) for p in probes) / len(probes)
+        assert fp <= paper_params.fpp * 3
+
+    def test_capacity_enforced(self):
+        f = BloomFilter(FilterParams(capacity=5))
+        for i in range(5):
+            f.insert(bytes([i]))
+        with pytest.raises(FilterFullError):
+            f.insert(b"overflow")
+
+    def test_delete_unsupported(self, paper_params):
+        f = BloomFilter(paper_params)
+        with pytest.raises(DeletionUnsupportedError):
+            f.delete(b"x")
+
+    def test_size_matches_geometry(self, paper_params):
+        f = BloomFilter(paper_params)
+        m, _ = _optimal_geometry(paper_params.capacity, paper_params.fpp)
+        assert f.size_in_bytes() == (m + 7) // 8
+
+    def test_serialization_roundtrip(self, paper_params, items_245):
+        f = BloomFilter(paper_params)
+        f.insert_all(items_245)
+        g = BloomFilter.from_bytes(paper_params, f.to_bytes())
+        assert all(g.contains(i) for i in items_245)
+
+    def test_cardinality_estimate_close(self, paper_params, items_245):
+        f = BloomFilter(paper_params)
+        f.insert_all(items_245)
+        g = BloomFilter.from_bytes(paper_params, f.to_bytes())
+        assert abs(len(g) - 245) <= 25
+
+    def test_from_bytes_rejects_wrong_length(self, paper_params):
+        with pytest.raises(FilterSerializationError):
+            BloomFilter.from_bytes(paper_params, b"\x00" * 3)
+
+    def test_current_fpp_grows_with_fill(self, paper_params, items_245):
+        f = BloomFilter(paper_params)
+        f.insert_all(items_245[:50])
+        early = f.current_fpp()
+        f.insert_all(items_245[50:])
+        assert f.current_fpp() > early
+
+    def test_empty_filter_contains_nothing(self, rng, paper_params):
+        f = BloomFilter(paper_params)
+        assert not any(f.contains(p) for p in make_items(rng, 1000))
+
+
+class TestCountingBloomFilter:
+    def test_insert_delete_reinstates_absence(self, rng, paper_params, items_245):
+        f = CountingBloomFilter(paper_params)
+        f.insert_all(items_245)
+        for item in items_245[:120]:
+            assert f.delete(item)
+        # Remaining items must still be present (no false negatives).
+        assert all(f.contains(i) for i in items_245[120:])
+
+    def test_delete_absent_returns_false(self, paper_params):
+        f = CountingBloomFilter(paper_params)
+        f.insert(b"present")
+        assert not f.delete(b"definitely-absent")
+
+    def test_delete_on_empty_filter(self, paper_params):
+        f = CountingBloomFilter(paper_params)
+        assert not f.delete(b"anything")
+
+    def test_double_insert_needs_double_delete(self, paper_params):
+        f = CountingBloomFilter(paper_params)
+        f.insert(b"dup")
+        f.insert(b"dup")
+        assert f.delete(b"dup")
+        assert f.contains(b"dup")
+        assert f.delete(b"dup")
+
+    def test_four_times_bloom_size(self, paper_params):
+        bloom = BloomFilter(paper_params)
+        counting = CountingBloomFilter(paper_params)
+        ratio = counting.size_in_bytes() / bloom.size_in_bytes()
+        assert 3.5 <= ratio <= 4.5
+
+    def test_capacity_enforced(self):
+        f = CountingBloomFilter(FilterParams(capacity=3))
+        for i in range(3):
+            f.insert(bytes([i]))
+        with pytest.raises(FilterFullError):
+            f.insert(b"overflow")
+
+    def test_counter_saturation_preserves_membership(self):
+        # Hammer a single item far past the 4-bit counter maximum; deleting
+        # the same number of times must never produce a false negative for
+        # a still-present co-resident item.
+        f = CountingBloomFilter(FilterParams(capacity=200, fpp=0.01))
+        f.insert(b"resident")
+        for _ in range(40):
+            f.insert(b"hammer")
+        for _ in range(40):
+            f.delete(b"hammer")
+        assert f.contains(b"resident")
+
+    def test_serialization_roundtrip_preserves_count(self, paper_params, items_245):
+        f = CountingBloomFilter(paper_params)
+        f.insert_all(items_245)
+        g = CountingBloomFilter.from_bytes(paper_params, f.to_bytes())
+        assert len(g) == 245
+        assert all(g.contains(i) for i in items_245)
+
+    def test_from_bytes_rejects_truncated(self, paper_params):
+        with pytest.raises(FilterSerializationError):
+            CountingBloomFilter.from_bytes(paper_params, b"\x00\x01")
+
+    def test_fpp_near_target(self, rng, paper_params, items_245):
+        f = CountingBloomFilter(paper_params)
+        f.insert_all(items_245)
+        probes = make_items(rng, 30000, size=24)
+        fp = sum(f.contains(p) for p in probes) / len(probes)
+        assert fp <= paper_params.fpp * 3

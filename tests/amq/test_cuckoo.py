@@ -1,0 +1,167 @@
+"""Unit tests for the cuckoo filter."""
+
+import pytest
+
+from repro.amq import CuckooFilter, FilterParams
+from repro.errors import FilterFullError, FilterSerializationError
+from tests.conftest import make_items
+
+
+class TestGeometry:
+    def test_power_of_two_buckets(self, paper_params):
+        f = CuckooFilter(paper_params)
+        assert f.num_buckets & (f.num_buckets - 1) == 0
+
+    def test_fingerprint_bits_for_paper_config(self, paper_params):
+        # fpp 0.1%, b=4: f = ceil(log2(8/0.001)) = 13 bits.
+        assert CuckooFilter(paper_params).fingerprint_bits == 13
+
+    def test_capacity_fits_at_target_load(self, paper_params):
+        f = CuckooFilter(paper_params)
+        assert f.slot_count() * paper_params.load_factor >= paper_params.capacity
+
+    def test_size_uses_semi_sorted_buckets(self, paper_params):
+        f = CuckooFilter(paper_params)
+        assert f.semi_sort
+        expected = (f.num_buckets * (4 * f.fingerprint_bits - 4) + 7) // 8
+        assert f.size_in_bytes() == expected
+
+    def test_semi_sort_saves_one_bit_per_item(self, paper_params):
+        compact = CuckooFilter(paper_params)
+        plain = CuckooFilter(paper_params, semi_sort=False)
+        saved_bits = plain.size_in_bytes() * 8 - compact.size_in_bytes() * 8
+        assert saved_bits == plain.slot_count()
+
+    def test_plain_and_semi_sorted_answer_identically(
+        self, paper_params, items_245
+    ):
+        compact = CuckooFilter(paper_params)
+        plain = CuckooFilter(paper_params, semi_sort=False)
+        compact.insert_all(items_245)
+        plain.insert_all(items_245)
+        for item in items_245:
+            assert compact.contains(item) and plain.contains(item)
+
+
+class TestMembership:
+    def test_no_false_negatives(self, paper_params, items_245):
+        f = CuckooFilter(paper_params)
+        f.insert_all(items_245)
+        assert all(f.contains(i) for i in items_245)
+
+    def test_fpp_near_target(self, rng, paper_params, items_245):
+        f = CuckooFilter(paper_params)
+        f.insert_all(items_245)
+        probes = make_items(rng, 30000, size=24)
+        fp = sum(f.contains(p) for p in probes) / len(probes)
+        assert fp <= paper_params.fpp * 3
+
+    def test_empty_filter_contains_nothing(self, rng, paper_params):
+        f = CuckooFilter(paper_params)
+        assert not any(f.contains(p) for p in make_items(rng, 2000))
+
+    def test_duplicate_inserts_supported(self, paper_params):
+        f = CuckooFilter(paper_params)
+        for _ in range(4):
+            f.insert(b"dup")
+        assert len(f) == 4
+        assert f.contains(b"dup")
+
+
+class TestDeletion:
+    def test_delete_present(self, paper_params, items_245):
+        f = CuckooFilter(paper_params)
+        f.insert_all(items_245)
+        assert f.delete(items_245[0])
+        assert len(f) == 244
+
+    def test_delete_absent_returns_false(self, paper_params, items_245):
+        f = CuckooFilter(paper_params)
+        f.insert_all(items_245[:10])
+        assert not f.delete(items_245[-1])
+
+    def test_delete_then_others_still_present(self, paper_params, items_245):
+        f = CuckooFilter(paper_params)
+        f.insert_all(items_245)
+        for item in items_245[:100]:
+            f.delete(item)
+        assert all(f.contains(i) for i in items_245[100:])
+
+    def test_delete_reopens_capacity(self, rng):
+        """The dynamic-update property the paper needs: expired ICAs can be
+        deleted and new ones inserted without rebuilding (§4.2)."""
+        params = FilterParams(capacity=240, fpp=1e-3, load_factor=0.9, seed=1)
+        f = CuckooFilter(params)
+        gen_a = make_items(rng, 240)
+        f.insert_all(gen_a)
+        for item in gen_a[:50]:
+            assert f.delete(item)
+        gen_b = make_items(rng, 50, size=20)
+        f.insert_all(gen_b)
+        assert all(f.contains(i) for i in gen_b)
+        assert all(f.contains(i) for i in gen_a[50:])
+
+    def test_duplicate_delete_counts_down(self, paper_params):
+        f = CuckooFilter(paper_params)
+        f.insert(b"dup")
+        f.insert(b"dup")
+        assert f.delete(b"dup")
+        assert f.contains(b"dup")
+        assert f.delete(b"dup")
+        assert not f.contains(b"dup")
+
+
+class TestOverflow:
+    def test_insert_beyond_physical_capacity_raises(self, rng):
+        params = FilterParams(capacity=64, fpp=0.01, load_factor=1.0, seed=5)
+        f = CuckooFilter(params)
+        items = make_items(rng, 4 * f.slot_count())
+        with pytest.raises(FilterFullError):
+            f.insert_all(items)
+
+    def test_fills_to_high_load_factor(self, rng):
+        """A size-4-bucket cuckoo table should comfortably exceed 90%
+        occupancy before the first failure (Fan et al. report ~95%)."""
+        params = FilterParams(capacity=1024, fpp=0.01, load_factor=1.0, seed=9)
+        f = CuckooFilter(params)
+        items = make_items(rng, f.slot_count() + 100, size=16)
+        inserted = 0
+        try:
+            for item in items:
+                f.insert(item)
+                inserted += 1
+        except FilterFullError:
+            pass
+        assert inserted / f.slot_count() > 0.9
+
+
+class TestSerialization:
+    def test_roundtrip_identical_table(self, paper_params, items_245):
+        f = CuckooFilter(paper_params)
+        f.insert_all(items_245)
+        g = CuckooFilter.from_bytes(paper_params, f.to_bytes())
+        assert g.to_bytes() == f.to_bytes()
+        assert len(g) == len(f)
+
+    def test_roundtrip_membership(self, paper_params, items_245):
+        f = CuckooFilter(paper_params)
+        f.insert_all(items_245)
+        g = CuckooFilter.from_bytes(paper_params, f.to_bytes())
+        assert all(g.contains(i) for i in items_245)
+
+    def test_wire_length_equals_size_in_bytes(self, paper_params, items_245):
+        f = CuckooFilter(paper_params)
+        f.insert_all(items_245)
+        assert len(f.to_bytes()) == f.size_in_bytes()
+
+    def test_from_bytes_rejects_bad_length(self, paper_params):
+        with pytest.raises(FilterSerializationError):
+            CuckooFilter.from_bytes(paper_params, b"\x01\x02\x03")
+
+    def test_deserialized_filter_supports_deletion(self, paper_params, items_245):
+        f = CuckooFilter(paper_params)
+        f.insert_all(items_245)
+        g = CuckooFilter.from_bytes(paper_params, f.to_bytes())
+        assert g.delete(items_245[3])
+        assert not g.contains(items_245[3]) or True  # fp possible; count is exact
+        assert len(g) == 244

@@ -1,0 +1,79 @@
+"""Tests for the occupancy-aware effective-FPP estimators.
+
+These estimators explain the FP-count divergence documented in
+EXPERIMENTS.md (observed false positives track the *effective* FPP at the
+filter's actual occupancy, not the construction-time target), so they
+must themselves track measured rates.
+"""
+
+import pytest
+
+from repro.amq import (
+    BloomFilter,
+    CountingBloomFilter,
+    CuckooFilter,
+    FilterParams,
+    QuotientFilter,
+    VacuumFilter,
+    XorFilter,
+    canonical_params,
+)
+from tests.conftest import make_items
+
+ALL_FILTERS = [
+    BloomFilter,
+    CountingBloomFilter,
+    CuckooFilter,
+    VacuumFilter,
+    QuotientFilter,
+    XorFilter,
+]
+
+
+@pytest.mark.parametrize("filter_cls", ALL_FILTERS)
+def test_estimate_tracks_measured_rate(rng, filter_cls):
+    params = canonical_params(
+        FilterParams(capacity=400, fpp=0.02, load_factor=0.9, seed=3)
+    )
+    filt = filter_cls(params)
+    filt.insert_all(make_items(rng, 400))
+    probes = make_items(rng, 40_000, size=20)
+    measured = sum(filt.contains(p) for p in probes) / len(probes)
+    estimate = filt.effective_fpp()
+    assert estimate > 0
+    # Within a factor of ~2.5 either way (these are first-order models).
+    assert measured <= 2.5 * estimate + 1e-4
+    assert measured >= estimate / 2.5 - 1e-4
+
+
+@pytest.mark.parametrize("filter_cls", [CuckooFilter, VacuumFilter, QuotientFilter])
+def test_effective_fpp_grows_with_occupancy(rng, filter_cls):
+    params = canonical_params(
+        FilterParams(capacity=400, fpp=1e-3, load_factor=0.9, seed=5)
+    )
+    filt = filter_cls(params)
+    empty = filt.effective_fpp()
+    filt.insert_all(make_items(rng, 400))
+    assert filt.effective_fpp() > empty
+    assert empty == 0  # nothing stored, nothing to falsely match
+
+
+def test_xor_fpp_independent_of_occupancy(rng):
+    params = canonical_params(FilterParams(capacity=300, fpp=1e-3, seed=7))
+    filt = XorFilter(params)
+    before = filt.effective_fpp()
+    filt.insert_all(make_items(rng, 150))
+    assert filt.effective_fpp() == before
+
+
+def test_explains_fig5_divergence(rng):
+    """The EXPERIMENTS.md story in one assertion: the paper-configured
+    cuckoo filter (245 items at nominal 0.1%) actually operates around
+    0.05% effective FPP because of fingerprint-width ceiling and table
+    under-fill."""
+    params = canonical_params(
+        FilterParams(capacity=245, fpp=1e-3, load_factor=0.9, seed=1)
+    )
+    filt = CuckooFilter(params)
+    filt.insert_all(make_items(rng, 245))
+    assert filt.effective_fpp() < 1e-3 / 1.5

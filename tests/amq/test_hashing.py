@@ -1,0 +1,108 @@
+"""Unit tests for the 64-bit hashing primitives."""
+
+import pytest
+
+from repro.amq.hashing import (
+    MASK64,
+    double_hashes,
+    fingerprint,
+    fnv1a64,
+    hash64,
+    hash_int,
+    splitmix64,
+)
+
+
+class TestHash64:
+    def test_stable_across_calls(self):
+        assert hash64(b"ica-cert") == hash64(b"ica-cert")
+
+    def test_in_64_bit_range(self):
+        for data in (b"", b"\x00", b"x" * 1000):
+            assert 0 <= hash64(data) <= MASK64
+
+    def test_seed_changes_value(self):
+        assert hash64(b"cert", seed=0) != hash64(b"cert", seed=1)
+
+    def test_distinct_inputs_differ(self):
+        values = {hash64(bytes([i, j])) for i in range(64) for j in range(64)}
+        assert len(values) == 64 * 64
+
+    def test_empty_input_ok(self):
+        assert isinstance(hash64(b""), int)
+
+    def test_single_bit_flip_avalanche(self):
+        """Flipping one input bit should flip a substantial share of
+        output bits (weak avalanche check over many trials)."""
+        total_flips = 0
+        trials = 200
+        for i in range(trials):
+            base = i.to_bytes(4, "big")
+            flipped = (i ^ 1).to_bytes(4, "big")
+            diff = hash64(base) ^ hash64(flipped)
+            total_flips += bin(diff).count("1")
+        avg = total_flips / trials
+        assert 24 <= avg <= 40  # ideal is 32
+
+
+class TestSplitmix64:
+    def test_bijective_on_samples(self):
+        outs = {splitmix64(x) for x in range(10000)}
+        assert len(outs) == 10000
+
+    def test_range(self):
+        assert 0 <= splitmix64(MASK64) <= MASK64
+
+
+class TestFnv1a64:
+    def test_known_offset_basis(self):
+        # FNV-1a of empty input with seed 0 is the offset basis.
+        assert fnv1a64(b"") == 0xCBF29CE484222325
+
+    def test_order_sensitivity(self):
+        assert fnv1a64(b"ab") != fnv1a64(b"ba")
+
+
+class TestHashInt:
+    def test_matches_on_same_input(self):
+        assert hash_int(12345) == hash_int(12345)
+
+    def test_seed_sensitivity(self):
+        assert hash_int(7, seed=1) != hash_int(7, seed=2)
+
+
+class TestDoubleHashes:
+    def test_count(self):
+        assert len(list(double_hashes(b"x", 7))) == 7
+
+    def test_zero_count(self):
+        assert list(double_hashes(b"x", 0)) == []
+
+    def test_derived_values_distinct(self):
+        hs = list(double_hashes(b"payload", 16))
+        assert len(set(hs)) == 16
+
+    def test_first_is_h1(self):
+        assert next(iter(double_hashes(b"p", 3))) == hash64(b"p")
+
+
+class TestFingerprint:
+    def test_never_zero(self):
+        # Scan many inputs at a tiny width where truncation to zero is
+        # frequent; the remap must always yield a non-zero value.
+        for i in range(5000):
+            assert fingerprint(i.to_bytes(4, "big"), 2) != 0
+
+    def test_width_respected(self):
+        for bits in (1, 4, 8, 13, 16, 32):
+            fp = fingerprint(b"some-cert", bits)
+            assert 1 <= fp < (1 << bits)
+
+    @pytest.mark.parametrize("bits", [0, -1, 33])
+    def test_invalid_width_rejected(self, bits):
+        with pytest.raises(ValueError):
+            fingerprint(b"x", bits)
+
+    def test_seed_sensitivity(self):
+        fps = {fingerprint(b"cert", 16, seed=s) for s in range(32)}
+        assert len(fps) > 16

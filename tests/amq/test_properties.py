@@ -1,0 +1,93 @@
+"""Property-based tests (hypothesis) for the AMQ invariants.
+
+Three invariants matter for the paper's correctness argument (§4.2):
+
+1.  **No false negatives** — a suppressed ICA is always genuinely known to
+    the client, otherwise validation would break rather than fall back.
+2.  **Deletions are exact** — removing an expired/revoked ICA never
+    removes evidence for other cached ICAs.
+3.  **Wire transparency** — server-side lookups against the deserialized
+    filter answer exactly like client-side lookups against the original.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.amq import (
+    CuckooFilter,
+    FilterParams,
+    QuotientFilter,
+    VacuumFilter,
+    canonical_params,
+    deserialize_filter,
+    serialize_filter,
+)
+
+DYNAMIC_FILTERS = [CuckooFilter, VacuumFilter, QuotientFilter]
+
+items_strategy = st.lists(
+    st.binary(min_size=4, max_size=40), min_size=1, max_size=120, unique=True
+)
+
+params_strategy = st.builds(
+    lambda cap, fpp_exp, lf, seed: canonical_params(
+        FilterParams(
+            capacity=cap, fpp=10.0**-fpp_exp, load_factor=lf, seed=seed
+        )
+    ),
+    cap=st.integers(min_value=150, max_value=600),
+    fpp_exp=st.integers(min_value=2, max_value=4),
+    lf=st.sampled_from([0.7, 0.8, 0.9]),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+
+relaxed = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.differing_executors],
+)
+
+
+@pytest.mark.parametrize("filter_cls", DYNAMIC_FILTERS)
+@relaxed
+@given(items=items_strategy, params=params_strategy)
+def test_no_false_negatives(filter_cls, items, params):
+    f = filter_cls(params)
+    f.insert_all(items)
+    assert all(f.contains(i) for i in items)
+
+
+@pytest.mark.parametrize("filter_cls", DYNAMIC_FILTERS)
+@relaxed
+@given(items=items_strategy, params=params_strategy, data=st.data())
+def test_deletion_preserves_survivors(filter_cls, items, params, data):
+    f = filter_cls(params)
+    f.insert_all(items)
+    n_delete = data.draw(st.integers(min_value=0, max_value=len(items)))
+    for item in items[:n_delete]:
+        assert f.delete(item)
+    assert all(f.contains(i) for i in items[n_delete:])
+    assert len(f) == len(items) - n_delete
+
+
+@pytest.mark.parametrize("filter_cls", DYNAMIC_FILTERS)
+@relaxed
+@given(items=items_strategy, params=params_strategy, probes=items_strategy)
+def test_wire_transparency(filter_cls, items, params, probes):
+    f = filter_cls(params)
+    f.insert_all(items)
+    g = deserialize_filter(serialize_filter(f))
+    for probe in items + probes:
+        assert f.contains(probe) == g.contains(probe)
+
+
+@pytest.mark.parametrize("filter_cls", DYNAMIC_FILTERS)
+@relaxed
+@given(items=items_strategy, params=params_strategy)
+def test_double_roundtrip_stable(filter_cls, items, params):
+    f = filter_cls(params)
+    f.insert_all(items)
+    once = serialize_filter(f)
+    twice = serialize_filter(deserialize_filter(once))
+    assert once == twice

@@ -1,0 +1,194 @@
+"""Unit tests for the (counting) quotient filter.
+
+The quotient filter's metadata-bit bookkeeping is intricate, so beyond the
+behavioural tests we validate structural invariants of the slot encoding
+after randomized insert/delete workloads.
+"""
+
+import random
+
+import pytest
+
+from repro.amq import FilterParams, QuotientFilter
+from repro.errors import FilterFullError, FilterSerializationError
+from tests.conftest import make_items
+
+
+def structural_invariants(f: QuotientFilter):
+    """Check the three-metadata-bit invariants of a quotient filter."""
+    n = f.slot_count()
+    for pos in range(n):
+        # A continuation slot is always shifted (a run head is either at
+        # its canonical slot or displaced; continuations never start runs).
+        if f._cont[pos]:
+            assert f._shift[pos], f"cont without shift at {pos}"
+        # A non-shifted, non-continuation slot holding data is canonical,
+        # so its occupied bit must be set.
+        if not f._shift[pos] and not f._cont[pos] and f._rem[pos] != 0:
+            # rem==0 is also a legal stored remainder, so only assert in
+            # the unambiguous direction:
+            pass
+        # occupied[q] implies slot q is non-empty.
+        if f._occ[pos]:
+            assert not f._slot_empty(pos), f"occupied but empty at {pos}"
+    # Global: number of runs equals number of occupied canonical slots.
+    runs = sum(
+        1
+        for pos in range(n)
+        if not f._slot_empty(pos) and not f._cont[pos]
+    )
+    occupied = sum(f._occ)
+    assert runs == occupied, f"runs={runs} occupied={occupied}"
+
+
+class TestGeometry:
+    def test_slots_power_of_two(self, paper_params):
+        f = QuotientFilter(paper_params)
+        assert f.slot_count() & (f.slot_count() - 1) == 0
+        assert f.slot_count() >= 8
+
+    def test_remainder_bits_for_paper_fpp(self, paper_params):
+        # 0.1% -> r = ceil(log2(1000)) = 10.
+        assert QuotientFilter(paper_params).remainder_bits == 10
+
+    def test_size_formula(self, paper_params):
+        f = QuotientFilter(paper_params)
+        assert f.size_in_bytes() == f.slot_count() * (f.remainder_bits + 3) // 8
+
+
+class TestMembership:
+    def test_no_false_negatives(self, paper_params, items_245):
+        f = QuotientFilter(paper_params)
+        f.insert_all(items_245)
+        assert all(f.contains(i) for i in items_245)
+
+    def test_fpp_near_target(self, rng, paper_params, items_245):
+        f = QuotientFilter(paper_params)
+        f.insert_all(items_245)
+        probes = make_items(rng, 30000, size=24)
+        fp = sum(f.contains(p) for p in probes) / len(probes)
+        assert fp <= paper_params.fpp * 3
+
+    def test_invariants_after_bulk_insert(self, paper_params, items_245):
+        f = QuotientFilter(paper_params)
+        f.insert_all(items_245)
+        structural_invariants(f)
+
+    def test_high_load_factor(self, rng):
+        params = FilterParams(capacity=512, fpp=0.01, load_factor=0.93, seed=6)
+        f = QuotientFilter(params)
+        items = make_items(rng, 512, size=16)
+        f.insert_all(items)
+        structural_invariants(f)
+        assert all(f.contains(i) for i in items)
+
+
+class TestCounting:
+    def test_count_of_duplicates(self, paper_params):
+        f = QuotientFilter(paper_params)
+        for _ in range(5):
+            f.insert(b"dup")
+        assert f.count_of(b"dup") == 5
+        assert f.count_of(b"never") == 0
+
+    def test_k_inserts_need_k_deletes(self, paper_params):
+        f = QuotientFilter(paper_params)
+        f.insert(b"dup")
+        f.insert(b"dup")
+        f.insert(b"dup")
+        assert f.delete(b"dup")
+        assert f.contains(b"dup")
+        assert f.delete(b"dup")
+        assert f.contains(b"dup")
+        assert f.delete(b"dup")
+        assert not f.contains(b"dup")
+
+
+class TestDeletion:
+    def test_delete_preserves_other_members(self, paper_params, items_245):
+        f = QuotientFilter(paper_params)
+        f.insert_all(items_245)
+        for item in items_245[:123]:
+            assert f.delete(item)
+        structural_invariants(f)
+        assert all(f.contains(i) for i in items_245[123:])
+
+    def test_delete_absent_returns_false(self, paper_params, items_245):
+        f = QuotientFilter(paper_params)
+        f.insert_all(items_245[:50])
+        # An item whose canonical slot is unoccupied.
+        assert not f.delete(b"\xff" * 32) or True  # may fp; check count instead
+        count_before = len(f)
+        f.delete(b"\xfe" * 32)
+        assert len(f) in (count_before, count_before - 1)
+
+    def test_delete_everything_leaves_empty_table(self, paper_params, items_245):
+        f = QuotientFilter(paper_params)
+        f.insert_all(items_245)
+        for item in items_245:
+            assert f.delete(item)
+        assert len(f) == 0
+        assert all(f._slot_empty(p) for p in range(f.slot_count()))
+
+    def test_randomized_insert_delete_churn(self, rng):
+        """Fuzz the cluster-rebuild deletion against a reference multiset."""
+        params = FilterParams(capacity=256, fpp=0.01, load_factor=0.9, seed=8)
+        f = QuotientFilter(params)
+        universe = make_items(rng, 120, size=8)
+        reference = []
+        op_rng = random.Random(999)
+        for _ in range(2000):
+            item = op_rng.choice(universe)
+            if op_rng.random() < 0.55 and len(reference) < 220:
+                f.insert(item)
+                reference.append(item)
+            else:
+                expected = item in reference
+                got = f.delete(item)
+                if expected:
+                    assert got, "delete lost a present item"
+                    reference.remove(item)
+                elif got:  # false-positive delete cannot happen for absent
+                    # remainders unless a genuine hash collision exists;
+                    # with 8-byte items and 10+ bit remainders in a tiny
+                    # universe this is negligible, treat as failure.
+                    raise AssertionError("deleted an absent item")
+        assert len(f) == len(reference)
+        for item in set(reference):
+            assert f.contains(item)
+        structural_invariants(f)
+
+
+class TestOverflow:
+    def test_full_table_raises(self, rng):
+        params = FilterParams(capacity=16, fpp=0.1, load_factor=1.0, seed=4)
+        f = QuotientFilter(params)
+        with pytest.raises(FilterFullError):
+            f.insert_all(make_items(rng, 4 * f.slot_count()))
+
+
+class TestSerialization:
+    def test_roundtrip_bit_identical(self, paper_params, items_245):
+        f = QuotientFilter(paper_params)
+        f.insert_all(items_245)
+        g = QuotientFilter.from_bytes(paper_params, f.to_bytes())
+        assert g.to_bytes() == f.to_bytes()
+        assert len(g) == len(f)
+        assert all(g.contains(i) for i in items_245)
+
+    def test_deserialized_supports_delete(self, paper_params, items_245):
+        f = QuotientFilter(paper_params)
+        f.insert_all(items_245)
+        g = QuotientFilter.from_bytes(paper_params, f.to_bytes())
+        for item in items_245[:30]:
+            assert g.delete(item)
+        assert all(g.contains(i) for i in items_245[30:])
+
+    def test_wire_length_equals_size(self, paper_params, items_245):
+        f = QuotientFilter(paper_params)
+        f.insert_all(items_245)
+        assert len(f.to_bytes()) == f.size_in_bytes()
+
+    def test_bad_length_rejected(self, paper_params):
+        with pytest.raises(FilterSerializationError):
+            QuotientFilter.from_bytes(paper_params, b"\x00" * 5)

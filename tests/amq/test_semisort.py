@@ -1,0 +1,78 @@
+"""Unit tests for semi-sorting bucket compression (Fan et al. §5.2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.amq import semisort
+
+
+def fp_strategy(bits):
+    # 0 = empty slot; nonzero fingerprints up to the width.
+    return st.integers(min_value=0, max_value=(1 << bits) - 1)
+
+
+class TestBucketCodec:
+    def test_encoded_bits_formula(self):
+        assert semisort.encoded_bucket_bits(13) == 4 * 13 - 4
+
+    def test_min_width_enforced(self):
+        with pytest.raises(ValueError):
+            semisort.encoded_bucket_bits(4)
+
+    def test_wrong_bucket_size_rejected(self):
+        with pytest.raises(ValueError):
+            semisort.encode_bucket([1, 2, 3], 13)
+
+    def test_roundtrip_preserves_multiset(self):
+        bucket = [0x1ABC, 0, 0x0003, 0x1ABC]
+        index, highs = semisort.encode_bucket(bucket, 13)
+        decoded = semisort.decode_bucket(index, highs, 13)
+        assert sorted(decoded) == sorted(bucket)
+
+    def test_bad_index_rejected(self):
+        with pytest.raises(ValueError):
+            semisort.decode_bucket(5000, [0, 0, 0, 0], 13)
+
+    @given(st.lists(fp_strategy(13), min_size=4, max_size=4))
+    def test_roundtrip_property(self, bucket):
+        index, highs = semisort.encode_bucket(bucket, 13)
+        assert sorted(semisort.decode_bucket(index, highs, 13)) == sorted(bucket)
+
+    def test_deterministic_encoding(self):
+        # Same multiset in any order encodes identically (buckets are sets).
+        a = semisort.encode_bucket([7, 9, 0, 3], 13)
+        b = semisort.encode_bucket([3, 0, 9, 7], 13)
+        assert a == b
+
+
+class TestTableCodec:
+    @given(
+        st.lists(fp_strategy(13), min_size=8, max_size=32).filter(
+            lambda t: len(t) % 4 == 0
+        )
+    )
+    def test_table_roundtrip(self, table):
+        packed = semisort.pack_table(table, 13)
+        unpacked = semisort.unpack_table(packed, len(table) // 4, 13)
+        for start in range(0, len(table), 4):
+            assert sorted(unpacked[start : start + 4]) == sorted(
+                table[start : start + 4]
+            )
+
+    def test_packed_size_formula(self):
+        table = [0] * 40  # 10 buckets
+        assert len(semisort.pack_table(table, 13)) == semisort.packed_size_bytes(
+            10, 13
+        )
+
+    def test_truncated_payload_rejected(self):
+        packed = semisort.pack_table([1, 2, 3, 4] * 4, 13)
+        with pytest.raises(ValueError):
+            semisort.unpack_table(packed[:-2], 4, 13)
+
+    def test_one_bit_per_item_saving(self):
+        # 10 buckets of 4 slots at f=13: plain 520 bits, semi-sorted 480.
+        plain_bits = 40 * 13
+        packed_bits = 10 * semisort.encoded_bucket_bits(13)
+        assert plain_bits - packed_bits == 40  # one bit per slot

@@ -1,0 +1,137 @@
+"""Tests for the AMQ wire format."""
+
+import pytest
+
+from repro.amq import (
+    FILTER_REGISTRY,
+    BloomFilter,
+    CuckooFilter,
+    FilterParams,
+    QuotientFilter,
+    VacuumFilter,
+    canonical_params,
+    deserialize_filter,
+    filter_class_for_name,
+    filter_type_id,
+    serialize_filter,
+)
+from repro.amq.serialization import (
+    dequantize_fpp,
+    dequantize_load_factor,
+    quantize_fpp,
+    quantize_load_factor,
+    serialized_overhead_bytes,
+)
+from repro.errors import FilterSerializationError
+from tests.conftest import make_items
+
+
+class TestQuantizers:
+    @pytest.mark.parametrize("fpp", [0.5, 0.1, 0.01, 1e-3, 1e-4, 1e-5])
+    def test_fpp_roundtrip_stable(self, fpp):
+        """Quantize(dequantize(quantize(x))) == quantize(x): canonical
+        values survive the wire exactly."""
+        e = quantize_fpp(fpp)
+        assert quantize_fpp(dequantize_fpp(e)) == e
+
+    @pytest.mark.parametrize("fpp", [0.1, 0.01, 1e-3, 1e-4])
+    def test_fpp_quantization_error_small(self, fpp):
+        assert abs(dequantize_fpp(quantize_fpp(fpp)) - fpp) / fpp < 0.01
+
+    @pytest.mark.parametrize("lf", [0.5, 0.75, 0.9, 0.95, 1.0])
+    def test_load_factor_roundtrip_stable(self, lf):
+        e = quantize_load_factor(lf)
+        assert quantize_load_factor(dequantize_load_factor(e)) == e
+
+
+class TestRegistry:
+    def test_all_types_registered(self):
+        names = {cls.name for cls in FILTER_REGISTRY.values()}
+        assert names == {
+            "bloom", "counting-bloom", "cuckoo", "vacuum", "quotient", "xor"
+        }
+
+    def test_type_ids_stable(self):
+        assert filter_type_id(CuckooFilter) == 3
+        assert filter_type_id(VacuumFilter) == 4
+        assert filter_type_id(QuotientFilter) == 5
+
+    def test_type_id_of_instance(self, paper_params):
+        assert filter_type_id(BloomFilter(paper_params)) == 1
+
+    def test_unregistered_class_rejected(self):
+        class Fake:  # not an AMQFilter subclass at all
+            pass
+
+        with pytest.raises(FilterSerializationError):
+            filter_type_id(Fake)
+
+    def test_class_for_name(self):
+        assert filter_class_for_name("cuckoo") is CuckooFilter
+
+    def test_class_for_unknown_name(self):
+        with pytest.raises(FilterSerializationError):
+            filter_class_for_name("ribbon")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "name",
+        ["bloom", "counting-bloom", "cuckoo", "vacuum", "quotient", "xor"],
+    )
+    def test_full_roundtrip(self, rng, name):
+        cls = filter_class_for_name(name)
+        params = canonical_params(
+            FilterParams(capacity=245, fpp=1e-3, load_factor=0.9, seed=77)
+        )
+        f = cls(params)
+        items = make_items(rng, 245)
+        f.insert_all(items)
+        g = deserialize_filter(serialize_filter(f))
+        assert type(g) is cls
+        assert all(g.contains(i) for i in items)
+        assert g.params == params
+
+    def test_header_overhead_is_modest(self, paper_params, items_245):
+        f = CuckooFilter(paper_params)
+        f.insert_all(items_245)
+        wire = serialize_filter(f)
+        assert len(wire) - f.size_in_bytes() == serialized_overhead_bytes()
+        assert serialized_overhead_bytes() <= 20
+
+    def test_seed_preserved(self, items_245):
+        params = canonical_params(
+            FilterParams(capacity=245, fpp=1e-3, load_factor=0.9, seed=123456)
+        )
+        f = CuckooFilter(params)
+        f.insert_all(items_245)
+        g = deserialize_filter(serialize_filter(f))
+        assert g.params.seed == 123456
+
+
+class TestRejection:
+    def test_truncated_header(self):
+        with pytest.raises(FilterSerializationError):
+            deserialize_filter(b"\xa3\x01\x03")
+
+    def test_bad_magic(self, paper_params):
+        wire = bytearray(serialize_filter(CuckooFilter(paper_params)))
+        wire[0] ^= 0xFF
+        with pytest.raises(FilterSerializationError):
+            deserialize_filter(bytes(wire))
+
+    def test_unknown_type_id(self, paper_params):
+        wire = bytearray(serialize_filter(CuckooFilter(paper_params)))
+        wire[2] = 200
+        with pytest.raises(FilterSerializationError):
+            deserialize_filter(bytes(wire))
+
+    def test_length_mismatch(self, paper_params):
+        wire = serialize_filter(CuckooFilter(paper_params))
+        with pytest.raises(FilterSerializationError):
+            deserialize_filter(wire + b"\x00")
+
+    def test_truncated_payload(self, paper_params):
+        wire = serialize_filter(CuckooFilter(paper_params))
+        with pytest.raises(FilterSerializationError):
+            deserialize_filter(wire[:-4])

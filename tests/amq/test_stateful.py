@@ -1,0 +1,142 @@
+"""Stateful (rule-based) property testing of the dynamic filters.
+
+Hypothesis drives arbitrary interleavings of insert/delete/lookup against
+a reference multiset, checking after every step:
+
+* no false negatives for currently-inserted items;
+* deletions only succeed for plausible members and keep counts exact;
+* serialization round-trips preserve answers mid-sequence.
+
+This is the strongest correctness net over the quotient filter's
+metadata-bit machinery and the vacuum filter's dual alternate maps.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.amq import (
+    CuckooFilter,
+    FilterParams,
+    QuotientFilter,
+    VacuumFilter,
+    canonical_params,
+    deserialize_filter,
+    serialize_filter,
+)
+from repro.errors import FilterFullError
+
+
+class FilterMachine(RuleBasedStateMachine):
+    """Shared behaviour; subclasses pick the structure."""
+
+    filter_cls = None
+
+    items = Bundle("items")
+
+    @initialize(
+        capacity=st.integers(min_value=64, max_value=200),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def setup(self, capacity, seed):
+        params = canonical_params(
+            FilterParams(capacity=capacity, fpp=1e-2, load_factor=0.8, seed=seed)
+        )
+        self.filt = self.filter_cls(params)
+        self.reference = {}  # item -> multiplicity
+
+    @rule(target=items, raw=st.binary(min_size=1, max_size=24))
+    def make_item(self, raw):
+        return raw
+
+    @rule(item=items)
+    def insert(self, item):
+        if len(self.filt) >= int(0.8 * self.filt.slot_count()):
+            return  # stay under the reliable operating load
+        try:
+            self.filt.insert(item)
+        except FilterFullError:
+            return
+        self.reference[item] = self.reference.get(item, 0) + 1
+
+    @rule(item=items)
+    def delete(self, item):
+        present = self.reference.get(item, 0) > 0
+        deleted = self.filt.delete(item)
+        if present:
+            assert deleted, "delete lost a present item"
+            self.reference[item] -= 1
+            if not self.reference[item]:
+                del self.reference[item]
+        elif deleted:
+            # A fingerprint collision can satisfy a delete for an absent
+            # item; that removes evidence for some other member, which
+            # would surface as a false negative below. With 24-byte items
+            # in a tiny universe this is overwhelmingly a bug — fail.
+            raise AssertionError("deleted an item that was never inserted")
+
+    @rule()
+    def roundtrip(self):
+        restored = deserialize_filter(serialize_filter(self.filt))
+        for item in self.reference:
+            assert restored.contains(item)
+        assert len(restored) == len(self.filt)
+
+    @invariant()
+    def no_false_negatives(self):
+        if not hasattr(self, "filt"):
+            return
+        for item, count in self.reference.items():
+            assert count < 1 or self.filt.contains(item)
+
+    @invariant()
+    def count_matches_reference(self):
+        if not hasattr(self, "filt"):
+            return
+        assert len(self.filt) == sum(self.reference.values())
+
+
+class CuckooMachine(FilterMachine):
+    filter_cls = CuckooFilter
+
+
+class VacuumMachine(FilterMachine):
+    filter_cls = VacuumFilter
+
+
+class QuotientMachine(FilterMachine):
+    filter_cls = QuotientFilter
+
+    @invariant()
+    def structural_invariants(self):
+        if not hasattr(self, "filt"):
+            return
+        f = self.filt
+        runs = sum(
+            1
+            for pos in range(f.slot_count())
+            if not f._slot_empty(pos) and not f._cont[pos]
+        )
+        assert runs == sum(f._occ), "run count != occupied count"
+        for pos in range(f.slot_count()):
+            if f._cont[pos]:
+                assert f._shift[pos], f"continuation without shift at {pos}"
+
+
+_settings = settings(
+    max_examples=20, stateful_step_count=40, deadline=None
+)
+
+TestCuckooStateful = CuckooMachine.TestCase
+TestCuckooStateful.settings = _settings
+TestVacuumStateful = VacuumMachine.TestCase
+TestVacuumStateful.settings = _settings
+TestQuotientStateful = QuotientMachine.TestCase
+TestQuotientStateful.settings = _settings

@@ -1,0 +1,125 @@
+"""Unit tests for the vacuum filter."""
+
+import pytest
+
+from repro.amq import CuckooFilter, FilterParams, VacuumFilter
+from repro.errors import FilterFullError, FilterSerializationError
+from tests.conftest import make_items
+
+
+class TestGeometry:
+    def test_table_not_forced_to_power_of_two(self, paper_params):
+        f = VacuumFilter(paper_params)
+        # 245 items / (4 * 0.9) needs 69 buckets; vacuum rounds to a chunk
+        # multiple (96), well below the cuckoo power-of-two table (128).
+        assert f.num_buckets % f.chunk_len == 0
+        assert f.num_buckets < CuckooFilter(paper_params).num_buckets
+
+    def test_chunk_is_power_of_two(self, paper_params):
+        f = VacuumFilter(paper_params)
+        assert f.chunk_len & (f.chunk_len - 1) == 0
+
+    def test_smaller_than_cuckoo_for_paper_capacity(self, paper_params):
+        assert (
+            VacuumFilter(paper_params).size_in_bytes()
+            < CuckooFilter(paper_params).size_in_bytes()
+        )
+
+    def test_alt_index_is_involution(self, paper_params):
+        f = VacuumFilter(paper_params)
+        for raw in range(200):
+            item = raw.to_bytes(4, "big")
+            fp = f._fingerprint(item)
+            i1 = f._index1(item)
+            i2 = f._alt_index(i1, fp)
+            assert f._alt_index(i2, fp) == i1
+
+    def test_local_class_stays_in_chunk(self, paper_params):
+        f = VacuumFilter(paper_params)
+        for raw in range(400):
+            item = raw.to_bytes(4, "big")
+            fp = f._fingerprint(item)
+            if fp & 1 == 0:
+                continue  # global class, tested separately
+            i1 = f._index1(item)
+            i2 = f._alt_index(i1, fp)
+            assert i1 // f.chunk_len == i2 // f.chunk_len
+
+    def test_global_class_roams_table(self, paper_params):
+        f = VacuumFilter(paper_params)
+        escaped = 0
+        for raw in range(400):
+            item = raw.to_bytes(4, "big")
+            fp = f._fingerprint(item)
+            if fp & 1:
+                continue
+            i1 = f._index1(item)
+            i2 = f._alt_index(i1, fp)
+            assert 0 <= i2 < f.num_buckets
+            if i1 // f.chunk_len != i2 // f.chunk_len:
+                escaped += 1
+        assert escaped > 0  # the safety-valve class does leave its chunk
+
+
+class TestMembership:
+    def test_no_false_negatives(self, paper_params, items_245):
+        f = VacuumFilter(paper_params)
+        f.insert_all(items_245)
+        assert all(f.contains(i) for i in items_245)
+
+    def test_fpp_near_target(self, rng, paper_params, items_245):
+        f = VacuumFilter(paper_params)
+        f.insert_all(items_245)
+        probes = make_items(rng, 30000, size=24)
+        fp = sum(f.contains(p) for p in probes) / len(probes)
+        assert fp <= paper_params.fpp * 3
+
+    def test_large_population(self, rng):
+        params = FilterParams(capacity=3000, fpp=1e-3, load_factor=0.9, seed=2)
+        f = VacuumFilter(params)
+        items = make_items(rng, 3000, size=16)
+        f.insert_all(items)
+        assert all(f.contains(i) for i in items)
+
+
+class TestDeletion:
+    def test_delete_and_reinsert_cycle(self, rng, paper_params, items_245):
+        f = VacuumFilter(paper_params)
+        f.insert_all(items_245)
+        for item in items_245[:60]:
+            assert f.delete(item)
+        replacements = make_items(rng, 60, size=20)
+        f.insert_all(replacements)
+        assert all(f.contains(i) for i in replacements)
+        assert all(f.contains(i) for i in items_245[60:])
+
+    def test_delete_absent_returns_false(self, paper_params):
+        f = VacuumFilter(paper_params)
+        f.insert(b"present")
+        assert not f.delete(b"absent-item")
+
+
+class TestOverflow:
+    def test_raises_when_truly_full(self, rng):
+        params = FilterParams(capacity=32, fpp=0.01, load_factor=1.0, seed=3)
+        f = VacuumFilter(params)
+        with pytest.raises(FilterFullError):
+            f.insert_all(make_items(rng, 8 * f.slot_count()))
+
+
+class TestSerialization:
+    def test_roundtrip(self, paper_params, items_245):
+        f = VacuumFilter(paper_params)
+        f.insert_all(items_245)
+        g = VacuumFilter.from_bytes(paper_params, f.to_bytes())
+        assert g.to_bytes() == f.to_bytes()
+        assert all(g.contains(i) for i in items_245)
+        assert len(g) == len(f)
+
+    def test_wire_length_equals_size(self, paper_params):
+        f = VacuumFilter(paper_params)
+        assert len(f.to_bytes()) == f.size_in_bytes()
+
+    def test_bad_length_rejected(self, paper_params):
+        with pytest.raises(FilterSerializationError):
+            VacuumFilter.from_bytes(paper_params, b"")

@@ -1,0 +1,122 @@
+"""Unit tests for the XOR filter (static baseline)."""
+
+import pytest
+
+from repro.amq import FilterParams, VacuumFilter, XorFilter, canonical_params
+from repro.amq.xor import xor_fingerprint_bits, xor_slot_count
+from repro.errors import (
+    DeletionUnsupportedError,
+    FilterFullError,
+    FilterSerializationError,
+)
+from tests.conftest import make_items
+
+
+class TestGeometry:
+    def test_slot_count_formula(self):
+        assert xor_slot_count(245) % 3 == 0
+        assert xor_slot_count(245) >= int(1.23 * 245)
+
+    def test_fingerprint_bits_exact_fpp(self):
+        assert xor_fingerprint_bits(1e-3) == 10
+        assert xor_fingerprint_bits(0.5) >= 2
+
+    def test_smallest_structure_at_paper_point(self, paper_params):
+        """The static lower bound: smaller than even the vacuum filter."""
+        assert (
+            XorFilter(paper_params).size_in_bytes()
+            < VacuumFilter(paper_params).size_in_bytes()
+        )
+
+
+class TestMembership:
+    def test_no_false_negatives(self, paper_params, items_245):
+        f = XorFilter(paper_params)
+        f.insert_all(items_245)
+        assert all(f.contains(i) for i in items_245)
+
+    def test_fpp_near_two_to_minus_f(self, rng, paper_params, items_245):
+        f = XorFilter(paper_params)
+        f.insert_all(items_245)
+        probes = make_items(rng, 30000, size=24)
+        fp = sum(f.contains(p) for p in probes) / len(probes)
+        assert fp <= 2 * 2 ** -f.fingerprint_bits
+
+    def test_incremental_inserts_rebuild_transparently(self, paper_params, items_245):
+        f = XorFilter(paper_params)
+        f.insert_all(items_245[:100])
+        assert all(f.contains(i) for i in items_245[:100])
+        f.insert_all(items_245[100:])
+        assert all(f.contains(i) for i in items_245)
+
+    def test_duplicates_tolerated(self, paper_params):
+        f = XorFilter(paper_params)
+        for _ in range(6):
+            f.insert(b"dup")
+        assert f.contains(b"dup")
+        assert len(f) == 6
+
+    def test_empty_filter(self, rng, paper_params):
+        f = XorFilter(paper_params)
+        assert not any(f.contains(p) for p in make_items(rng, 500))
+
+
+class TestLimits:
+    def test_capacity_enforced(self, rng):
+        f = XorFilter(FilterParams(capacity=10, fpp=0.01))
+        with pytest.raises(FilterFullError):
+            f.insert_all(make_items(rng, 11))
+
+    def test_deletion_unsupported(self, paper_params):
+        f = XorFilter(paper_params)
+        f.insert(b"x")
+        with pytest.raises(DeletionUnsupportedError):
+            f.delete(b"x")
+
+
+class TestSerialization:
+    def test_roundtrip(self, paper_params, items_245):
+        from repro.amq import deserialize_filter, serialize_filter
+
+        f = XorFilter(paper_params)
+        f.insert_all(items_245)
+        g = deserialize_filter(serialize_filter(f))
+        assert type(g) is XorFilter
+        assert all(g.contains(i) for i in items_245)
+        assert len(g) == 245
+
+    def test_queries_identical_after_roundtrip(self, rng, paper_params, items_245):
+        from repro.amq import deserialize_filter, serialize_filter
+
+        f = XorFilter(paper_params)
+        f.insert_all(items_245)
+        g = deserialize_filter(serialize_filter(f))
+        for probe in make_items(rng, 2000, size=20):
+            assert f.contains(probe) == g.contains(probe)
+
+    def test_bad_length_rejected(self, paper_params):
+        with pytest.raises(FilterSerializationError):
+            XorFilter.from_bytes(paper_params, b"\x00" * 3)
+
+
+class TestManagerIntegration:
+    def test_deletion_forces_metered_rebuild(self):
+        """Plugging the static structure into the dynamic pipeline makes
+        every revocation a rebuild — the cost the paper's candidates avoid
+        and the FilterManager counts."""
+        from repro.core.cache import ICACache
+        from repro.core.filter_config import plan_filter
+        from repro.core.manager import FilterManager
+        from repro.pki import build_hierarchy
+
+        h = build_hierarchy("ecdsa-p256", total_icas=12, num_roots=1, seed=81)
+        icas = h.ica_certificates()
+        cache = ICACache()
+        for cert in icas:
+            cache.add(cert)
+        manager = FilterManager(cache, plan_filter(20, filter_kind="xor",
+                                                   budget_bytes=None))
+        assert manager.consistent_with_cache()
+        cache.remove(icas[0])
+        assert manager.rebuilds == 1
+        assert manager.consistent_with_cache()

@@ -1,0 +1,106 @@
+"""Tests for regression, stats and table rendering."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    confidence_interval_95,
+    format_table,
+    linear_fit,
+    mean,
+    relative_error,
+    render_kv,
+)
+from repro.errors import ConfigurationError
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        fit = linear_fit([0, 1, 2, 3], [1, 3, 5, 7])
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.n == 4
+
+    def test_predict(self):
+        fit = linear_fit([0, 1], [0, 2])
+        assert fit.predict(5) == pytest.approx(10.0)
+
+    def test_noisy_r_squared_below_one(self):
+        xs = list(range(10))
+        ys = [2 * x + (1 if x % 2 else -1) for x in xs]
+        fit = linear_fit(xs, ys)
+        assert 0.9 < fit.r_squared < 1.0
+
+    def test_flat_data(self):
+        fit = linear_fit([0, 1, 2], [5, 5, 5])
+        assert fit.slope == pytest.approx(0.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            linear_fit([1, 2], [1])
+
+    def test_too_few_points(self):
+        with pytest.raises(ConfigurationError):
+            linear_fit([1], [1])
+
+    def test_degenerate_x(self):
+        with pytest.raises(ConfigurationError):
+            linear_fit([2, 2, 2], [1, 2, 3])
+
+    def test_describe_contains_slope(self):
+        fit = linear_fit([0, 1], [0, 3])
+        assert "3.000" in fit.describe()
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_empty(self):
+        with pytest.raises(ConfigurationError):
+            mean([])
+
+    def test_relative_error(self):
+        assert relative_error(110, 100) == pytest.approx(0.1)
+        assert relative_error(90, 100) == pytest.approx(-0.1)
+
+    def test_relative_error_zero_reference(self):
+        with pytest.raises(ConfigurationError):
+            relative_error(1, 0)
+
+    def test_confidence_interval_contains_mean(self):
+        lo, hi = confidence_interval_95([1.0, 2.0, 3.0, 4.0])
+        assert lo < 2.5 < hi
+
+    def test_confidence_interval_shrinks_with_n(self):
+        wide = confidence_interval_95([1.0, 3.0])
+        narrow = confidence_interval_95([1.0, 3.0] * 50)
+        assert (narrow[1] - narrow[0]) < (wide[1] - wide[0])
+
+    def test_confidence_needs_two(self):
+        with pytest.raises(ConfigurationError):
+            confidence_interval_95([1.0])
+
+
+class TestTables:
+    def test_alignment(self):
+        out = format_table(["a", "bee"], [["x", 1], ["longer", 22]])
+        lines = out.splitlines()
+        assert len({line.index("bee") if "bee" in line else None for line in lines[:1]})
+
+    def test_title_rendered(self):
+        out = format_table(["h"], [[1]], title="My Table")
+        assert out.startswith("My Table")
+
+    def test_all_rows_present(self):
+        out = format_table(["n"], [[i] for i in range(5)])
+        for i in range(5):
+            assert str(i) in out
+
+    def test_render_kv(self):
+        out = render_kv([("alpha", 1), ("b", 2)], title="T")
+        assert "alpha : 1" in out
+        assert out.startswith("T")

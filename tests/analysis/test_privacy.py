@@ -1,0 +1,93 @@
+"""Tests for the §6 client-fingerprinting analysis."""
+
+import pytest
+
+from repro.analysis.privacy import (
+    anonymity_set_sizes,
+    distinguishable_fraction,
+    membership_leak,
+    payload_entropy_bits,
+)
+from repro.core import ClientSuppressor
+from repro.errors import ConfigurationError
+from repro.pki import IntermediatePreload, build_hierarchy
+
+
+@pytest.fixture(scope="module")
+def world():
+    h = build_hierarchy("ecdsa-p256", total_icas=40, num_roots=2, seed=41)
+    return h, h.ica_certificates()
+
+
+def payload_for(icas, seed=0):
+    cs = ClientSuppressor(
+        preload=IntermediatePreload(icas), budget_bytes=None, seed=seed
+    )
+    return cs.extension_payload()
+
+
+class TestDistinguishability:
+    def test_universal_filter_is_a_herd(self, world):
+        _, icas = world
+        payloads = [payload_for(icas) for _ in range(6)]
+        assert distinguishable_fraction(payloads) == 0.0
+        assert payload_entropy_bits(payloads) == 0.0
+        assert anonymity_set_sizes(payloads) == [6] * 6
+
+    def test_history_filters_are_unique(self, world):
+        _, icas = world
+        payloads = [payload_for(icas[i : i + 10]) for i in range(6)]
+        assert distinguishable_fraction(payloads) == 1.0
+        assert payload_entropy_bits(payloads) == pytest.approx(
+            2.585, abs=0.01
+        )  # log2(6)
+        assert anonymity_set_sizes(payloads) == [1] * 6
+
+    def test_mixed_population(self, world):
+        _, icas = world
+        herd = [payload_for(icas)] * 4
+        loner = [payload_for(icas[:5])]
+        frac = distinguishable_fraction(herd + loner)
+        assert 0.0 < frac < 1.0
+
+    def test_needs_two_clients(self):
+        with pytest.raises(ConfigurationError):
+            distinguishable_fraction([b"x"])
+        with pytest.raises(ConfigurationError):
+            payload_entropy_bits([])
+
+
+class TestMembershipLeak:
+    def test_attacker_reads_known_icas_reliably(self, world):
+        _, icas = world
+        payload = payload_for(icas[:20])
+        known = [c.fingerprint() for c in icas[:20]]
+        unknown = [c.fingerprint() for c in icas[20:]]
+        leak = membership_leak(payload, known, unknown)
+        # No false negatives: the attacker's membership test always hits.
+        assert leak["true_positive_rate"] == 1.0
+        # The only cover is the filter's own FPP.
+        assert leak["false_positive_rate"] <= 0.2
+        assert leak["advertised_items"] == 20.0
+
+    def test_higher_fpp_gives_more_cover(self, world):
+        """A deliberately noisy filter is the paper-adjacent mitigation:
+        the attacker's confidence degrades with the FPP."""
+        _, icas = world
+        from repro.core import plan_filter
+
+        noisy = ClientSuppressor(
+            preload=IntermediatePreload(icas[:20]),
+            plan=plan_filter(20, fpp=0.2, budget_bytes=None),
+        )
+        tight = ClientSuppressor(
+            preload=IntermediatePreload(icas[:20]),
+            plan=plan_filter(20, fpp=1e-4, budget_bytes=None),
+        )
+        probes = [bytes([i]) * 32 for i in range(200)]
+        leak_noisy = membership_leak(noisy.extension_payload(), [], probes)
+        leak_tight = membership_leak(tight.extension_payload(), [], probes)
+        assert (
+            leak_noisy["false_positive_rate"]
+            > leak_tight["false_positive_rate"]
+        )

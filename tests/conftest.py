@@ -1,0 +1,36 @@
+"""Shared fixtures for the repro test suite."""
+
+import random
+
+import pytest
+
+from repro.amq import FilterParams, canonical_params
+
+
+@pytest.fixture
+def rng():
+    """Deterministic RNG; tests must not depend on global random state."""
+    return random.Random(0xC0FFEE)
+
+
+def make_items(rng, count, size=32):
+    """Distinct random byte strings (distinctness enforced)."""
+    items = set()
+    while len(items) < count:
+        items.add(rng.getrandbits(8 * size).to_bytes(size, "big"))
+    return sorted(items)
+
+
+@pytest.fixture
+def items_245(rng):
+    """The paper's working-set size: 245 distinct ICA identifiers."""
+    return make_items(rng, 245)
+
+
+@pytest.fixture
+def paper_params():
+    """Canonical (wire-quantized) params matching §5.3: 245 ICAs,
+    0.1% FPP, 0.9 load factor."""
+    return canonical_params(
+        FilterParams(capacity=245, fpp=1e-3, load_factor=0.9, seed=42)
+    )

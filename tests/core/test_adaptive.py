@@ -1,0 +1,115 @@
+"""Tests for adaptive (targeted per-peer) filter construction."""
+
+import pytest
+
+from repro.core import ClientSuppressor, ServerSuppressor
+from repro.core.adaptive import AdaptiveSuppressor
+from repro.errors import ConfigurationError
+from repro.pki import IntermediatePreload, build_hierarchy
+from repro.tls import ServerConfig, run_handshake
+
+
+@pytest.fixture(scope="module")
+def world():
+    h = build_hierarchy("dilithium2", total_icas=30, num_roots=2, seed=31)
+    return h, h.trust_store()
+
+
+def make_adaptive(world, fallback=True):
+    h, _ = world
+    universal = ClientSuppressor(
+        preload=IntermediatePreload(h.ica_certificates()), budget_bytes=None
+    )
+    return AdaptiveSuppressor(universal, fallback_universal=fallback)
+
+
+class TestObservation:
+    def test_first_contact_uses_universal(self, world):
+        adaptive = make_adaptive(world)
+        payload = adaptive.extension_payload_for("new-peer.example")
+        assert payload == adaptive.universal.extension_payload()
+
+    def test_first_contact_privacy_mode_omits_extension(self, world):
+        adaptive = make_adaptive(world, fallback=False)
+        assert adaptive.extension_payload_for("new-peer.example") is None
+
+    def test_observation_builds_targeted_payload(self, world):
+        h, _ = world
+        adaptive = make_adaptive(world)
+        chain = h.issue_chain("peer.example", h.paths_by_depth(2)[0])
+        adaptive.observe("peer.example", chain)
+        payload = adaptive.extension_payload_for("peer.example")
+        assert payload is not None
+        assert payload != adaptive.universal.extension_payload()
+
+    def test_targeted_payload_much_smaller(self, world):
+        h, _ = world
+        adaptive = make_adaptive(world)
+        chain = h.issue_chain("peer.example", h.paths_by_depth(2)[0])
+        adaptive.observe("peer.example", chain)
+        targeted = adaptive.extension_payload_for("peer.example")
+        universal = adaptive.universal.extension_payload()
+        assert len(targeted) < len(universal) / 2
+
+    def test_history_tracking(self, world):
+        h, _ = world
+        adaptive = make_adaptive(world)
+        chain = h.issue_chain("p.example", h.paths_by_depth(2)[0])
+        adaptive.observe("p.example", chain)
+        adaptive.observe("p.example", chain)
+        history = adaptive.history_for("p.example")
+        assert history.handshakes == 2
+        assert len(history.fingerprints) == 2
+        assert adaptive.known_peers() == ["p.example"]
+
+    def test_payload_memoized_until_new_ica(self, world):
+        h, _ = world
+        adaptive = make_adaptive(world)
+        chain = h.issue_chain("p.example", h.paths_by_depth(1)[0])
+        adaptive.observe("p.example", chain)
+        first = adaptive.extension_payload_for("p.example")
+        adaptive.observe("p.example", chain)  # same ICA set
+        assert adaptive.extension_payload_for("p.example") is first
+        other = h.issue_chain("p.example", h.paths_by_depth(3)[0])
+        adaptive.observe("p.example", other)
+        assert adaptive.extension_payload_for("p.example") != first
+
+    def test_min_capacity_validated(self, world):
+        with pytest.raises(ConfigurationError):
+            AdaptiveSuppressor(make_adaptive(world).universal, min_capacity=0)
+
+
+class TestEndToEnd:
+    def test_repeat_peer_suppression_with_tiny_filter(self, world):
+        h, store = world
+        adaptive = make_adaptive(world, fallback=False)
+        ss = ServerSuppressor()
+        cred = h.issue_credential("svc.example", h.paths_by_depth(2)[0])
+        server = ServerConfig(credential=cred, suppression_handler=ss)
+
+        # First contact: no extension, full chain, learn.
+        first = run_handshake(
+            adaptive.client_config(store, "svc.example", at_time=50), server
+        )
+        assert first.succeeded
+        assert first.suppressed_ica_count == 0
+        adaptive.observe("svc.example", cred.chain)
+
+        # Second contact: targeted filter suppresses the whole chain.
+        second = run_handshake(
+            adaptive.client_config(store, "svc.example", at_time=50, seed=1),
+            server,
+        )
+        assert second.succeeded
+        assert second.suppressed_ica_count == 2
+        assert second.ica_bytes_suppressed == cred.chain.ica_bytes()
+
+    def test_payload_sizes_report(self, world):
+        h, _ = world
+        adaptive = make_adaptive(world)
+        for i, path in enumerate(h.paths_by_depth(1)[:3]):
+            chain = h.issue_chain(f"peer{i}.example", path)
+            adaptive.observe(f"peer{i}.example", chain)
+        sizes = adaptive.payload_sizes()
+        assert len(sizes) == 3
+        assert all(size > 0 for size in sizes.values())

@@ -1,0 +1,125 @@
+"""Tests for the ICA cache."""
+
+import pytest
+
+from repro.core.cache import ICACache
+from repro.errors import CertificateError
+from repro.pki import IntermediatePreload, RevocationList, build_hierarchy
+
+
+@pytest.fixture(scope="module")
+def world():
+    h = build_hierarchy("ecdsa-p256", total_icas=20, num_roots=2, seed=4)
+    return h, h.ica_certificates()
+
+
+class TestMutation:
+    def test_add_and_contains(self, world):
+        _, icas = world
+        cache = ICACache()
+        assert cache.add(icas[0])
+        assert icas[0] in cache
+        assert len(cache) == 1
+
+    def test_duplicate_add_returns_false(self, world):
+        _, icas = world
+        cache = ICACache()
+        cache.add(icas[0])
+        assert not cache.add(icas[0])
+        assert len(cache) == 1
+
+    def test_remove(self, world):
+        _, icas = world
+        cache = ICACache()
+        cache.add(icas[0])
+        assert cache.remove(icas[0])
+        assert icas[0] not in cache
+        assert not cache.remove(icas[0])
+
+    def test_rejects_leaves_and_roots(self, world):
+        h, _ = world
+        cache = ICACache()
+        with pytest.raises(CertificateError):
+            cache.add(h.roots[0].certificate)
+        leaf = h.issue_chain("x.example").leaf
+        with pytest.raises(CertificateError):
+            cache.add(leaf)
+
+    def test_load_preload(self, world):
+        _, icas = world
+        cache = ICACache()
+        added = cache.load_preload(IntermediatePreload(icas))
+        assert added == len(icas)
+        assert cache.load_preload(IntermediatePreload(icas)) == 0
+
+    def test_observe_chain(self, world):
+        h, _ = world
+        chain = h.issue_chain("y.example", h.paths_by_depth(2)[0])
+        cache = ICACache()
+        assert cache.observe_chain(chain) == 2
+        assert cache.observe_chain(chain) == 0
+
+
+class TestMaintenance:
+    def test_sweep_expired(self):
+        h = build_hierarchy("ecdsa-p256", total_icas=4, num_roots=1, seed=9)
+        root = h.roots[0]
+        fresh = root.create_subordinate("fresh-ica", seed=100)
+        stale = root.create_subordinate("stale-ica", seed=101, not_before=0, not_after=10)
+        cache = ICACache()
+        cache.add(fresh.certificate)
+        cache.add(stale.certificate)
+        assert cache.sweep_expired(at_time=100) == 1
+        assert fresh.certificate in cache
+        assert stale.certificate not in cache
+
+    def test_apply_revocations(self, world):
+        _, icas = world
+        cache = ICACache()
+        cache.add(icas[0])
+        cache.add(icas[1])
+        rl = RevocationList()
+        rl.revoke(icas[0])
+        assert cache.apply_revocations(rl) == 1
+        assert icas[0] not in cache
+
+
+class TestQueriesAndListeners:
+    def test_lookup_issuer(self, world):
+        _, icas = world
+        cache = ICACache()
+        cache.add(icas[3])
+        assert cache.lookup_issuer(icas[3].subject) is icas[3]
+        assert cache.lookup_issuer("unknown") is None
+
+    def test_fingerprints_match_certificates(self, world):
+        _, icas = world
+        cache = ICACache()
+        for cert in icas[:5]:
+            cache.add(cert)
+        assert sorted(cache.fingerprints()) == sorted(
+            c.fingerprint() for c in cache.certificates()
+        )
+
+    def test_listeners_fire(self, world):
+        _, icas = world
+        cache = ICACache()
+        added, removed = [], []
+        cache.subscribe(on_add=added.append, on_remove=removed.append)
+        cache.add(icas[0])
+        cache.add(icas[1])
+        cache.remove(icas[0])
+        assert [c.fingerprint() for c in added] == [
+            icas[0].fingerprint(),
+            icas[1].fingerprint(),
+        ]
+        assert removed == [icas[0]]
+
+    def test_listener_not_fired_on_duplicate(self, world):
+        _, icas = world
+        cache = ICACache()
+        added = []
+        cache.subscribe(on_add=added.append)
+        cache.add(icas[0])
+        cache.add(icas[0])
+        assert len(added) == 1

@@ -1,0 +1,109 @@
+"""Tests for the expected-handshake-time models (§4.2)."""
+
+import pytest
+
+from repro.core.estimator import (
+    HandshakeTimeModel,
+    crypto_cpu_seconds,
+    expected_duration_paper_model,
+    expected_duration_refined,
+)
+from repro.errors import ConfigurationError
+from repro.netsim.tcp import TCPConfig
+from repro.pki.algorithms import get_signature_algorithm
+
+
+class TestClosedForms:
+    def test_paper_model_extremes(self):
+        assert expected_duration_paper_model(0.1, 0.5, 0.0) == 0.1
+        assert expected_duration_paper_model(0.1, 0.5, 1.0) == 0.5
+
+    def test_refined_model_extremes(self):
+        assert expected_duration_refined(0.1, 0.5, 0.0) == 0.1
+        assert expected_duration_refined(0.1, 0.5, 1.0) == pytest.approx(0.6)
+
+    def test_models_differ_by_eps_dc(self):
+        d_c, d_pq, eps = 0.1, 0.5, 0.01
+        diff = expected_duration_refined(d_c, d_pq, eps) - (
+            expected_duration_paper_model(d_c, d_pq, eps)
+        )
+        assert diff == pytest.approx(eps * d_c)
+
+    def test_negligible_at_paper_fpp(self):
+        """At 0.1% FPP the two formulations differ by 0.01% of d_c."""
+        d_c, d_pq = 0.1, 0.5
+        a = expected_duration_paper_model(d_c, d_pq, 1e-3)
+        b = expected_duration_refined(d_c, d_pq, 1e-3)
+        assert abs(a - b) / a < 1e-3
+
+    @pytest.mark.parametrize("eps", [-0.1, 1.1])
+    def test_eps_validation(self, eps):
+        with pytest.raises(ConfigurationError):
+            expected_duration_paper_model(0.1, 0.5, eps)
+        with pytest.raises(ConfigurationError):
+            expected_duration_refined(0.1, 0.5, eps)
+
+
+class TestHandshakeTimeModel:
+    def model(self):
+        # Suppressed flight fits the window; full flight needs 2 extra RTTs.
+        return HandshakeTimeModel(
+            client_hello_bytes=900,
+            suppressed_flight_bytes=9_000,
+            full_flight_bytes=50_000,
+        )
+
+    def test_suppressed_faster_than_full(self):
+        m = self.model()
+        assert m.d_suppressed(0.05) < m.d_full(0.05)
+
+    def test_flight_grounding(self):
+        m = self.model()
+        # 50_000 B needs 3 flights -> 2 extra RTTs over the suppressed case.
+        assert m.d_full(0.1) - m.d_suppressed(0.1) == pytest.approx(0.2)
+
+    def test_expected_between_extremes(self):
+        m = self.model()
+        exp = m.expected(0.05, eps=1e-3)
+        assert m.d_suppressed(0.05) < exp < m.d_full(0.05)
+
+    def test_expected_close_to_suppressed_at_low_eps(self):
+        m = self.model()
+        assert m.expected(0.05, eps=1e-4) == pytest.approx(
+            m.d_suppressed(0.05), rel=1e-3
+        )
+
+    def test_speedup_above_one(self):
+        m = self.model()
+        assert m.speedup(0.05, eps=1e-3) > 1.3
+
+    def test_custom_tcp_config(self):
+        wide = HandshakeTimeModel(
+            client_hello_bytes=900,
+            suppressed_flight_bytes=9_000,
+            full_flight_bytes=50_000,
+            tcp=TCPConfig(initcwnd_segments=64),
+        )
+        # With a 93 KB window nothing overflows: suppression gains nothing,
+        # exactly the §5.2 initcwnd observation.
+        assert wide.d_full(0.05) == wide.d_suppressed(0.05)
+
+    def test_paper_vs_refined_switch(self):
+        m = self.model()
+        assert m.expected(0.05, 0.5, refined=True) > m.expected(
+            0.05, 0.5, refined=False
+        )
+
+
+class TestCryptoCPU:
+    def test_positive_and_ordered(self):
+        fast = crypto_cpu_seconds(get_signature_algorithm("dilithium2"))
+        slow = crypto_cpu_seconds(get_signature_algorithm("sphincs-128s"))
+        assert 0 < fast < slow
+
+    def test_verify_count_scales(self):
+        alg = get_signature_algorithm("dilithium3")
+        few = crypto_cpu_seconds(alg, num_verifies=1)
+        many = crypto_cpu_seconds(alg, num_verifies=10)
+        assert many > few
+        assert many - few == pytest.approx(9 * alg.verify_ms / 1000)

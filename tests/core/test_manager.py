@@ -1,0 +1,83 @@
+"""Tests for dynamic filter maintenance (the §4.2 requirement)."""
+
+import pytest
+
+from repro.core.cache import ICACache
+from repro.core.filter_config import plan_filter
+from repro.core.manager import FilterManager
+from repro.pki import build_hierarchy
+
+
+@pytest.fixture(scope="module")
+def icas():
+    h = build_hierarchy("ecdsa-p256", total_icas=60, num_roots=3, seed=12)
+    return h.ica_certificates()
+
+
+def make_manager(icas, kind="cuckoo", capacity=80, preloaded=40):
+    cache = ICACache()
+    for cert in icas[:preloaded]:
+        cache.add(cert)
+    plan = plan_filter(capacity, filter_kind=kind, budget_bytes=None, seed=3)
+    return cache, FilterManager(cache, plan)
+
+
+class TestMirroring:
+    def test_initial_filter_holds_cache(self, icas):
+        cache, mgr = make_manager(icas)
+        assert len(mgr.filter) == len(cache) == 40
+        assert mgr.consistent_with_cache()
+
+    def test_add_mirrors_into_filter(self, icas):
+        cache, mgr = make_manager(icas)
+        cache.add(icas[50])
+        assert mgr.filter.contains(icas[50].fingerprint())
+        assert mgr.inserts == 1
+
+    def test_remove_mirrors_into_filter(self, icas):
+        cache, mgr = make_manager(icas)
+        target = icas[5]
+        cache.remove(target)
+        assert mgr.deletes == 1
+        assert len(mgr.filter) == 39
+        assert mgr.consistent_with_cache()
+
+    def test_churn_stays_consistent(self, icas):
+        cache, mgr = make_manager(icas, preloaded=30)
+        for cert in icas[30:60]:
+            cache.add(cert)
+        for cert in icas[:30]:
+            cache.remove(cert)
+        assert len(mgr.filter) == 30
+        assert mgr.consistent_with_cache()
+        assert mgr.rebuilds == 0
+
+
+class TestRebuilds:
+    def test_overflow_triggers_rebuild(self, icas):
+        cache, mgr = make_manager(icas, capacity=10, preloaded=0)
+        for cert in icas:
+            cache.add(cert)
+        assert mgr.rebuilds >= 1
+        assert mgr.consistent_with_cache()
+        assert len(mgr.filter) == len(icas)
+
+    def test_bloom_delete_forces_rebuild(self, icas):
+        cache, mgr = make_manager(icas, kind="bloom", preloaded=20)
+        cache.remove(icas[0])
+        assert mgr.rebuilds == 1
+        assert mgr.consistent_with_cache()
+        assert not any(
+            mgr.filter.contains(icas[0].fingerprint())
+            for _ in range(1)
+        ) or True  # fp possible; consistency is the contract
+
+    def test_force_rebuild_restores_plan_capacity(self, icas):
+        cache, mgr = make_manager(icas, capacity=10, preloaded=0)
+        for cert in icas:
+            cache.add(cert)
+        for cert in icas[10:]:
+            cache.remove(cert)
+        mgr.force_rebuild()
+        assert mgr.filter.params.capacity == mgr.plan.params.capacity
+        assert mgr.consistent_with_cache()

@@ -1,0 +1,195 @@
+"""Tests for the client/server suppression pipelines (Fig. 2)."""
+
+import pytest
+
+from repro.amq import CuckooFilter, FilterParams, canonical_params, serialize_filter
+from repro.core import (
+    ClientSuppressor,
+    ServerSuppressor,
+    build_extension_payload,
+    parse_extension_payload,
+    plan_filter,
+)
+from repro.pki import IntermediatePreload, build_hierarchy
+from repro.tls import HandshakeOutcome, ServerConfig, run_handshake
+
+
+@pytest.fixture(scope="module")
+def world():
+    h = build_hierarchy("dilithium2", total_icas=30, num_roots=2, seed=21)
+    return h, h.trust_store(), IntermediatePreload(h.ica_certificates())
+
+
+class TestExtensionCodec:
+    def test_payload_roundtrip(self, rng):
+        from tests.conftest import make_items
+
+        params = canonical_params(FilterParams(capacity=50, seed=1))
+        filt = CuckooFilter(params)
+        filt.insert_all(make_items(rng, 50))
+        rebuilt = parse_extension_payload(build_extension_payload(filt))
+        assert type(rebuilt) is CuckooFilter
+        assert rebuilt.to_bytes() == filt.to_bytes()
+
+    def test_malformed_payload_raises(self):
+        from repro.errors import FilterSerializationError
+
+        with pytest.raises(FilterSerializationError):
+            parse_extension_payload(b"junk")
+
+
+class TestClientSuppressor:
+    def test_preload_seeds_cache_and_filter(self, world):
+        _, _, preload = world
+        cs = ClientSuppressor(preload=preload, budget_bytes=None)
+        assert len(cs.cache) == len(preload)
+        assert cs.manager.consistent_with_cache()
+
+    def test_extension_payload_memoized(self, world):
+        _, _, preload = world
+        cs = ClientSuppressor(preload=preload, budget_bytes=None)
+        assert cs.extension_payload() is cs.extension_payload()
+
+    def test_payload_refreshes_after_learning(self, world):
+        h, _, _ = world
+        icas = h.ica_certificates()
+        cs = ClientSuppressor(
+            preload=IntermediatePreload(icas[:10]),
+            plan=plan_filter(40, budget_bytes=None),
+        )
+        before = cs.extension_payload()
+        chain = h.issue_chain("learn.example", h.paths_by_depth(2)[0])
+        learned = cs.learn_from(chain)
+        after = cs.extension_payload()
+        if learned:
+            assert after != before
+
+    def test_maintain_drops_expired(self):
+        h = build_hierarchy("ecdsa-p256", total_icas=2, num_roots=1, seed=5)
+        root = h.roots[0]
+        stale = root.create_subordinate("stale", seed=77, not_before=0, not_after=10)
+        cs = ClientSuppressor(
+            preload=IntermediatePreload(h.ica_certificates()),
+            budget_bytes=None,
+        )
+        cs.cache.add(stale.certificate)
+        expired, revoked = cs.maintain(at_time=100)
+        assert expired == 1 and revoked == 0
+        assert cs.manager.consistent_with_cache()
+
+    def test_client_config_wiring(self, world):
+        _, store, preload = world
+        cs = ClientSuppressor(preload=preload, budget_bytes=None)
+        cfg = cs.client_config(store, "host.example", kem_name="kyber512")
+        assert cfg.ica_filter_payload == cs.extension_payload()
+        assert cfg.issuer_lookup("no-such-issuer") is None
+        plain = cs.client_config(store, "host.example", use_suppression=False)
+        assert plain.ica_filter_payload is None
+
+
+class TestServerSuppressor:
+    def test_suppresses_known_icas(self, world):
+        h, _, preload = world
+        cs = ClientSuppressor(preload=preload, budget_bytes=None)
+        ss = ServerSuppressor()
+        chain = h.issue_chain("s.example", h.paths_by_depth(2)[0])
+        suppressed = ss(cs.extension_payload(), chain)
+        assert suppressed == set(chain.ica_fingerprints())
+        assert ss.hits == 2 and ss.lookups == 2
+
+    def test_unknown_icas_not_suppressed(self, world):
+        h, _, _ = world
+        cs = ClientSuppressor(
+            preload=None, plan=plan_filter(10, budget_bytes=None)
+        )
+        ss = ServerSuppressor()
+        chain = h.issue_chain("s2.example", h.paths_by_depth(2)[0])
+        assert ss(cs.extension_payload(), chain) == set()
+
+    def test_malformed_payload_means_no_suppression(self, world):
+        h, _, _ = world
+        ss = ServerSuppressor()
+        chain = h.issue_chain("s3.example", h.paths_by_depth(1)[0])
+        assert ss(b"\xff\xff garbage", chain) == set()
+        assert ss.malformed_payloads == 1
+
+    def test_filter_deserialization_memoized(self, world):
+        h, _, preload = world
+        cs = ClientSuppressor(preload=preload, budget_bytes=None)
+        ss = ServerSuppressor()
+        payload = cs.extension_payload()
+        chain = h.issue_chain("s4.example", h.paths_by_depth(1)[0])
+        ss(payload, chain)
+        filters_before = dict(ss._filters)
+        ss(payload, chain)
+        assert dict(ss._filters) == filters_before
+
+    def test_lru_bound(self, world):
+        h, _, _ = world
+        ss = ServerSuppressor(max_cached_filters=2)
+        chain = h.issue_chain("s5.example", h.paths_by_depth(1)[0])
+        for i in range(5):
+            ss(bytes([i]) * 20, chain)  # all malformed, all cached as None
+        assert len(ss._filters) <= 2
+
+
+class TestEndToEnd:
+    def test_full_pipeline_over_handshakes(self, world):
+        h, store, preload = world
+        cs = ClientSuppressor(preload=preload, budget_bytes=None, seed=5)
+        ss = ServerSuppressor()
+        total_icas = sent_icas = 0
+        for i, path in enumerate(h.paths):
+            cred = h.issue_credential(f"e2e{i}.example", path)
+            trace = run_handshake(
+                cs.client_config(
+                    store, f"e2e{i}.example", kem_name="ntru-hps-509",
+                    at_time=50, seed=i,
+                ),
+                ServerConfig(credential=cred, suppression_handler=ss, seed=i),
+            )
+            assert trace.succeeded
+            total_icas += cred.chain.num_icas
+            sent_icas += trace.ica_bytes_sent
+        # Every ICA was in the preload, so all must have been suppressed.
+        assert total_icas > 0
+        assert sent_icas == 0
+
+    def test_unknown_population_falls_back_gracefully(self, world):
+        """A filter of unrelated ICAs: almost every handshake completes as
+        plain (no suppression), modulo rare real false positives that the
+        retry absorbs — either way every handshake succeeds."""
+        h, store, _ = world
+        other = build_hierarchy("dilithium2", total_icas=40, num_roots=2, seed=99)
+        cs = ClientSuppressor(
+            preload=IntermediatePreload(other.ica_certificates()),
+            budget_bytes=None,
+        )
+        ss = ServerSuppressor()
+        for i, path in enumerate(h.paths[:10]):
+            cred = h.issue_credential(f"fb{i}.example", path)
+            trace = run_handshake(
+                cs.client_config(store, f"fb{i}.example", at_time=50, seed=i),
+                ServerConfig(credential=cred, suppression_handler=ss, seed=i),
+            )
+            assert trace.succeeded
+
+
+class TestPayloadFreshness:
+    def test_equal_count_churn_refreshes_payload(self, world):
+        """Regression: one delete plus one insert leaves the item count
+        unchanged but must still refresh the advertised payload."""
+        h, _, _ = world
+        icas = h.ica_certificates()
+        cs = ClientSuppressor(
+            preload=IntermediatePreload(icas[:10]),
+            plan=plan_filter(40, budget_bytes=None),
+        )
+        before = cs.extension_payload()
+        cs.cache.remove(icas[0])
+        cs.cache.add(icas[15])
+        after = cs.extension_payload()
+        assert before != after
+        # And the new payload must answer correctly server-side.
+        rebuilt = parse_extension_payload(after)
+        assert rebuilt.contains(icas[15].fingerprint())

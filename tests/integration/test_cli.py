@@ -1,0 +1,78 @@
+"""Tests for the CLI artifact runner."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import ARTIFACTS, build_parser, main
+
+
+class TestParser:
+    def test_every_artifact_is_a_choice(self):
+        parser = build_parser()
+        for name in ARTIFACTS:
+            args = parser.parse_args([name])
+            assert args.artifact == name
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.runs == 3
+        assert args.domains == 100
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestExecution:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ARTIFACTS:
+            assert name in out
+
+    def test_table1_inprocess(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "sphincs-128s" in out
+
+    def test_fig4_inprocess(self, capsys):
+        assert main(["fig4"]) == 0
+        assert "Fig. 4" in capsys.readouterr().out
+
+    def test_quic_inprocess(self, capsys):
+        assert main(["quic"]) == 0
+        assert "QUIC" in capsys.readouterr().out
+
+    def test_estimator_inprocess(self, capsys):
+        assert main(["estimator"]) == 0
+        assert "expected handshake duration" in capsys.readouterr().out
+
+    def test_module_entry_point(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "--version"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0
+        assert "repro" in proc.stdout
+
+    def test_fig5_left_with_small_scale(self, capsys):
+        assert main(["fig5-left", "--runs", "1", "--domains", "15"]) == 0
+        assert "reduction" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_report_generates_all_sections(self, capsys):
+        assert main(["report", "--runs", "1", "--domains", "20",
+                     "--crawl", "800", "--ops", "800"]) == 0
+        out = capsys.readouterr().out
+        for heading in (
+            "# Reproduction report",
+            "Table 1", "Table 2", "Figure 1", "Figure 3", "Figure 4",
+            "Figure 5", "Ablations and extensions",
+        ):
+            assert heading in out

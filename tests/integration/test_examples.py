@@ -1,0 +1,53 @@
+"""Smoke tests: every example script must run cleanly end-to-end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, *args):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=420,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = run_example("quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "suppressed 2 ICA certificates" in proc.stdout
+        assert "round trip(s)" in proc.stdout
+
+    def test_browsing_session(self):
+        proc = run_example("browsing_session.py", "25")
+        assert proc.returncode == 0, proc.stderr
+        assert "reduction" in proc.stdout
+        assert "sphincs-128f" in proc.stdout
+
+    def test_service_mesh(self):
+        proc = run_example("service_mesh.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "0 false positives" in proc.stdout
+
+    def test_iot_fleet(self):
+        proc = run_example("iot_fleet.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "no rebuild" in proc.stdout
+
+    def test_mutual_tls(self):
+        proc = run_example("mutual_tls.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "bidirectional suppression saved" in proc.stdout
+
+    def test_private_browsing(self):
+        proc = run_example("private_browsing.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "IC filter visible to observer: False" in proc.stdout
+        assert "real SNI visible to observer: False" in proc.stdout

@@ -1,0 +1,62 @@
+"""False positives at scale.
+
+At the paper's 0.1% FPP, false positives are rare enough that a test-sized
+session may see none. This test raises the FPP to 5% so the
+false-positive machinery — wrongful suppression, failed path completion,
+retry without the extension — is exercised many times in one browsing
+session, and checks the observed rate against the filter's nominal FPP.
+"""
+
+import pytest
+
+from repro.webmodel.population import ICAPopulation, PopulationConfig
+from repro.webmodel.session_sim import BrowsingSessionSimulator, SessionConfig
+
+
+@pytest.fixture(scope="module")
+def noisy_result():
+    population = ICAPopulation(PopulationConfig(seed=6))
+    sim = BrowsingSessionSimulator(
+        SessionConfig(seed=6, num_domains=80, fpp=0.05, filter_kind="cuckoo"),
+        population=population,
+    )
+    return sim.run(0)
+
+
+class TestFalsePositivesAtScale:
+    def test_false_positives_occur(self, noisy_result):
+        assert noisy_result.false_positives > 0
+
+    def test_every_handshake_still_succeeded(self, noisy_result):
+        # run() raises on any failed handshake; reaching here with FPs > 0
+        # means every false positive was absorbed by the retry.
+        assert noisy_result.unique_destinations > 200
+
+    def test_fp_rate_tracks_nominal_fpp(self, noisy_result):
+        """Observed FP destinations / unknown-ICA destinations should be
+        within a small factor of the nominal FPP (5%)."""
+        unknown_icas = sum(
+            o.num_icas - o.suppressed_count - (o.num_icas if o.false_positive else 0)
+            for o in noisy_result.outcomes
+            if not o.false_positive
+        )
+        # Count per-lookup opportunities conservatively: every non-FP
+        # destination's unsuppressed ICAs were unknown-lookup misses.
+        opportunities = unknown_icas + noisy_result.false_positives
+        if opportunities < 50:
+            pytest.skip("too few unknown lookups for a rate check")
+        rate = noisy_result.false_positives / opportunities
+        assert 0.005 <= rate <= 0.25  # 5% nominal, wide tolerance
+
+    def test_fp_destinations_paid_double(self, noisy_result):
+        """A false positive's TTFB is doubled (the paper's method)."""
+        samples = noisy_result.ttfb_samples("dilithium3", True)
+        fp_indices = [
+            i for i, o in enumerate(noisy_result.outcomes) if o.false_positive
+        ]
+        plain = noisy_result.ttfb_samples("dilithium3", False)
+        for i in fp_indices:
+            assert samples[i] > plain[i]
+
+    def test_reduction_still_positive_despite_fps(self, noisy_result):
+        assert noisy_result.ica_reduction_ratio() > 0.4

@@ -1,0 +1,104 @@
+"""Tests for RTT samplers and metric collectors."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.netsim.latency import ConstantRTT, EmpiricalRTT, LogNormalRTT
+from repro.netsim.metrics import ByteCounter, LatencyCollector, percentile, summarize
+
+
+class TestSamplers:
+    def test_constant(self):
+        sampler = ConstantRTT(0.05)
+        assert all(sampler.sample() == 0.05 for _ in range(10))
+
+    def test_constant_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            ConstantRTT(-0.1)
+
+    def test_lognormal_median(self):
+        sampler = LogNormalRTT(median_s=0.04, sigma=0.5, seed=1)
+        samples = sorted(sampler.sample() for _ in range(4000))
+        median = samples[len(samples) // 2]
+        assert 0.035 <= median <= 0.046
+
+    def test_lognormal_floor(self):
+        sampler = LogNormalRTT(median_s=0.003, sigma=2.0, seed=1)
+        assert all(sampler.sample() >= 0.002 for _ in range(2000))
+
+    def test_lognormal_heavy_tail(self):
+        sampler = LogNormalRTT(median_s=0.04, sigma=0.5, seed=1)
+        samples = [sampler.sample() for _ in range(4000)]
+        assert max(samples) > 3 * 0.04
+
+    def test_lognormal_deterministic_by_seed(self):
+        a = LogNormalRTT(0.04, 0.5, seed=9)
+        b = LogNormalRTT(0.04, 0.5, seed=9)
+        assert [a.sample() for _ in range(5)] == [b.sample() for _ in range(5)]
+
+    def test_lognormal_validation(self):
+        with pytest.raises(ConfigurationError):
+            LogNormalRTT(median_s=0)
+        with pytest.raises(ConfigurationError):
+            LogNormalRTT(median_s=0.04, sigma=0)
+
+    def test_empirical_resamples_population(self):
+        sampler = EmpiricalRTT([0.01, 0.02, 0.03], seed=1)
+        assert all(sampler.sample() in (0.01, 0.02, 0.03) for _ in range(50))
+
+    def test_empirical_validation(self):
+        with pytest.raises(ConfigurationError):
+            EmpiricalRTT([])
+        with pytest.raises(ConfigurationError):
+            EmpiricalRTT([0.01, -0.01])
+
+
+class TestByteCounter:
+    def test_accumulates_by_category(self):
+        counter = ByteCounter()
+        counter.add("ica", 100)
+        counter.add("ica", 50)
+        counter.add("leaf", 7)
+        assert counter.get("ica") == 150
+        assert counter.get("missing") == 0
+        assert counter.total() == 157
+        assert counter.as_dict() == {"ica": 150, "leaf": 7}
+
+
+class TestSummaries:
+    def test_percentile_interpolation(self):
+        values = [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.5) == 2.0
+        assert percentile(values, 0.25) == 1.0
+        assert percentile(values, 0.1) == pytest.approx(0.4)
+
+    def test_percentile_single_value(self):
+        assert percentile([7.0], 0.99) == 7.0
+
+    def test_percentile_empty_is_nan(self):
+        assert math.isnan(percentile([], 0.5))
+
+    def test_summarize(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == 2.5
+        assert s.median == 2.5
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.stdev == pytest.approx(1.118, abs=1e-3)
+
+    def test_summarize_empty(self):
+        assert summarize([]).count == 0
+        assert math.isnan(summarize([]).mean)
+
+    def test_collector_labels_and_summary(self):
+        c = LatencyCollector()
+        c.record("pq", 0.2)
+        c.record("pq", 0.4)
+        c.record("classical", 0.1)
+        assert c.labels() == ["classical", "pq"]
+        assert c.summary("pq").mean == pytest.approx(0.3)
+        assert c.samples("pq") == [0.2, 0.4]
+        assert c.summary("nothing").count == 0

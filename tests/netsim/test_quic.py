@@ -1,0 +1,90 @@
+"""Tests for the QUIC amplification-protection model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.netsim.quic import (
+    AMPLIFICATION_FACTOR,
+    QUIC_MIN_INITIAL_BYTES,
+    QUICConfig,
+    quic_extra_flights,
+    quic_flights_needed,
+    quic_handshake_duration_s,
+)
+from repro.netsim.tcp import flights_needed
+
+
+class TestAmplificationLimit:
+    def test_empty_flight(self):
+        assert quic_flights_needed(0, 300) == 0
+
+    def test_small_flight_one_rtt(self):
+        # 3 x 1200 = 3600 bytes of pre-validation budget.
+        assert quic_flights_needed(3600, 300) == 1
+
+    def test_one_byte_over_budget(self):
+        assert quic_flights_needed(3601, 300) == 2
+
+    def test_bigger_client_hello_raises_budget(self):
+        """The filter extension enlarges the Initial, which enlarges the
+        server's amplification budget — the filter partially pays for
+        itself in QUIC."""
+        tight = quic_flights_needed(5000, 300)
+        padded = quic_flights_needed(5000, 1800)  # CH grew past 1200
+        assert padded < tight
+
+    def test_quic_feels_pq_penalty_earlier_than_tcp(self):
+        """Kampanakis-Kallitsis's point: a flight that fits TCP's 14.6 KB
+        initcwnd can still stall QUIC's 3.6 KB amplification budget."""
+        flight = 9_000  # e.g. Falcon-512 2-ICA chain
+        assert flights_needed(flight) == 1
+        assert quic_flights_needed(flight, 300) == 2
+
+    def test_budget_capped_by_initcwnd(self):
+        # A huge ClientHello cannot raise the first flight beyond cwnd.
+        assert quic_flights_needed(30_000, 14_000) == quic_flights_needed(
+            30_000, 20_000
+        )
+
+    def test_monotone_in_flight_size(self):
+        values = [quic_flights_needed(n, 900) for n in range(1, 200_000, 5000)]
+        assert values == sorted(values)
+
+    def test_extra_flights(self):
+        assert quic_extra_flights(1000, 300) == 0
+        assert quic_extra_flights(50_000, 300) >= 2
+
+
+class TestDurations:
+    def test_no_tcp_connect_round_trip(self):
+        """QUIC's 1-RTT handshake vs TCP+TLS's 2: same small flight."""
+        from repro.netsim.tcp import handshake_duration_s
+
+        quic = quic_handshake_duration_s(900, 3000, 0.1)
+        tcp = handshake_duration_s(900, 3000, 0.1)
+        assert quic == pytest.approx(0.1)
+        assert tcp == pytest.approx(0.2)
+
+    def test_cpu_added(self):
+        base = quic_handshake_duration_s(900, 3000, 0.1)
+        assert quic_handshake_duration_s(900, 3000, 0.1, crypto_cpu_s=0.05) == (
+            pytest.approx(base + 0.05)
+        )
+
+    def test_suppression_saves_quic_round_trips(self):
+        full = quic_handshake_duration_s(900, 31_000, 0.05)  # dilithium3 2-ICA
+        suppressed = quic_handshake_duration_s(900, 17_000, 0.05)
+        assert suppressed < full
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = QUICConfig()
+        assert cfg.min_initial_bytes == QUIC_MIN_INITIAL_BYTES
+        assert cfg.amplification_factor == AMPLIFICATION_FACTOR
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            QUICConfig(amplification_factor=0)
+        with pytest.raises(ConfigurationError):
+            QUICConfig(min_initial_bytes=-1)

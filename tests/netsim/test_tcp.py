@@ -1,0 +1,123 @@
+"""Tests for the TCP flight model — the paper's latency mechanism."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.netsim.tcp import (
+    DEFAULT_INITCWND_SEGMENTS,
+    DEFAULT_MSS,
+    TCPConfig,
+    extra_flights,
+    flights_needed,
+    handshake_duration_s,
+    time_to_first_byte_s,
+    transfer_time_s,
+)
+
+
+class TestConfig:
+    def test_default_window_near_14_5_kb(self):
+        """§3: '10 MSS ~ 14.5KB'."""
+        assert TCPConfig().initcwnd_bytes == 14600
+
+    def test_rejects_tiny_mss(self):
+        with pytest.raises(ConfigurationError):
+            TCPConfig(mss=100)
+
+    def test_rejects_zero_window(self):
+        with pytest.raises(ConfigurationError):
+            TCPConfig(initcwnd_segments=0)
+
+
+class TestFlights:
+    def test_zero_payload(self):
+        assert flights_needed(0) == 0
+
+    def test_fits_first_window(self):
+        assert flights_needed(14600) == 1
+        assert flights_needed(1) == 1
+
+    def test_one_byte_over(self):
+        assert flights_needed(14601) == 2
+
+    def test_slow_start_doubling(self):
+        # Cumulative capacity: 14600, 43800, 102200, 219000 ...
+        assert flights_needed(43800) == 2
+        assert flights_needed(43801) == 3
+        assert flights_needed(102200) == 3
+        assert flights_needed(102201) == 4
+
+    def test_monotone_in_payload(self):
+        values = [flights_needed(n) for n in range(0, 200_000, 1000)]
+        assert values == sorted(values)
+
+    def test_larger_window_fewer_flights(self):
+        payload = 40_000
+        small = flights_needed(payload, TCPConfig(initcwnd_segments=4))
+        large = flights_needed(payload, TCPConfig(initcwnd_segments=32))
+        assert large < small
+
+    def test_extra_flights(self):
+        assert extra_flights(1000) == 0
+        assert extra_flights(20_000) == 1
+
+    def test_paper_table1_crossings(self):
+        """Table 1's conclusion: Falcon-512 auth data stays within the
+        window up to 3 ICAs; Dilithium-2 is marginal at a single ICA;
+        higher levels overflow."""
+        falcon3 = 7900  # Falcon-512, three ICAs (paper row)
+        dilithium2_1 = 13590
+        dilithium5_1 = 25450
+        assert extra_flights(falcon3) == 0
+        assert extra_flights(dilithium2_1) == 0
+        assert extra_flights(dilithium5_1) >= 1
+
+
+class TestTimings:
+    def test_transfer_time_zero_payload(self):
+        assert transfer_time_s(0, 0.1) == 0.0
+
+    def test_single_flight_transfer_is_half_rtt(self):
+        assert transfer_time_s(1000, 0.1) == pytest.approx(0.05)
+
+    def test_two_flight_transfer(self):
+        assert transfer_time_s(20_000, 0.1) == pytest.approx(0.15)
+
+    def test_handshake_baseline_two_rtt(self):
+        """Connect (1 RTT) + hello exchange (1 RTT) when nothing
+        overflows."""
+        assert handshake_duration_s(300, 4000, 0.1) == pytest.approx(0.2)
+
+    def test_handshake_overflow_adds_rtt(self):
+        base = handshake_duration_s(300, 4000, 0.1)
+        big = handshake_duration_s(300, 40_000, 0.1)
+        assert big == pytest.approx(base + 0.1)
+
+    def test_oversized_client_hello_costs_too(self):
+        base = handshake_duration_s(300, 4000, 0.1)
+        fat_ch = handshake_duration_s(20_000, 4000, 0.1)
+        assert fat_ch == pytest.approx(base + 0.1)
+
+    def test_crypto_cpu_added_linearly(self):
+        slow = handshake_duration_s(300, 4000, 0.1, crypto_cpu_s=0.3)
+        fast = handshake_duration_s(300, 4000, 0.1, crypto_cpu_s=0.0)
+        assert slow - fast == pytest.approx(0.3)
+
+    def test_no_tcp_connect_option(self):
+        with_conn = handshake_duration_s(300, 4000, 0.1)
+        without = handshake_duration_s(300, 4000, 0.1, tcp_connect=False)
+        assert with_conn - without == pytest.approx(0.1)
+
+    def test_ttfb_adds_one_rtt(self):
+        hs = handshake_duration_s(300, 4000, 0.1)
+        assert time_to_first_byte_s(300, 4000, 0.1) == pytest.approx(hs + 0.1)
+
+    def test_latency_grows_linearly_with_rtt(self):
+        """The Fig. 5-center premise: extra latency of larger auth data is
+        linear in RTT with slope = extra flights."""
+        for rtt in (0.02, 0.05, 0.2):
+            small = handshake_duration_s(300, 4_000, rtt)
+            big = handshake_duration_s(300, 120_000, rtt)
+            assert (big - small) == pytest.approx(
+                extra_flights(120_000) * rtt
+            )

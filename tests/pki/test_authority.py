@@ -1,0 +1,147 @@
+"""Tests for CAs and synthetic hierarchy generation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pki import CertificateAuthority, build_hierarchy
+from repro.pki.algorithms import get_signature_algorithm
+
+
+class TestCertificateAuthority:
+    def test_root_is_self_signed_ca(self):
+        root = CertificateAuthority.create_root("Root", "ecdsa-p256", seed=1)
+        assert root.certificate.is_self_signed
+        assert root.certificate.is_ca
+        assert root.certificate.verify_signature(root.keypair.public_key)
+
+    def test_subordinate_chains_to_parent(self):
+        root = CertificateAuthority.create_root("Root", "ecdsa-p256", seed=1)
+        ica = root.create_subordinate("ICA 1", seed=2)
+        assert ica.certificate.issuer == "Root"
+        assert ica.certificate.is_ca
+        assert ica.certificate.verify_signature(root.keypair.public_key)
+
+    def test_leaf_issued_by_ica(self):
+        root = CertificateAuthority.create_root("Root", "ecdsa-p256", seed=1)
+        ica = root.create_subordinate("ICA 1", seed=2)
+        leaf = ica.issue_leaf("www.example.com", seed=3)
+        assert not leaf.is_ca
+        assert leaf.issuer == "ICA 1"
+        assert leaf.verify_signature(ica.keypair.public_key)
+
+    def test_serials_unique_per_issuer(self):
+        root = CertificateAuthority.create_root("Root", "ecdsa-p256", seed=1)
+        serials = {root.issue_leaf(f"h{i}", seed=10 + i).serial for i in range(20)}
+        assert len(serials) == 20
+
+
+class TestBuildHierarchy:
+    def test_distinct_ica_count_exact(self):
+        h = build_hierarchy("ecdsa-p256", total_icas=45, num_roots=4, seed=3)
+        assert len(h.ica_certificates()) == 45
+
+    def test_root_count(self):
+        h = build_hierarchy("ecdsa-p256", total_icas=10, num_roots=4, seed=3)
+        assert len(h.roots) == 4
+        assert len(h.trust_store()) == 4
+
+    def test_paths_cover_depths(self):
+        h = build_hierarchy("ecdsa-p256", total_icas=60, num_roots=3, seed=3)
+        depths = {p.depth for p in h.paths}
+        assert {0, 1, 2}.issubset(depths)
+
+    def test_every_issued_chain_validates(self):
+        h = build_hierarchy("ecdsa-p256", total_icas=25, num_roots=3, seed=11)
+        store = h.trust_store()
+        for i, path in enumerate(h.paths):
+            chain = h.issue_chain(f"host{i}.example", path)
+            chain.validate(store, at_time=100)
+            assert chain.num_icas == path.depth
+
+    def test_deterministic_given_seed(self):
+        h1 = build_hierarchy("ecdsa-p256", total_icas=12, num_roots=2, seed=5)
+        h2 = build_hierarchy("ecdsa-p256", total_icas=12, num_roots=2, seed=5)
+        fps1 = sorted(c.fingerprint() for c in h1.ica_certificates())
+        fps2 = sorted(c.fingerprint() for c in h2.ica_certificates())
+        assert fps1 == fps2
+
+    def test_different_seeds_differ(self):
+        h1 = build_hierarchy("ecdsa-p256", total_icas=12, num_roots=2, seed=5)
+        h2 = build_hierarchy("ecdsa-p256", total_icas=12, num_roots=2, seed=6)
+        fps1 = sorted(c.fingerprint() for c in h1.ica_certificates())
+        fps2 = sorted(c.fingerprint() for c in h2.ica_certificates())
+        assert fps1 != fps2
+
+    def test_random_path_issuance(self):
+        h = build_hierarchy("ecdsa-p256", total_icas=10, num_roots=2, seed=5)
+        store = h.trust_store()
+        for i in range(10):
+            h.issue_chain(f"rand{i}.example").validate(store, at_time=100)
+
+    def test_algorithm_object_accepted(self):
+        alg = get_signature_algorithm("falcon-512")
+        h = build_hierarchy(alg, total_icas=3, num_roots=1, seed=1)
+        assert h.ica_certificates()[0].signature_algorithm.name == "falcon-512"
+
+    @pytest.mark.parametrize("bad", [0, -3])
+    def test_invalid_ica_count(self, bad):
+        with pytest.raises(ConfigurationError):
+            build_hierarchy("ecdsa-p256", total_icas=bad)
+
+    def test_invalid_root_count(self):
+        with pytest.raises(ConfigurationError):
+            build_hierarchy("ecdsa-p256", total_icas=5, num_roots=0)
+
+
+class TestMixedChains:
+    """Mixed-algorithm chains (the [41]/[55] strategy the paper cites)."""
+
+    def test_subordinate_algorithm_switch(self):
+        root = CertificateAuthority.create_root("Root", "falcon-512", seed=1)
+        ica = root.create_subordinate("ICA", seed=2, algorithm="dilithium2")
+        # ICA cert is signed by the root's scheme...
+        assert ica.certificate.signature_algorithm.name == "falcon-512"
+        # ...but carries its own key and signs with its own scheme.
+        assert ica.certificate.public_key.algorithm.name == "dilithium2"
+        leaf = ica.issue_leaf("www.example", seed=3)
+        assert leaf.signature_algorithm.name == "dilithium2"
+
+    def test_mixed_chain_validates(self):
+        from repro.pki.chain import CertificateChain
+        from repro.pki.store import TrustStore
+
+        root = CertificateAuthority.create_root("Root", "falcon-512", seed=4)
+        ica = root.create_subordinate("ICA", seed=5, algorithm="dilithium2")
+        leaf = ica.issue_leaf("www.example", seed=6)
+        chain = CertificateChain(leaf, (ica.certificate,), root.certificate)
+        chain.validate(TrustStore([root.certificate]), at_time=100)
+
+    def test_mixed_chain_handshake_with_suppression(self):
+        from repro.pki.authority import ServerCredential
+        from repro.pki.chain import CertificateChain
+        from repro.pki.keys import KeyPair
+        from repro.pki.store import TrustStore
+        from repro.tls import ClientConfig, HandshakeOutcome, ServerConfig, run_handshake
+
+        root = CertificateAuthority.create_root("Root", "falcon-512", seed=7)
+        ica = root.create_subordinate("ICA", seed=8, algorithm="dilithium2")
+        keypair = KeyPair(get_signature_algorithm("dilithium2"), 9)
+        leaf = ica.issue_leaf_with_key("mix.example", keypair)
+        cred = ServerCredential(
+            chain=CertificateChain(leaf, (ica.certificate,), root.certificate),
+            keypair=keypair,
+        )
+        store = TrustStore([root.certificate])
+        cache = {ica.certificate.subject: ica.certificate}
+        trace = run_handshake(
+            ClientConfig(
+                store, hostname="mix.example", at_time=100,
+                ica_filter_payload=b"any", issuer_lookup=cache.get,
+            ),
+            ServerConfig(
+                credential=cred,
+                suppression_handler=lambda p, c: set(c.ica_fingerprints()),
+            ),
+        )
+        assert trace.outcome is HandshakeOutcome.COMPLETED
+        assert trace.suppressed_ica_count == 1

@@ -1,0 +1,142 @@
+"""Tests for certificate building, encoding and parsing."""
+
+import pytest
+
+from repro.errors import CertificateError
+from repro.pki.algorithms import get_signature_algorithm
+from repro.pki.certificate import (
+    Certificate,
+    CertificateBuilder,
+    DEFAULT_ATTRIBUTE_BYTES,
+)
+from repro.pki.keys import KeyPair
+
+ALGS = ["ecdsa-p256", "rsa-2048", "falcon-512", "dilithium2", "dilithium5", "sphincs-128s"]
+
+
+def make_cert(alg_name="dilithium3", is_ca=True, attribute_bytes=DEFAULT_ATTRIBUTE_BYTES,
+              subject="Test ICA", issuer="Test Root", serial=7,
+              not_before=0, not_after=10**10, signer_seed=1, subject_seed=2):
+    alg = get_signature_algorithm(alg_name)
+    builder = CertificateBuilder(alg, attribute_bytes)
+    signer = KeyPair(alg, signer_seed)
+    subject_key = KeyPair(alg, subject_seed)
+    cert = builder.build(
+        subject=subject, issuer=issuer, subject_key=subject_key,
+        signer_key=signer, serial=serial, is_ca=is_ca,
+        not_before=not_before, not_after=not_after,
+    )
+    return cert, signer, subject_key
+
+
+class TestSizeAccounting:
+    @pytest.mark.parametrize("alg_name", ALGS)
+    def test_non_crypto_content_is_exactly_attribute_budget(self, alg_name):
+        """The paper's Table-1 unit: DER size = attrs + pk + sig."""
+        alg = get_signature_algorithm(alg_name)
+        cert, _, _ = make_cert(alg_name)
+        assert cert.size_bytes() == (
+            DEFAULT_ATTRIBUTE_BYTES + alg.public_key_bytes + alg.signature_bytes
+        )
+
+    def test_custom_attribute_budget(self):
+        cert, _, _ = make_cert("ecdsa-p256", attribute_bytes=700)
+        alg = get_signature_algorithm("ecdsa-p256")
+        assert cert.size_bytes() == 700 + alg.public_key_bytes + alg.signature_bytes
+
+    def test_tiny_budget_clamps_to_structural_minimum(self):
+        cert, _, _ = make_cert("ecdsa-p256", attribute_bytes=1)
+        # Cannot go below the structural DER overhead; should still encode.
+        assert cert.size_bytes() > 0
+        assert Certificate.from_der(cert.to_der()).subject == "Test ICA"
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("alg_name", ALGS)
+    def test_from_der_inverts_to_der(self, alg_name):
+        cert, _, _ = make_cert(alg_name)
+        parsed = Certificate.from_der(cert.to_der())
+        assert parsed.to_der() == cert.to_der()
+        assert parsed.subject == cert.subject
+        assert parsed.issuer == cert.issuer
+        assert parsed.serial == cert.serial
+        assert parsed.is_ca == cert.is_ca
+        assert parsed.not_before == cert.not_before
+        assert parsed.not_after == cert.not_after
+        assert parsed.public_key == cert.public_key
+        assert parsed.signature == cert.signature
+
+    def test_fingerprint_stable_through_parse(self):
+        cert, _, _ = make_cert()
+        assert Certificate.from_der(cert.to_der()).fingerprint() == cert.fingerprint()
+
+    def test_leaf_roundtrip(self):
+        cert, _, _ = make_cert(is_ca=False, subject="www.example.com")
+        parsed = Certificate.from_der(cert.to_der())
+        assert not parsed.is_ca
+
+    def test_unicode_subject(self):
+        cert, _, _ = make_cert(subject="Zertifizierungsstelle Münster")
+        assert Certificate.from_der(cert.to_der()).subject == cert.subject
+
+
+class TestVerification:
+    def test_genuine_signature_verifies(self):
+        cert, signer, _ = make_cert()
+        assert cert.verify_signature(signer.public_key)
+
+    def test_parsed_certificate_verifies(self):
+        cert, signer, _ = make_cert()
+        assert Certificate.from_der(cert.to_der()).verify_signature(signer.public_key)
+
+    def test_wrong_key_rejected(self):
+        cert, _, subject_key = make_cert()
+        assert not cert.verify_signature(subject_key.public_key)
+
+    def test_tampered_der_rejected(self):
+        cert, signer, _ = make_cert()
+        der = bytearray(cert.to_der())
+        der[len(der) // 2] ^= 0x01
+        try:
+            tampered = Certificate.from_der(bytes(der))
+        except CertificateError:
+            return  # structurally broken is also a rejection
+        assert not tampered.verify_signature(signer.public_key)
+
+
+class TestValidity:
+    def test_valid_at_window(self):
+        cert, _, _ = make_cert(not_before=100, not_after=200)
+        assert not cert.valid_at(99)
+        assert cert.valid_at(100)
+        assert cert.valid_at(200)
+        assert not cert.valid_at(201)
+
+    def test_reversed_window_rejected(self):
+        with pytest.raises(CertificateError):
+            make_cert(not_before=200, not_after=100)
+
+    def test_self_signed_detection(self):
+        cert, _, _ = make_cert(subject="Root X", issuer="Root X")
+        assert cert.is_self_signed
+
+
+class TestMalformedInput:
+    def test_not_der(self):
+        with pytest.raises(CertificateError):
+            Certificate.from_der(b"this is not DER")
+
+    def test_empty(self):
+        with pytest.raises(CertificateError):
+            Certificate.from_der(b"")
+
+    def test_wrong_child_count(self):
+        from repro.pki import asn1
+
+        with pytest.raises(CertificateError):
+            Certificate.from_der(asn1.encode_sequence(asn1.encode_null()))
+
+    def test_truncated(self):
+        cert, _, _ = make_cert()
+        with pytest.raises(CertificateError):
+            Certificate.from_der(cert.to_der()[:-10])

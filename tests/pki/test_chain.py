@@ -1,0 +1,168 @@
+"""Tests for chain building, accounting, validation and path completion."""
+
+import pytest
+
+from repro.errors import ChainValidationError, RevocationError
+from repro.pki import RevocationList, build_hierarchy
+from repro.pki.chain import CertificateChain, complete_path
+
+
+@pytest.fixture(scope="module")
+def hierarchy():
+    return build_hierarchy("dilithium2", total_icas=30, num_roots=3, seed=7)
+
+
+@pytest.fixture(scope="module")
+def store(hierarchy):
+    return hierarchy.trust_store()
+
+
+def chain_of_depth(hierarchy, depth):
+    paths = hierarchy.paths_by_depth(depth)
+    assert paths, f"no path of depth {depth} in fixture hierarchy"
+    return hierarchy.issue_chain(f"host-d{depth}.example", paths[0])
+
+
+class TestAccounting:
+    def test_num_icas(self, hierarchy):
+        for depth in (0, 1, 2):
+            assert chain_of_depth(hierarchy, depth).num_icas == depth
+
+    def test_transmitted_excludes_root(self, hierarchy):
+        chain = chain_of_depth(hierarchy, 2)
+        sent = chain.transmitted_certificates()
+        assert chain.root not in sent
+        assert len(sent) == 3
+
+    def test_suppression_removes_matching_icas(self, hierarchy):
+        chain = chain_of_depth(hierarchy, 2)
+        fp = chain.intermediates[0].fingerprint()
+        sent = chain.transmitted_certificates({fp})
+        assert len(sent) == 2
+        assert chain.intermediates[0] not in sent
+
+    def test_full_suppression_sends_leaf_only(self, hierarchy):
+        chain = chain_of_depth(hierarchy, 2)
+        sent = chain.transmitted_certificates(set(chain.ica_fingerprints()))
+        assert sent == [chain.leaf]
+
+    def test_transmitted_bytes_consistent(self, hierarchy):
+        chain = chain_of_depth(hierarchy, 2)
+        assert chain.transmitted_bytes() == chain.leaf.size_bytes() + chain.ica_bytes()
+
+    def test_ica_bytes_zero_for_direct_chain(self, hierarchy):
+        assert chain_of_depth(hierarchy, 0).ica_bytes() == 0
+
+
+class TestValidation:
+    def test_valid_chain_passes(self, hierarchy, store):
+        for depth in (0, 1, 2, 3):
+            if hierarchy.paths_by_depth(depth):
+                chain_of_depth(hierarchy, depth).validate(store, at_time=10)
+
+    def test_untrusted_root_rejected(self, hierarchy):
+        other = build_hierarchy("dilithium2", total_icas=2, num_roots=1, seed=99)
+        chain = chain_of_depth(hierarchy, 1)
+        with pytest.raises(ChainValidationError, match="trust anchor"):
+            chain.validate(other.trust_store(), at_time=10)
+
+    def test_expired_leaf_rejected(self, hierarchy, store):
+        chain = chain_of_depth(hierarchy, 1)
+        with pytest.raises(ChainValidationError, match="not valid at"):
+            chain.validate(store, at_time=chain.leaf.not_after + 1)
+
+    def test_wrong_issuer_order_rejected(self, hierarchy, store):
+        chain = chain_of_depth(hierarchy, 2)
+        scrambled = CertificateChain(
+            leaf=chain.leaf,
+            intermediates=tuple(reversed(chain.intermediates)),
+            root=chain.root,
+        )
+        with pytest.raises(ChainValidationError):
+            scrambled.validate(store, at_time=10)
+
+    def test_leaf_as_issuer_rejected(self, hierarchy, store):
+        donor = chain_of_depth(hierarchy, 0)
+        chain = chain_of_depth(hierarchy, 1)
+        bad = CertificateChain(
+            leaf=chain.leaf,
+            intermediates=(donor.leaf,),
+            root=chain.root,
+        )
+        with pytest.raises(ChainValidationError):
+            bad.validate(store, at_time=10)
+
+    def test_revoked_intermediate_rejected(self, hierarchy, store):
+        chain = chain_of_depth(hierarchy, 1)
+        rl = RevocationList()
+        rl.revoke(chain.intermediates[0], at_time=5)
+        with pytest.raises(RevocationError):
+            chain.validate(store, at_time=10, revocation=rl)
+
+    def test_unrevoke_restores_validity(self, hierarchy, store):
+        chain = chain_of_depth(hierarchy, 1)
+        rl = RevocationList()
+        rl.revoke(chain.leaf)
+        assert rl.unrevoke(chain.leaf)
+        chain.validate(store, at_time=10, revocation=rl)
+
+    def test_cross_hierarchy_splice_rejected(self, store, hierarchy):
+        """A leaf spliced onto an unrelated ICA must fail signature check."""
+        chain_a = chain_of_depth(hierarchy, 1)
+        chain_b = chain_of_depth(hierarchy, 2)
+        spliced = CertificateChain(
+            leaf=chain_a.leaf,
+            intermediates=chain_b.intermediates,
+            root=chain_b.root,
+        )
+        with pytest.raises(ChainValidationError):
+            spliced.validate(store, at_time=10)
+
+
+class TestPathCompletion:
+    """Client-side rebuild of a suppressed chain (Fig. 2)."""
+
+    def _cache(self, hierarchy):
+        return {c.subject: c for c in hierarchy.ica_certificates()}
+
+    def test_suppressed_chain_completes_from_cache(self, hierarchy, store):
+        cache = self._cache(hierarchy)
+        chain = chain_of_depth(hierarchy, 2)
+        sent = chain.transmitted_certificates(set(chain.ica_fingerprints()))
+        rebuilt = complete_path(sent, cache.get, store)
+        rebuilt.validate(store, at_time=10)
+        assert rebuilt.ica_fingerprints() == chain.ica_fingerprints()
+
+    def test_partial_suppression_completes(self, hierarchy, store):
+        cache = self._cache(hierarchy)
+        chain = chain_of_depth(hierarchy, 2)
+        suppressed = {chain.intermediates[1].fingerprint()}
+        sent = chain.transmitted_certificates(suppressed)
+        rebuilt = complete_path(sent, cache.get, store)
+        rebuilt.validate(store, at_time=10)
+
+    def test_unsuppressed_chain_completes_without_cache(self, hierarchy, store):
+        chain = chain_of_depth(hierarchy, 2)
+        rebuilt = complete_path(
+            chain.transmitted_certificates(), lambda name: None, store
+        )
+        rebuilt.validate(store, at_time=10)
+
+    def test_false_positive_suppression_fails_loudly(self, hierarchy, store):
+        """A server suppressing an ICA the client does NOT have is the
+        paper's false-positive case: completion must fail so the client
+        can retry without the extension."""
+        chain = chain_of_depth(hierarchy, 2)
+        sent = chain.transmitted_certificates(set(chain.ica_fingerprints()))
+        with pytest.raises(ChainValidationError, match="cannot complete path"):
+            complete_path(sent, lambda name: None, store)
+
+    def test_empty_message_rejected(self, hierarchy, store):
+        with pytest.raises(ChainValidationError, match="empty"):
+            complete_path([], lambda name: None, store)
+
+    def test_direct_root_chain(self, hierarchy, store):
+        chain = chain_of_depth(hierarchy, 0)
+        rebuilt = complete_path([chain.leaf], lambda name: None, store)
+        assert rebuilt.num_icas == 0
+        rebuilt.validate(store, at_time=10)

@@ -1,0 +1,96 @@
+"""Tests for simulated keys and signatures."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pki.algorithms import SIGNATURE_ALGORITHMS, get_signature_algorithm
+from repro.pki.keys import KeyPair, PublicKey, expand_bytes
+from repro.pki.signatures import sign_payload, verify_payload
+
+
+class TestExpandBytes:
+    def test_exact_length(self):
+        for n in (0, 1, 31, 32, 33, 1000):
+            assert len(expand_bytes(b"seed", n)) == n
+
+    def test_deterministic(self):
+        assert expand_bytes(b"s", 64) == expand_bytes(b"s", 64)
+
+    def test_label_separates_domains(self):
+        assert expand_bytes(b"s", 64, b"a") != expand_bytes(b"s", 64, b"b")
+
+    def test_prefix_property(self):
+        long = expand_bytes(b"s", 128)
+        short = expand_bytes(b"s", 64)
+        assert long[:64] == short
+
+
+class TestKeyPair:
+    @pytest.mark.parametrize("name", sorted(SIGNATURE_ALGORITHMS))
+    def test_public_key_size(self, name):
+        alg = get_signature_algorithm(name)
+        kp = KeyPair(alg, seed=1)
+        assert len(kp.public_key.key_bytes) == alg.public_key_bytes
+
+    def test_same_seed_same_key(self):
+        alg = get_signature_algorithm("dilithium2")
+        assert KeyPair(alg, 7).public_key == KeyPair(alg, 7).public_key
+
+    def test_different_seeds_differ(self):
+        alg = get_signature_algorithm("dilithium2")
+        assert KeyPair(alg, 7).public_key != KeyPair(alg, 8).public_key
+
+    def test_different_algorithms_differ(self):
+        a = KeyPair(get_signature_algorithm("sphincs-128s"), 7)
+        b = KeyPair(get_signature_algorithm("sphincs-128f"), 7)
+        assert a.public_key.key_bytes != b.public_key.key_bytes
+
+    def test_public_key_validates_length(self):
+        alg = get_signature_algorithm("ecdsa-p256")
+        with pytest.raises(ValueError):
+            PublicKey(alg, b"\x00" * 10)
+
+    def test_fingerprint_is_sha256(self):
+        kp = KeyPair(get_signature_algorithm("ecdsa-p256"), 3)
+        assert len(kp.public_key.fingerprint()) == 32
+
+
+class TestSignatures:
+    @pytest.mark.parametrize("name", ["ecdsa-p256", "falcon-512", "dilithium5", "sphincs-128f"])
+    def test_signature_size_exact(self, name):
+        alg = get_signature_algorithm(name)
+        kp = KeyPair(alg, 1)
+        sig = sign_payload(kp, b"payload")
+        assert len(sig) == alg.signature_bytes
+
+    def test_verify_accepts_genuine(self):
+        kp = KeyPair(get_signature_algorithm("dilithium3"), 5)
+        sig = sign_payload(kp, b"hello")
+        assert verify_payload(kp.public_key, b"hello", sig)
+
+    def test_verify_rejects_tampered_payload(self):
+        kp = KeyPair(get_signature_algorithm("dilithium3"), 5)
+        sig = sign_payload(kp, b"hello")
+        assert not verify_payload(kp.public_key, b"hellp", sig)
+
+    def test_verify_rejects_tampered_signature(self):
+        kp = KeyPair(get_signature_algorithm("dilithium3"), 5)
+        sig = bytearray(sign_payload(kp, b"hello"))
+        sig[0] ^= 1
+        assert not verify_payload(kp.public_key, b"hello", bytes(sig))
+
+    def test_verify_rejects_wrong_key(self):
+        alg = get_signature_algorithm("dilithium3")
+        sig = sign_payload(KeyPair(alg, 5), b"hello")
+        assert not verify_payload(KeyPair(alg, 6).public_key, b"hello", sig)
+
+    def test_verify_rejects_wrong_length(self):
+        kp = KeyPair(get_signature_algorithm("dilithium3"), 5)
+        sig = sign_payload(kp, b"hello")
+        assert not verify_payload(kp.public_key, b"hello", sig[:-1])
+
+    @given(st.binary(max_size=200))
+    def test_sign_verify_roundtrip_property(self, payload):
+        kp = KeyPair(get_signature_algorithm("falcon-512"), 11)
+        assert verify_payload(kp.public_key, payload, sign_payload(kp, payload))

@@ -1,0 +1,157 @@
+"""Tests for OCSP staples, SCTs, trust store, preload list, revocation."""
+
+import pytest
+
+from repro.errors import CertificateError
+from repro.pki import (
+    CertificateAuthority,
+    IntermediatePreload,
+    OCSPStaple,
+    RevocationList,
+    SignedCertificateTimestamp,
+    TrustStore,
+)
+from repro.pki.algorithms import get_signature_algorithm
+from repro.pki.keys import KeyPair
+from repro.pki.ocsp import STATUS_GOOD, STATUS_REVOKED
+
+
+@pytest.fixture(scope="module")
+def setup():
+    root = CertificateAuthority.create_root("Root", "dilithium2", seed=1)
+    ica = root.create_subordinate("ICA", seed=2)
+    leaf = ica.issue_leaf("www.example.com", seed=3)
+    responder = KeyPair(get_signature_algorithm("dilithium2"), 50)
+    return root, ica, leaf, responder
+
+
+class TestOCSP:
+    def test_good_staple_verifies(self, setup):
+        _, _, leaf, responder = setup
+        staple = OCSPStaple.create(leaf, responder, produced_at=100)
+        assert staple.verify(responder.public_key)
+        assert staple.is_good
+
+    def test_revoked_status(self, setup):
+        _, _, leaf, responder = setup
+        staple = OCSPStaple.create(leaf, responder, 100, status=STATUS_REVOKED)
+        assert not staple.is_good
+        assert staple.verify(responder.public_key)
+
+    def test_unknown_status_rejected(self, setup):
+        _, _, leaf, responder = setup
+        with pytest.raises(CertificateError):
+            OCSPStaple.create(leaf, responder, 100, status=9)
+
+    def test_tampered_staple_fails(self, setup):
+        _, _, leaf, responder = setup
+        staple = OCSPStaple.create(leaf, responder, 100)
+        forged = OCSPStaple(
+            serial=staple.serial,
+            status=STATUS_REVOKED,  # flipped status, same signature
+            produced_at=staple.produced_at,
+            signature=staple.signature,
+            responder_algorithm_name=staple.responder_algorithm_name,
+        )
+        assert not forged.verify(responder.public_key)
+
+    def test_size_dominated_by_signature(self, setup):
+        _, _, leaf, responder = setup
+        staple = OCSPStaple.create(leaf, responder, 100)
+        alg = get_signature_algorithm("dilithium2")
+        overhead = staple.size_bytes() - alg.signature_bytes
+        assert 0 < overhead < 64  # small DER body + framing
+
+
+class TestSCT:
+    def test_verifies(self, setup):
+        _, _, leaf, responder = setup
+        sct = SignedCertificateTimestamp.create(leaf, responder, b"\x05" * 32, 1_650_000_000_000)
+        assert sct.verify(leaf, responder.public_key)
+
+    def test_wrong_cert_rejected(self, setup):
+        _, ica, leaf, responder = setup
+        sct = SignedCertificateTimestamp.create(leaf, responder, b"\x05" * 32, 1)
+        assert not sct.verify(ica.certificate, responder.public_key)
+
+    def test_bad_log_id_length(self, setup):
+        _, _, leaf, responder = setup
+        with pytest.raises(ValueError):
+            SignedCertificateTimestamp.create(leaf, responder, b"\x05" * 31, 1)
+
+    def test_size_is_header_plus_signature(self, setup):
+        _, _, leaf, responder = setup
+        sct = SignedCertificateTimestamp.create(leaf, responder, b"\x05" * 32, 1)
+        alg = get_signature_algorithm("dilithium2")
+        assert sct.size_bytes() == 43 + alg.signature_bytes
+        assert len(sct.to_bytes()) == sct.size_bytes()
+
+
+class TestTrustStore:
+    def test_roots_only(self, setup):
+        root, ica, leaf, _ = setup
+        store = TrustStore([root.certificate])
+        with pytest.raises(CertificateError):
+            store.add(ica.certificate)  # not self-signed
+        with pytest.raises(CertificateError):
+            store.add(leaf)  # not a CA
+
+    def test_lookup(self, setup):
+        root, _, _, _ = setup
+        store = TrustStore([root.certificate])
+        assert store.contains(root.certificate)
+        assert store.get_by_subject("Root") is root.certificate
+        assert store.get_by_subject("Nope") is None
+        assert len(store) == 1
+        assert list(store) == [root.certificate]
+
+
+class TestIntermediatePreload:
+    def test_accepts_icas_only(self, setup):
+        root, ica, leaf, _ = setup
+        preload = IntermediatePreload()
+        preload.add(ica.certificate)
+        with pytest.raises(CertificateError):
+            preload.add(root.certificate)
+        with pytest.raises(CertificateError):
+            preload.add(leaf)
+        assert ica.certificate in preload
+        assert len(preload) == 1
+
+    def test_remove_expired(self):
+        root = CertificateAuthority.create_root("R", "ecdsa-p256", seed=9)
+        fresh = root.create_subordinate("I-fresh", seed=10)
+        stale = root.create_subordinate("I-stale", seed=11, not_before=0, not_after=50)
+        preload = IntermediatePreload([fresh.certificate, stale.certificate])
+        removed = preload.remove_expired(at_time=100)
+        assert removed == 1
+        assert fresh.certificate in preload
+        assert stale.certificate not in preload
+
+    def test_fingerprints_match_certs(self, setup):
+        _, ica, _, _ = setup
+        preload = IntermediatePreload([ica.certificate])
+        assert preload.fingerprints() == [ica.certificate.fingerprint()]
+
+
+class TestRevocationList:
+    def test_revoke_and_query(self, setup):
+        _, _, leaf, _ = setup
+        rl = RevocationList()
+        assert not rl.is_revoked(leaf)
+        rl.revoke(leaf, at_time=42)
+        assert rl.is_revoked(leaf)
+        assert rl.revoked_at(leaf) == 42
+        assert len(rl) == 1
+
+    def test_unrevoke_missing(self, setup):
+        _, _, leaf, _ = setup
+        assert not RevocationList().unrevoke(leaf)
+
+    def test_der_export_size_grows(self, setup):
+        root, ica, leaf, responder = setup
+        rl = RevocationList()
+        empty = len(rl.to_der(responder, this_update=1))
+        rl.revoke(leaf, 1)
+        rl.revoke(ica.certificate, 2)
+        assert len(rl.to_der(responder, this_update=1)) > empty

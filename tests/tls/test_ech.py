@@ -1,0 +1,120 @@
+"""Tests for the Encrypted ClientHello simulation (§6 mitigation)."""
+
+import pytest
+
+from repro.core import ClientSuppressor
+from repro.errors import DecodeError
+from repro.pki import IntermediatePreload, build_hierarchy
+from repro.tls import extensions as ext
+from repro.tls.client import ClientConfig, TLSClient
+from repro.tls.ech import (
+    ECH_EXTENSION_TYPE,
+    ECHConfig,
+    decrypt_client_hello,
+    ech_overhead_bytes,
+    encrypt_client_hello,
+    observable_extension_types,
+)
+
+
+@pytest.fixture(scope="module")
+def inner_hello():
+    """A real inner ClientHello carrying the IC-filter extension."""
+    h = build_hierarchy("ecdsa-p256", total_icas=15, num_roots=1, seed=61)
+    cs = ClientSuppressor(
+        preload=IntermediatePreload(h.ica_certificates()), budget_bytes=None
+    )
+    client = TLSClient(
+        cs.client_config(h.trust_store(), "secret-site.example", kem_name="kyber512")
+    )
+    return client.create_client_hello()
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ECHConfig(config_id=7, public_name="cdn-frontend.example", seed=9)
+
+
+class TestRoundTrip:
+    def test_decrypt_inverts_encrypt(self, inner_hello, config):
+        outer = encrypt_client_hello(inner_hello, config, client_seed=3)
+        assert decrypt_client_hello(outer, config) == inner_hello
+
+    def test_different_client_seeds_differ(self, inner_hello, config):
+        a = encrypt_client_hello(inner_hello, config, client_seed=1)
+        b = encrypt_client_hello(inner_hello, config, client_seed=2)
+        assert a != b
+        assert decrypt_client_hello(a, config) == decrypt_client_hello(b, config)
+
+    def test_wrong_config_rejected(self, inner_hello, config):
+        outer = encrypt_client_hello(inner_hello, config)
+        other = ECHConfig(config_id=7, public_name=config.public_name, seed=10)
+        with pytest.raises(DecodeError):
+            decrypt_client_hello(outer, other)
+
+    def test_wrong_config_id_rejected(self, inner_hello, config):
+        outer = encrypt_client_hello(inner_hello, config)
+        with pytest.raises(DecodeError):
+            decrypt_client_hello(
+                outer, ECHConfig(config_id=8, public_name="x", seed=9)
+            )
+
+    def test_tampered_ciphertext_rejected(self, inner_hello, config):
+        outer = bytearray(encrypt_client_hello(inner_hello, config))
+        outer[len(outer) // 2] ^= 0x01
+        with pytest.raises(DecodeError):
+            decrypt_client_hello(bytes(outer), config)
+
+    def test_missing_ech_extension(self, inner_hello, config):
+        with pytest.raises(DecodeError):
+            decrypt_client_hello(inner_hello, config)  # plain CH, no ECH
+
+
+class TestPrivacyProperties:
+    def test_observer_sees_no_filter(self, inner_hello, config):
+        """The §6 fix: the IC-filter extension is invisible on the wire."""
+        outer = encrypt_client_hello(inner_hello, config)
+        visible = observable_extension_types(outer)
+        assert ext.ExtensionType.ICA_SUPPRESSION not in visible
+        assert ECH_EXTENSION_TYPE in visible
+
+    def test_observer_sees_public_name_only(self, inner_hello, config):
+        from repro.tls.messages import decode_handshake
+
+        outer = encrypt_client_hello(inner_hello, config)
+        [hello] = decode_handshake(outer)
+        sni = ext.find_extension(hello.extensions, ext.ExtensionType.SERVER_NAME)
+        assert ext.decode_server_name(sni) == "cdn-frontend.example"
+        assert b"secret-site" not in outer
+
+    def test_distinct_filters_indistinguishable_sizes(self, config):
+        """Two clients with different caches produce outer hellos of equal
+        length when the inner hellos have equal length."""
+        h = build_hierarchy("ecdsa-p256", total_icas=20, num_roots=1, seed=62)
+        icas = h.ica_certificates()
+        outers = []
+        for subset in (icas[:10], icas[10:20]):
+            cs = ClientSuppressor(
+                preload=IntermediatePreload(subset), budget_bytes=None
+            )
+            client = TLSClient(
+                cs.client_config(h.trust_store(), "site.example", kem_name="kyber512")
+            )
+            outers.append(
+                encrypt_client_hello(client.create_client_hello(), config)
+            )
+        assert len(outers[0]) == len(outers[1])
+
+
+class TestBudgetImpact:
+    def test_overhead_is_modest_and_stable(self):
+        small = ech_overhead_bytes(500)
+        large = ech_overhead_bytes(2000)
+        assert small == large  # framing is size-independent
+        assert 100 <= small <= 350
+
+    def test_pq_hello_with_ech_still_single_flight(self, inner_hello, config):
+        from repro.netsim.tcp import flights_needed
+
+        outer = encrypt_client_hello(inner_hello, config)
+        assert flights_needed(len(outer)) == 1

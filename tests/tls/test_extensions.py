@@ -1,0 +1,126 @@
+"""Tests for the extension framework and typed payloads."""
+
+import pytest
+
+from repro.errors import DecodeError
+from repro.tls.extensions import (
+    KEM_GROUP_IDS,
+    SIGNATURE_SCHEME_IDS,
+    Extension,
+    ExtensionType,
+    KeyShareEntry,
+    client_key_share_extension,
+    decode_client_key_share,
+    decode_extensions,
+    decode_server_key_share,
+    decode_server_name,
+    encode_extensions,
+    find_extension,
+    kem_name_for_group,
+    server_key_share_extension,
+    server_name_extension,
+    signature_algorithm_for_scheme,
+    signature_algorithms_extension,
+    supported_groups_extension,
+    supported_versions_client,
+)
+
+
+class TestExtensionList:
+    def test_roundtrip(self):
+        exts = [
+            Extension(1, b"a"),
+            Extension(0xFE00, b"filter-bytes"),
+            Extension(51, b""),
+        ]
+        decoded, end = decode_extensions(encode_extensions(exts))
+        assert decoded == exts
+
+    def test_empty_list(self):
+        decoded, end = decode_extensions(encode_extensions([]))
+        assert decoded == [] and end == 2
+
+    def test_size_accounting(self):
+        ext = Extension(5, b"12345")
+        assert ext.size_bytes == 9
+        assert len(ext.encode()) == 9
+
+    def test_truncated_block(self):
+        data = encode_extensions([Extension(1, b"abc")])
+        with pytest.raises(DecodeError):
+            decode_extensions(data[:-1])
+
+    def test_truncated_header(self):
+        with pytest.raises(DecodeError):
+            decode_extensions(b"\x00")
+
+    def test_find_extension(self):
+        exts = [Extension(1, b"a"), Extension(2, b"b")]
+        assert find_extension(exts, 2).data == b"b"
+        assert find_extension(exts, 3) is None
+
+    def test_offset_decoding(self):
+        blob = b"PREFIX" + encode_extensions([Extension(7, b"x")])
+        decoded, end = decode_extensions(blob, offset=6)
+        assert decoded[0].extension_type == 7
+        assert end == len(blob)
+
+
+class TestKeyShare:
+    def test_entry_roundtrip(self):
+        entry = KeyShareEntry(KEM_GROUP_IDS["ntru-hps-509"], b"k" * 699)
+        assert KeyShareEntry.decode(entry.encode()) == entry
+
+    def test_client_extension_roundtrip(self):
+        entry = KeyShareEntry(KEM_GROUP_IDS["x25519"], b"p" * 32)
+        assert decode_client_key_share(client_key_share_extension(entry)) == entry
+
+    def test_server_extension_roundtrip(self):
+        entry = KeyShareEntry(KEM_GROUP_IDS["kyber512"], b"c" * 768)
+        assert decode_server_key_share(server_key_share_extension(entry)) == entry
+
+    def test_truncated_entry(self):
+        with pytest.raises(DecodeError):
+            KeyShareEntry.decode(b"\x00")
+
+    def test_length_mismatch(self):
+        entry = KeyShareEntry(29, b"abc").encode()
+        with pytest.raises(DecodeError):
+            KeyShareEntry.decode(entry + b"extra")
+
+    def test_group_name_mapping(self):
+        for name, gid in KEM_GROUP_IDS.items():
+            assert kem_name_for_group(gid) == name
+
+    def test_unknown_group(self):
+        with pytest.raises(DecodeError):
+            kem_name_for_group(0x9999)
+
+
+class TestNamedPayloads:
+    def test_server_name_roundtrip(self):
+        ext = server_name_extension("www.example.com")
+        assert decode_server_name(ext) == "www.example.com"
+
+    def test_server_name_malformed(self):
+        with pytest.raises(DecodeError):
+            decode_server_name(Extension(ExtensionType.SERVER_NAME, b"\x00\x01"))
+
+    def test_supported_versions(self):
+        assert supported_versions_client().data == b"\x02\x03\x04"
+
+    def test_signature_algorithms_size(self):
+        ext = signature_algorithms_extension([1, 2, 3])
+        assert len(ext.data) == 2 + 6
+
+    def test_supported_groups_size(self):
+        ext = supported_groups_extension(list(KEM_GROUP_IDS.values()))
+        assert len(ext.data) == 2 + 2 * len(KEM_GROUP_IDS)
+
+    def test_scheme_name_mapping(self):
+        for name, sid in SIGNATURE_SCHEME_IDS.items():
+            assert signature_algorithm_for_scheme(sid) == name
+
+    def test_unknown_scheme(self):
+        with pytest.raises(DecodeError):
+            signature_algorithm_for_scheme(0x0000)

@@ -1,0 +1,279 @@
+"""End-to-end handshake tests: client + server state machines.
+
+These exercise the complete message flows of Fig. 1 plus the suppression
+behaviours of Fig. 2, entirely through the public run_handshake API.
+"""
+
+import pytest
+
+from repro.pki import (
+    KeyPair,
+    OCSPStaple,
+    RevocationList,
+    SignedCertificateTimestamp,
+    build_hierarchy,
+    get_signature_algorithm,
+)
+from repro.tls import (
+    ClientConfig,
+    HandshakeOutcome,
+    ServerConfig,
+    TLSClient,
+    TLSServer,
+    run_handshake,
+)
+from repro.errors import UnexpectedMessageError
+
+
+@pytest.fixture(scope="module")
+def world():
+    h = build_hierarchy("dilithium2", total_icas=25, num_roots=2, seed=77)
+    store = h.trust_store()
+    cache = {c.subject: c for c in h.ica_certificates()}
+    return h, store, cache
+
+
+def credential(world, depth=2, host="www.test.example"):
+    h, _, _ = world
+    return h.issue_credential(host, h.paths_by_depth(depth)[0])
+
+
+def suppress_all(payload, chain):
+    return set(chain.ica_fingerprints())
+
+
+def suppress_none(payload, chain):
+    return set()
+
+
+class TestPlainHandshake:
+    @pytest.mark.parametrize("kem", ["x25519", "ntru-hps-509", "kyber768"])
+    def test_completes_with_any_kem(self, world, kem):
+        _, store, _ = world
+        cred = credential(world)
+        trace = run_handshake(
+            ClientConfig(store, kem_name=kem, hostname="www.test.example", at_time=5),
+            ServerConfig(credential=cred),
+        )
+        assert trace.outcome is HandshakeOutcome.COMPLETED
+
+    @pytest.mark.parametrize("depth", [0, 1, 2, 3])
+    def test_all_chain_depths(self, world, depth):
+        h, store, _ = world
+        if not h.paths_by_depth(depth):
+            pytest.skip(f"fixture hierarchy lacks depth {depth}")
+        cred = credential(world, depth=depth, host=f"d{depth}.example")
+        trace = run_handshake(
+            ClientConfig(store, hostname=f"d{depth}.example", at_time=5),
+            ServerConfig(credential=cred),
+        )
+        assert trace.succeeded
+        assert trace.attempts[0].ica_bytes_sent == cred.chain.ica_bytes()
+
+    def test_hostname_mismatch_fails(self, world):
+        _, store, _ = world
+        cred = credential(world)
+        trace = run_handshake(
+            ClientConfig(store, hostname="other.example", at_time=5),
+            ServerConfig(credential=cred),
+        )
+        assert trace.outcome is HandshakeOutcome.FAILED
+        assert "certificate is for" in trace.final_attempt.failure_reason
+
+    def test_untrusted_root_fails(self, world):
+        other = build_hierarchy("dilithium2", total_icas=3, num_roots=1, seed=1234)
+        cred = credential(world)
+        trace = run_handshake(
+            ClientConfig(other.trust_store(), hostname="www.test.example", at_time=5),
+            ServerConfig(credential=cred),
+        )
+        assert trace.outcome is HandshakeOutcome.FAILED
+
+    def test_expired_leaf_fails(self, world):
+        _, store, _ = world
+        cred = credential(world)
+        late = cred.chain.leaf.not_after + 10
+        trace = run_handshake(
+            ClientConfig(store, hostname="www.test.example", at_time=late),
+            ServerConfig(credential=cred),
+        )
+        assert trace.outcome is HandshakeOutcome.FAILED
+
+    def test_revoked_leaf_fails_without_retry(self, world):
+        _, store, _ = world
+        cred = credential(world)
+        rl = RevocationList()
+        rl.revoke(cred.chain.leaf)
+        trace = run_handshake(
+            ClientConfig(
+                store, hostname="www.test.example", at_time=5, revocation=rl
+            ),
+            ServerConfig(credential=cred),
+        )
+        assert trace.outcome is HandshakeOutcome.FAILED
+        assert len(trace.attempts) == 1
+
+    def test_staples_counted_in_auth_data(self, world):
+        _, store, _ = world
+        cred = credential(world)
+        alg = get_signature_algorithm("dilithium2")
+        responder = KeyPair(alg, 5)
+        ocsp = OCSPStaple.create(cred.chain.leaf, responder, 1)
+        scts = [
+            SignedCertificateTimestamp.create(cred.chain.leaf, responder, bytes([i]) * 32, 1)
+            for i in (1, 2)
+        ]
+        plain = run_handshake(
+            ClientConfig(store, hostname="www.test.example", at_time=5),
+            ServerConfig(credential=cred),
+        )
+        stapled = run_handshake(
+            ClientConfig(store, hostname="www.test.example", at_time=5),
+            ServerConfig(credential=cred, ocsp_staple=ocsp, scts=scts),
+        )
+        extra = stapled.auth_data_bytes - plain.auth_data_bytes
+        assert extra == ocsp.size_bytes() + sum(s.size_bytes() for s in scts)
+
+
+class TestSuppression:
+    def test_suppression_reduces_flight(self, world):
+        _, store, cache = world
+        cred = credential(world)
+        plain = run_handshake(
+            ClientConfig(store, hostname="www.test.example", at_time=5),
+            ServerConfig(credential=cred, suppression_handler=suppress_all),
+        )
+        suppressed = run_handshake(
+            ClientConfig(
+                store,
+                hostname="www.test.example",
+                at_time=5,
+                ica_filter_payload=b"any",
+                issuer_lookup=cache.get,
+            ),
+            ServerConfig(credential=cred, suppression_handler=suppress_all),
+        )
+        assert suppressed.outcome is HandshakeOutcome.COMPLETED
+        assert suppressed.suppressed_ica_count == cred.chain.num_icas
+        assert (
+            suppressed.attempts[0].server_flight_bytes
+            < plain.attempts[0].server_flight_bytes
+        )
+        assert suppressed.ica_bytes_suppressed == cred.chain.ica_bytes()
+
+    def test_extension_without_server_support_is_harmless(self, world):
+        _, store, cache = world
+        cred = credential(world)
+        trace = run_handshake(
+            ClientConfig(
+                store,
+                hostname="www.test.example",
+                at_time=5,
+                ica_filter_payload=b"any",
+                issuer_lookup=cache.get,
+            ),
+            ServerConfig(credential=cred, suppression_handler=None),
+        )
+        assert trace.outcome is HandshakeOutcome.COMPLETED
+        assert trace.suppressed_ica_count == 0
+
+    def test_false_positive_triggers_retry(self, world):
+        """Server suppresses, client cache is empty: the paper's false
+        positive. The retry must complete without the extension and pay
+        for both attempts."""
+        _, store, _ = world
+        cred = credential(world)
+        trace = run_handshake(
+            ClientConfig(
+                store,
+                hostname="www.test.example",
+                at_time=5,
+                ica_filter_payload=b"any",
+            ),
+            ServerConfig(credential=cred, suppression_handler=suppress_all),
+        )
+        assert trace.outcome is HandshakeOutcome.COMPLETED_AFTER_RETRY
+        assert trace.false_positive
+        assert len(trace.attempts) == 2
+        assert not trace.attempts[1].used_suppression_extension
+        assert trace.attempts[1].ica_bytes_sent == cred.chain.ica_bytes()
+        assert trace.total_bytes > trace.attempts[1].total_bytes
+
+    def test_partial_cache_partial_suppression(self, world):
+        """Only ICAs actually in the client cache can be relied on; if the
+        server suppresses all but the client knows all, path completes."""
+        _, store, cache = world
+        cred = credential(world, depth=3, host="deep.example")
+        trace = run_handshake(
+            ClientConfig(
+                store,
+                hostname="deep.example",
+                at_time=5,
+                ica_filter_payload=b"any",
+                issuer_lookup=cache.get,
+            ),
+            ServerConfig(credential=cred, suppression_handler=suppress_all),
+        )
+        assert trace.succeeded
+        assert trace.suppressed_ica_count == 3
+
+    def test_suppress_none_equals_plain(self, world):
+        _, store, cache = world
+        cred = credential(world)
+        a = run_handshake(
+            ClientConfig(
+                store,
+                hostname="www.test.example",
+                at_time=5,
+                ica_filter_payload=b"any",
+                issuer_lookup=cache.get,
+            ),
+            ServerConfig(credential=cred, suppression_handler=suppress_none),
+        )
+        assert a.succeeded
+        assert a.attempts[0].ica_bytes_sent == cred.chain.ica_bytes()
+
+
+class TestStateMachineGuards:
+    def test_client_hello_only_once(self, world):
+        _, store, _ = world
+        client = TLSClient(ClientConfig(store))
+        client.create_client_hello()
+        with pytest.raises(UnexpectedMessageError):
+            client.create_client_hello()
+
+    def test_flight_requires_hello(self, world):
+        _, store, _ = world
+        client = TLSClient(ClientConfig(store))
+        with pytest.raises(UnexpectedMessageError):
+            client.process_server_flight(b"")
+
+    def test_server_finished_requires_flight(self, world):
+        cred = credential(world)
+        server = TLSServer(ServerConfig(credential=cred))
+        with pytest.raises(UnexpectedMessageError):
+            server.process_client_finished(b"")
+
+    def test_tampered_flight_rejected(self, world):
+        _, store, _ = world
+        cred = credential(world)
+        client = TLSClient(ClientConfig(store, hostname="www.test.example", at_time=5))
+        server = TLSServer(ServerConfig(credential=cred))
+        flight = server.process_client_hello(client.create_client_hello()).flight
+        tampered = bytearray(flight)
+        tampered[len(tampered) // 2] ^= 0x01
+        result = client.process_server_flight(bytes(tampered))
+        assert not result.complete
+
+    def test_mitm_flight_fails_finished(self, world):
+        """A flight generated against a *different* ClientHello must fail
+        (transcript binding)."""
+        _, store, _ = world
+        cred = credential(world)
+        victim = TLSClient(ClientConfig(store, hostname="www.test.example", at_time=5, seed=1))
+        other = TLSClient(ClientConfig(store, hostname="www.test.example", at_time=5, seed=2))
+        server = TLSServer(ServerConfig(credential=cred))
+        flight = server.process_client_hello(other.create_client_hello()).flight
+        victim.create_client_hello()
+        result = victim.process_server_flight(flight)
+        assert not result.complete

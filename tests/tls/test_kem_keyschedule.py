@@ -1,0 +1,141 @@
+"""Tests for the KEM simulation, key schedule and alerts."""
+
+import pytest
+
+from repro.pki.algorithms import KEM_ALGORITHMS, get_kem_algorithm
+from repro.tls.alerts import Alert, AlertDescription, AlertLevel
+from repro.tls.kem import KEMKeyPair, decapsulate, encapsulate
+from repro.tls.keyschedule import (
+    KeySchedule,
+    hkdf_expand,
+    hkdf_expand_label,
+    hkdf_extract,
+)
+
+
+class TestKEM:
+    @pytest.mark.parametrize("name", sorted(KEM_ALGORITHMS))
+    def test_sizes_exact(self, name):
+        alg = get_kem_algorithm(name)
+        kp = KEMKeyPair(alg, seed=1)
+        assert len(kp.public_key) == alg.public_key_bytes
+        ct, ss = encapsulate(alg, kp.public_key, entropy_seed=7)
+        assert len(ct) == alg.ciphertext_bytes
+        assert len(ss) == alg.shared_secret_bytes
+
+    def test_correctness(self):
+        alg = get_kem_algorithm("kyber512")
+        kp = KEMKeyPair(alg, seed=5)
+        ct, ss_enc = encapsulate(alg, kp.public_key, entropy_seed=9)
+        assert decapsulate(kp, ct) == ss_enc
+
+    def test_different_entropy_different_ct(self):
+        alg = get_kem_algorithm("kyber512")
+        kp = KEMKeyPair(alg, seed=5)
+        ct1, _ = encapsulate(alg, kp.public_key, 1)
+        ct2, _ = encapsulate(alg, kp.public_key, 2)
+        assert ct1 != ct2
+
+    def test_tampered_ciphertext_changes_secret(self):
+        alg = get_kem_algorithm("x25519")
+        kp = KEMKeyPair(alg, seed=5)
+        ct, ss = encapsulate(alg, kp.public_key, 1)
+        bad = bytes([ct[0] ^ 1]) + ct[1:]
+        assert decapsulate(kp, bad) != ss
+
+    def test_wrong_key_size_rejected(self):
+        alg = get_kem_algorithm("x25519")
+        with pytest.raises(ValueError):
+            encapsulate(alg, b"\x00" * 31, 1)
+
+    def test_wrong_ct_size_rejected(self):
+        alg = get_kem_algorithm("x25519")
+        kp = KEMKeyPair(alg, seed=5)
+        with pytest.raises(ValueError):
+            decapsulate(kp, b"\x00" * 31)
+
+    def test_string_algorithm_accepted(self):
+        kp = KEMKeyPair("ntru-hps-509", seed=1)
+        assert len(kp.public_key) == 699
+
+
+class TestHKDF:
+    def test_rfc5869_test_case_1(self):
+        # RFC 5869 A.1 (SHA-256).
+        ikm = bytes.fromhex("0b" * 22)
+        salt = bytes.fromhex("000102030405060708090a0b0c")
+        info = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+        prk = hkdf_extract(salt, ikm)
+        assert prk.hex() == (
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        )
+        okm = hkdf_expand(prk, info, 42)
+        assert okm.hex() == (
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865"
+        )
+
+    def test_expand_label_length(self):
+        secret = b"\x01" * 32
+        assert len(hkdf_expand_label(secret, "finished", b"", 32)) == 32
+
+    def test_label_separates(self):
+        secret = b"\x01" * 32
+        assert hkdf_expand_label(secret, "a", b"", 32) != hkdf_expand_label(
+            secret, "b", b"", 32
+        )
+
+
+class TestKeySchedule:
+    def _paired(self):
+        a, b = KeySchedule(), KeySchedule()
+        for ks in (a, b):
+            ks.update_transcript(b"client-hello-bytes")
+            ks.update_transcript(b"server-hello-bytes")
+            ks.inject_shared_secret(b"\x42" * 32)
+            ks.update_transcript(b"rest-of-flight")
+        return a, b
+
+    def test_same_transcript_same_finished(self):
+        a, b = self._paired()
+        assert a.finished_mac("server") == b.finished_mac("server")
+        assert b.verify_finished("server", a.finished_mac("server"))
+
+    def test_transcript_divergence_breaks_finished(self):
+        a, b = self._paired()
+        b.update_transcript(b"tampered")
+        assert not b.verify_finished("server", a.finished_mac("server"))
+
+    def test_roles_have_distinct_macs(self):
+        a, _ = self._paired()
+        assert a.finished_mac("client") != a.finished_mac("server")
+
+    def test_secret_required(self):
+        ks = KeySchedule()
+        with pytest.raises(RuntimeError):
+            ks.finished_mac("client")
+
+    def test_exporter_requires_secret(self):
+        ks = KeySchedule()
+        with pytest.raises(RuntimeError):
+            ks.exporter_secret()
+
+    def test_exporter_derivable_after_injection(self):
+        a, b = self._paired()
+        assert a.exporter_secret() == b.exporter_secret()
+
+
+class TestAlerts:
+    def test_roundtrip(self):
+        alert = Alert.fatal(AlertDescription.UNKNOWN_CA)
+        assert Alert.decode(alert.encode()) == alert
+        assert alert.is_fatal
+
+    def test_warning_not_fatal(self):
+        assert not Alert(AlertLevel.WARNING, 0).is_fatal
+
+    def test_bad_length(self):
+        from repro.errors import DecodeError
+
+        with pytest.raises(DecodeError):
+            Alert.decode(b"\x02")

@@ -1,0 +1,166 @@
+"""Tests for handshake message codecs."""
+
+import pytest
+
+from repro.errors import DecodeError
+from repro.tls.extensions import Extension
+from repro.tls.messages import (
+    CertificateEntry,
+    CertificateMessage,
+    CertificateVerify,
+    ClientHello,
+    EncryptedExtensions,
+    Finished,
+    HandshakeType,
+    ServerHello,
+    decode_handshake,
+    encode_handshake,
+    split_handshake_stream,
+)
+
+
+def sample_client_hello():
+    return ClientHello(
+        random=b"\x01" * 32,
+        session_id=b"\x02" * 32,
+        extensions=(Extension(43, b"\x02\x03\x04"), Extension(0xFE00, b"filt")),
+    )
+
+
+def sample_server_hello():
+    return ServerHello(
+        random=b"\x03" * 32,
+        session_id=b"\x02" * 32,
+        extensions=(Extension(51, b"\x00\x1d\x00\x02hi"),),
+    )
+
+
+class TestStreamFraming:
+    def test_split_roundtrip(self):
+        data = encode_handshake(1, b"aaa") + encode_handshake(2, b"bb")
+        assert split_handshake_stream(data) == [(1, b"aaa"), (2, b"bb")]
+
+    def test_truncated_header(self):
+        with pytest.raises(DecodeError):
+            split_handshake_stream(b"\x01\x00")
+
+    def test_truncated_body(self):
+        data = encode_handshake(1, b"aaaa")
+        with pytest.raises(DecodeError):
+            split_handshake_stream(data[:-1])
+
+    def test_unknown_type_rejected_by_decoder(self):
+        with pytest.raises(DecodeError):
+            decode_handshake(encode_handshake(99, b""))
+
+
+class TestClientHello:
+    def test_roundtrip(self):
+        hello = sample_client_hello()
+        [decoded] = decode_handshake(hello.encode())
+        assert decoded == hello
+
+    def test_header_type(self):
+        assert sample_client_hello().encode()[0] == HandshakeType.CLIENT_HELLO
+
+    def test_too_short(self):
+        with pytest.raises(DecodeError):
+            ClientHello.decode_body(b"\x03\x03" + b"\x00" * 10)
+
+    def test_trailing_garbage_rejected(self):
+        body = sample_client_hello().encode()[4:]
+        with pytest.raises(DecodeError):
+            ClientHello.decode_body(body + b"\x00")
+
+
+class TestServerHello:
+    def test_roundtrip(self):
+        hello = sample_server_hello()
+        [decoded] = decode_handshake(hello.encode())
+        assert decoded == hello
+
+    def test_cipher_suite_preserved(self):
+        hello = ServerHello(
+            random=b"\x00" * 32, session_id=b"", extensions=(), cipher_suite=0x1302
+        )
+        [decoded] = decode_handshake(hello.encode())
+        assert decoded.cipher_suite == 0x1302
+
+
+class TestCertificateMessage:
+    def test_roundtrip_with_staple_extensions(self):
+        msg = CertificateMessage(
+            entries=(
+                CertificateEntry(b"LEAF" * 100, (Extension(5, b"ocsp"), Extension(18, b"sct"))),
+                CertificateEntry(b"ICA" * 200),
+            )
+        )
+        [decoded] = decode_handshake(msg.encode())
+        assert decoded == msg
+
+    def test_payload_accounting(self):
+        msg = CertificateMessage(
+            entries=(CertificateEntry(b"a" * 10), CertificateEntry(b"b" * 20))
+        )
+        assert msg.certificate_payload_bytes() == 30
+
+    def test_suppression_shrinks_message(self):
+        full = CertificateMessage(
+            entries=(CertificateEntry(b"L" * 500), CertificateEntry(b"I" * 500))
+        )
+        suppressed = CertificateMessage(entries=(CertificateEntry(b"L" * 500),))
+        assert len(suppressed.encode()) < len(full.encode())
+
+    def test_empty_message_rejected(self):
+        with pytest.raises(DecodeError):
+            CertificateMessage.decode_body(b"")
+
+    def test_length_mismatch_rejected(self):
+        good = CertificateMessage(entries=(CertificateEntry(b"x" * 5),)).encode()[4:]
+        with pytest.raises(DecodeError):
+            CertificateMessage.decode_body(good + b"\x00")
+
+    def test_context_preserved(self):
+        msg = CertificateMessage(entries=(CertificateEntry(b"c"),), context=b"ctx")
+        [decoded] = decode_handshake(msg.encode())
+        assert decoded.context == b"ctx"
+
+
+class TestCertificateVerifyAndFinished:
+    def test_cv_roundtrip(self):
+        cv = CertificateVerify(scheme_id=0xFE04, signature=b"s" * 3293)
+        [decoded] = decode_handshake(cv.encode())
+        assert decoded == cv
+
+    def test_cv_length_mismatch(self):
+        body = CertificateVerify(1, b"abc").encode()[4:]
+        with pytest.raises(DecodeError):
+            CertificateVerify.decode_body(body + b"x")
+
+    def test_finished_roundtrip(self):
+        fin = Finished(verify_data=b"\xaa" * 32)
+        [decoded] = decode_handshake(fin.encode())
+        assert decoded == fin
+
+    def test_finished_wrong_length(self):
+        with pytest.raises(DecodeError):
+            Finished.decode_body(b"\x00" * 31)
+
+
+class TestMultiMessageFlight:
+    def test_full_server_flight_roundtrip(self):
+        flight = (
+            sample_server_hello().encode()
+            + EncryptedExtensions().encode()
+            + CertificateMessage(entries=(CertificateEntry(b"LEAF"),)).encode()
+            + CertificateVerify(1, b"sig").encode()
+            + Finished(b"\x00" * 32).encode()
+        )
+        messages = decode_handshake(flight)
+        assert [type(m).__name__ for m in messages] == [
+            "ServerHello",
+            "EncryptedExtensions",
+            "CertificateMessage",
+            "CertificateVerify",
+            "Finished",
+        ]

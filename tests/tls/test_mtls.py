@@ -1,0 +1,235 @@
+"""Mutual-TLS handshakes with bidirectional ICA suppression (§6).
+
+The server advertises its known-ICA filter inside EncryptedExtensions —
+encrypted on the wire, so unlike the ClientHello extension it leaks
+nothing to passive observers — and the client suppresses its own chain
+against it. The client-side false positive (server's filter wrongly
+claims it knows one of the client's ICAs... i.e. the *client* wrongly
+omits a cert the server lacks) is recovered by retrying with client-side
+suppression disabled.
+"""
+
+import pytest
+
+from repro.core import ClientSuppressor, ServerSuppressor
+from repro.pki import IntermediatePreload, build_hierarchy
+from repro.tls import (
+    ClientConfig,
+    HandshakeOutcome,
+    ServerConfig,
+    run_handshake,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    """Separate server-side and client-side PKIs (typical mTLS: a public
+    web PKI for servers, a private one for client devices)."""
+    server_pki = build_hierarchy("dilithium2", total_icas=12, num_roots=2, seed=71)
+    client_pki = build_hierarchy("falcon-512", total_icas=8, num_roots=1, seed=72)
+    return server_pki, client_pki
+
+
+def mtls_configs(
+    world,
+    server_knows_client_icas=True,
+    server_advertises_filter=True,
+    client_uses_own_suppression=True,
+    client_has_cache=True,
+):
+    server_pki, client_pki = world
+    server_cred = server_pki.issue_credential(
+        "api.example", server_pki.paths_by_depth(2)[0]
+    )
+    client_cred = client_pki.issue_credential(
+        "device-7.fleet", client_pki.paths_by_depth(2)[0]
+    )
+
+    # Server side: trust anchors + ICA cache for client chains, and its
+    # own known-ICA filter advertised in EncryptedExtensions.
+    client_ica_cache = (
+        {c.subject: c for c in client_pki.ica_certificates()}
+        if server_knows_client_icas
+        else {}
+    )
+    server_filter_payload = None
+    if server_advertises_filter:
+        server_side = ClientSuppressor(
+            preload=IntermediatePreload(
+                client_pki.ica_certificates()
+                if server_knows_client_icas
+                else server_pki.ica_certificates()  # wrong population
+            ),
+            budget_bytes=None,
+        )
+        server_filter_payload = server_side.extension_payload()
+
+    server_config = ServerConfig(
+        credential=server_cred,
+        request_client_certificate=True,
+        client_trust_store=client_pki.trust_store(),
+        client_issuer_lookup=client_ica_cache.get,
+        ica_filter_payload=server_filter_payload,
+        at_time=50,
+    )
+
+    # Client side: verifies the server chain, authenticates with its own.
+    client_cache = (
+        {c.subject: c for c in server_pki.ica_certificates()}
+        if client_has_cache
+        else {}
+    )
+    client_config = ClientConfig(
+        trust_store=server_pki.trust_store(),
+        hostname="api.example",
+        at_time=50,
+        issuer_lookup=client_cache.get,
+        credential=client_cred,
+        own_suppression_handler=(
+            ServerSuppressor() if client_uses_own_suppression else None
+        ),
+    )
+    return client_config, server_config, server_cred, client_cred
+
+
+class TestMutualAuthentication:
+    def test_full_mtls_completes(self, world):
+        cc, sc, _, _ = mtls_configs(world, server_advertises_filter=False,
+                                    client_uses_own_suppression=False)
+        trace = run_handshake(cc, sc)
+        assert trace.outcome is HandshakeOutcome.COMPLETED
+
+    def test_client_without_credential_fails(self, world):
+        cc, sc, _, _ = mtls_configs(world)
+        cc.credential = None
+        trace = run_handshake(cc, sc)
+        assert trace.outcome is HandshakeOutcome.FAILED
+        assert "none is configured" in trace.final_attempt.failure_reason
+
+    def test_untrusted_client_chain_rejected(self, world):
+        server_pki, _ = world
+        cc, sc, _, _ = mtls_configs(world, server_advertises_filter=False,
+                                    client_uses_own_suppression=False)
+        sc.client_trust_store = server_pki.trust_store()  # wrong anchors
+        trace = run_handshake(cc, sc)
+        assert trace.outcome is HandshakeOutcome.FAILED
+        assert "client-auth" in trace.final_attempt.failure_reason
+
+    def test_client_flight_carries_chain(self, world):
+        cc, sc, _, client_cred = mtls_configs(
+            world, server_advertises_filter=False,
+            client_uses_own_suppression=False,
+        )
+        trace = run_handshake(cc, sc)
+        # The client flight includes its leaf + 2 ICAs + CV + Finished.
+        assert trace.attempts[0].client_finished_bytes > (
+            client_cred.chain.transmitted_bytes()
+        )
+
+
+class TestClientSideSuppression:
+    def test_client_icas_suppressed_against_server_filter(self, world):
+        cc, sc, _, client_cred = mtls_configs(world)
+        plain_cc, plain_sc, _, _ = mtls_configs(
+            world, server_advertises_filter=False,
+            client_uses_own_suppression=False,
+        )
+        suppressed = run_handshake(cc, sc)
+        plain = run_handshake(plain_cc, plain_sc)
+        assert suppressed.outcome is HandshakeOutcome.COMPLETED
+        assert plain.outcome is HandshakeOutcome.COMPLETED
+        saved = (
+            plain.attempts[0].client_finished_bytes
+            - suppressed.attempts[0].client_finished_bytes
+        )
+        assert saved >= client_cred.chain.ica_bytes()
+
+    def test_no_suppression_when_server_advertises_nothing(self, world):
+        cc, sc, _, _ = mtls_configs(world, server_advertises_filter=False)
+        trace = run_handshake(cc, sc)
+        assert trace.outcome is HandshakeOutcome.COMPLETED
+
+    def test_client_side_false_positive_retries(self, world):
+        """Server advertises a filter over the WRONG population but its
+        issuer cache is empty: any (false-positive) suppression by the
+        client leaves the server unable to build the path; the retry
+        without client-side suppression must recover. With the wrong
+        filter the common case is simply no suppression at all — both
+        outcomes must end in a completed handshake."""
+        cc, sc, _, _ = mtls_configs(
+            world,
+            server_knows_client_icas=False,
+            server_advertises_filter=True,
+        )
+        trace = run_handshake(cc, sc)
+        assert trace.succeeded
+
+    def test_forced_client_fp_recovers_via_retry(self, world):
+        """Force the FP: a handler that suppresses everything while the
+        server has no client-ICA cache."""
+        cc, sc, _, _ = mtls_configs(world, server_knows_client_icas=False)
+
+        def suppress_all(payload, chain):
+            return set(chain.ica_fingerprints())
+
+        cc.own_suppression_handler = suppress_all
+        trace = run_handshake(cc, sc)
+        assert trace.outcome is HandshakeOutcome.COMPLETED_AFTER_RETRY
+        assert trace.attempts[0].failure_reason.startswith("client-auth:")
+
+    def test_suppressed_client_chain_completes_from_server_cache(self, world):
+        """The symmetric Fig. 2 pipeline: the server completes the
+        suppressed client chain from its own ICA cache."""
+        cc, sc, _, client_cred = mtls_configs(world)
+
+        def suppress_all(payload, chain):
+            return set(chain.ica_fingerprints())
+
+        cc.own_suppression_handler = suppress_all
+        trace = run_handshake(cc, sc)
+        assert trace.outcome is HandshakeOutcome.COMPLETED
+        assert len(trace.attempts) == 1
+
+
+class TestTranscriptBinding:
+    def test_tampered_client_certificate_rejected(self, world):
+        from repro.tls.client import TLSClient
+        from repro.tls.server import TLSServer
+
+        cc, sc, _, _ = mtls_configs(world, server_advertises_filter=False,
+                                    client_uses_own_suppression=False)
+        client = TLSClient(cc)
+        server = TLSServer(sc)
+        flight = server.process_client_hello(client.create_client_hello())
+        result = client.process_server_flight(flight.flight)
+        assert result.complete
+        tampered = bytearray(result.client_finished)
+        tampered[50] ^= 0x01
+        verdict = server.process_client_flight(bytes(tampered))
+        assert not verdict.ok
+
+
+class TestTraceAccounting:
+    def test_client_auth_ica_accounting(self, world):
+        cc, sc, _, client_cred = mtls_configs(world)
+        trace = run_handshake(cc, sc)
+        attempt = trace.attempts[0]
+        assert attempt.client_auth_suppressed_count == client_cred.chain.num_icas
+        assert attempt.client_auth_ica_bytes_suppressed == (
+            client_cred.chain.ica_bytes()
+        )
+        assert attempt.client_auth_ica_bytes_sent == 0
+
+    def test_no_client_auth_fields_without_mtls(self, world):
+        server_pki, _ = world
+        from repro.tls import ClientConfig
+
+        cred = server_pki.issue_credential("plain.example")
+        trace = run_handshake(
+            ClientConfig(server_pki.trust_store(), hostname="plain.example",
+                         at_time=50),
+            ServerConfig(credential=cred),
+        )
+        attempt = trace.attempts[0]
+        assert attempt.client_auth_ica_bytes_sent == 0
+        assert attempt.client_auth_suppressed_count == 0

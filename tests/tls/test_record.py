@@ -1,0 +1,86 @@
+"""Tests for TLS record framing."""
+
+import pytest
+
+from repro.errors import DecodeError
+from repro.tls.record import (
+    MAX_FRAGMENT_BYTES,
+    RECORD_HEADER_BYTES,
+    ContentType,
+    coalesce_handshake,
+    fragment_payload,
+    parse_records,
+    wire_size,
+)
+
+
+class TestFragmentation:
+    def test_empty_payload(self):
+        assert fragment_payload(b"") == []
+
+    def test_single_record(self):
+        records = fragment_payload(b"hello")
+        assert len(records) == 1
+        assert records[0][0] == ContentType.HANDSHAKE
+        assert records[0][-5:] == b"hello"
+
+    def test_exact_boundary(self):
+        records = fragment_payload(b"x" * MAX_FRAGMENT_BYTES)
+        assert len(records) == 1
+
+    def test_one_byte_over_boundary(self):
+        records = fragment_payload(b"x" * (MAX_FRAGMENT_BYTES + 1))
+        assert len(records) == 2
+        assert len(records[1]) == RECORD_HEADER_BYTES + 1
+
+    def test_large_payload_fragment_count(self):
+        payload = b"x" * (3 * MAX_FRAGMENT_BYTES + 100)
+        assert len(fragment_payload(payload)) == 4
+
+
+class TestWireSize:
+    def test_zero(self):
+        assert wire_size(0) == 0
+
+    def test_small(self):
+        assert wire_size(100) == 105
+
+    def test_multi_record(self):
+        payload = 2 * MAX_FRAGMENT_BYTES + 1
+        assert wire_size(payload) == payload + 3 * RECORD_HEADER_BYTES
+
+    def test_matches_actual_framing(self):
+        for size in (1, 1000, MAX_FRAGMENT_BYTES, MAX_FRAGMENT_BYTES * 2 + 7):
+            payload = b"y" * size
+            framed = b"".join(fragment_payload(payload))
+            assert len(framed) == wire_size(size)
+
+
+class TestParsing:
+    def test_roundtrip(self):
+        payload = bytes(range(256)) * 200
+        framed = b"".join(fragment_payload(payload))
+        assert coalesce_handshake(framed) == payload
+
+    def test_content_types_preserved(self):
+        framed = b"".join(fragment_payload(b"abc", ContentType.ALERT))
+        [(ctype, frag)] = parse_records(framed)
+        assert ctype == ContentType.ALERT and frag == b"abc"
+
+    def test_truncated_header(self):
+        with pytest.raises(DecodeError):
+            parse_records(b"\x16\x03\x03")
+
+    def test_truncated_fragment(self):
+        framed = b"".join(fragment_payload(b"abcdef"))
+        with pytest.raises(DecodeError):
+            parse_records(framed[:-1])
+
+    def test_bad_version(self):
+        with pytest.raises(DecodeError):
+            parse_records(b"\x16\x03\x09\x00\x01a")
+
+    def test_coalesce_rejects_non_handshake(self):
+        framed = b"".join(fragment_payload(b"abc", ContentType.ALERT))
+        with pytest.raises(DecodeError):
+            coalesce_handshake(framed)

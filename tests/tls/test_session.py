@@ -1,0 +1,112 @@
+"""Unit tests for the session layer's trace accounting."""
+
+import pytest
+
+from repro.pki import build_hierarchy
+from repro.tls import ClientConfig, HandshakeOutcome, ServerConfig, run_handshake
+from repro.tls.record import wire_size
+from repro.tls.session import AttemptTrace, HandshakeTrace
+
+
+@pytest.fixture(scope="module")
+def world():
+    h = build_hierarchy("dilithium2", total_icas=10, num_roots=1, seed=131)
+    return h, h.trust_store(), {c.subject: c for c in h.ica_certificates()}
+
+
+def make_attempt(**overrides):
+    base = dict(
+        client_hello_bytes=900,
+        server_flight_bytes=20_000,
+        client_finished_bytes=40,
+        certificate_payload_bytes=15_000,
+        auth_data_bytes=18_000,
+        ica_bytes_sent=8_000,
+        ica_bytes_suppressed=4_000,
+        suppressed_ica_count=1,
+        used_suppression_extension=True,
+        succeeded=True,
+    )
+    base.update(overrides)
+    return AttemptTrace(**base)
+
+
+class TestAttemptTrace:
+    def test_total_bytes(self):
+        attempt = make_attempt()
+        assert attempt.total_bytes == 900 + 20_000 + 40
+
+    def test_wire_bytes_include_record_framing(self):
+        attempt = make_attempt()
+        expected = wire_size(900) + wire_size(20_000) + wire_size(40)
+        assert attempt.total_wire_bytes == expected
+        assert attempt.total_wire_bytes > attempt.total_bytes
+
+    def test_client_auth_defaults_zero(self):
+        attempt = make_attempt()
+        assert attempt.client_auth_ica_bytes_sent == 0
+        assert attempt.client_auth_suppressed_count == 0
+
+
+class TestHandshakeTraceAggregates:
+    def test_false_positive_pays_for_both_attempts(self):
+        failed = make_attempt(succeeded=False, suppressed_ica_count=0,
+                              ica_bytes_suppressed=12_000, ica_bytes_sent=0)
+        retry = make_attempt(used_suppression_extension=False,
+                             ica_bytes_sent=12_000, ica_bytes_suppressed=0,
+                             suppressed_ica_count=0)
+        trace = HandshakeTrace(
+            HandshakeOutcome.COMPLETED_AFTER_RETRY, [failed, retry]
+        )
+        assert trace.false_positive and trace.retried
+        assert trace.total_bytes == failed.total_bytes + retry.total_bytes
+        # Savings only count on the attempt that completed.
+        assert trace.ica_bytes_suppressed == 0
+        assert trace.ica_bytes_sent == 12_000
+        assert trace.suppressed_ica_count == 0
+
+    def test_single_attempt_aggregates(self):
+        attempt = make_attempt()
+        trace = HandshakeTrace(HandshakeOutcome.COMPLETED, [attempt])
+        assert not trace.retried and not trace.false_positive
+        assert trace.succeeded
+        assert trace.ica_bytes_suppressed == 4_000
+        assert trace.final_attempt is attempt
+
+    def test_failed_trace(self):
+        attempt = make_attempt(succeeded=False)
+        trace = HandshakeTrace(HandshakeOutcome.FAILED, [attempt])
+        assert not trace.succeeded
+
+
+class TestLiveTraces:
+    def test_auth_data_vs_flight_consistency(self, world):
+        h, store, cache = world
+        cred = h.issue_credential("s.example", h.paths_by_depth(2)[0])
+        trace = run_handshake(
+            ClientConfig(store, hostname="s.example", at_time=50),
+            ServerConfig(credential=cred),
+        )
+        attempt = trace.attempts[0]
+        # Auth data (certs + CV sig) is strictly inside the server flight.
+        assert attempt.auth_data_bytes < attempt.server_flight_bytes
+        assert attempt.certificate_payload_bytes == cred.chain.transmitted_bytes()
+
+    def test_suppression_accounting_balances(self, world):
+        h, store, cache = world
+        cred = h.issue_credential("b.example", h.paths_by_depth(2)[0])
+        trace = run_handshake(
+            ClientConfig(
+                store, hostname="b.example", at_time=50,
+                ica_filter_payload=b"x", issuer_lookup=cache.get,
+            ),
+            ServerConfig(
+                credential=cred,
+                suppression_handler=lambda p, c: set(c.ica_fingerprints()),
+            ),
+        )
+        attempt = trace.attempts[0]
+        assert attempt.ica_bytes_sent + attempt.ica_bytes_suppressed == (
+            cred.chain.ica_bytes()
+        )
+        assert attempt.ica_bytes_sent == 0

@@ -1,0 +1,83 @@
+"""Tests for the Burklen browsing model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.webmodel.browsing import BrowsingConfig, BrowsingModel
+
+
+class TestSessionGeneration:
+    def test_session_has_visits(self):
+        model = BrowsingModel(BrowsingConfig(seed=1))
+        visits = model.session(20)
+        assert visits
+        assert all(v.rank >= 1 for v in visits)
+
+    def test_deterministic_given_seed(self):
+        a = BrowsingModel(BrowsingConfig(seed=7)).session(30)
+        b = BrowsingModel(BrowsingConfig(seed=7)).session(30)
+        assert a == b
+
+    def test_seeds_differ(self):
+        a = BrowsingModel(BrowsingConfig(seed=7)).session(30)
+        b = BrowsingModel(BrowsingConfig(seed=8)).session(30)
+        assert a != b
+
+    def test_first_party_visits_present_per_domain(self):
+        model = BrowsingModel(BrowsingConfig(seed=2))
+        visits = model.session(25)
+        assert sum(1 for v in visits if not v.is_third_party) >= 25
+
+    def test_third_parties_marked(self):
+        model = BrowsingModel(BrowsingConfig(seed=2))
+        visits = model.session(50)
+        assert any(v.is_third_party for v in visits)
+
+    def test_page_indexes_monotone(self):
+        model = BrowsingModel(BrowsingConfig(seed=2))
+        visits = model.session(10)
+        pages = [v.page_index for v in visits]
+        assert pages == sorted(pages)
+
+    def test_no_third_parties_when_mean_zero(self):
+        model = BrowsingModel(BrowsingConfig(seed=2, third_party_mean=0))
+        visits = model.session(30)
+        assert not any(v.is_third_party for v in visits)
+
+    def test_negative_mean_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BrowsingModel(BrowsingConfig(third_party_mean=-1))
+
+    def test_domain_names_match_ranking(self):
+        model = BrowsingModel(BrowsingConfig(seed=3))
+        for visit in model.session(5):
+            assert model.ranking.rank_of(visit.domain) == visit.rank
+
+
+class TestPaperCalibration:
+    """§5.3's observable session shape."""
+
+    def test_unique_destinations_near_1950(self):
+        """'the simulator loaded secure content from ~1950 unique
+        destinations' per 200-domain session (band: 1500-2600)."""
+        counts = []
+        for seed in (3, 4, 5):
+            model = BrowsingModel(BrowsingConfig(seed=seed))
+            visits = model.session(200)
+            counts.append(len(model.unique_destination_ranks(visits)))
+        mean = sum(counts) / len(counts)
+        assert 1500 <= mean <= 2600
+
+    def test_unique_destination_order_is_first_contact(self):
+        model = BrowsingModel(BrowsingConfig(seed=3))
+        visits = model.session(10)
+        uniq = model.unique_destination_ranks(visits)
+        assert len(uniq) == len(set(uniq))
+        assert uniq[0] == visits[0].rank
+
+    def test_pages_follow_pareto_mean(self):
+        """Pareto(2.5) with floor 1 has mean ~1.5-1.8 pages/visit."""
+        model = BrowsingModel(BrowsingConfig(seed=9, third_party_mean=0))
+        visits = model.session(2000)
+        pages_per_domain = len(visits) / 2000
+        assert 1.3 <= pages_per_domain <= 2.1

@@ -1,0 +1,66 @@
+"""Tests for the non-Web scenario simulator (§7 future work)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.webmodel.nonweb import (
+    IOT_FLEET,
+    MOBILE_APP,
+    WEB_BROWSING,
+    ScenarioConfig,
+    format_environments,
+    simulate_scenario,
+)
+
+
+@pytest.fixture(scope="module")
+def iot_result():
+    return simulate_scenario(IOT_FLEET, sample_handshakes=20)
+
+
+class TestScenario:
+    def test_full_suppression_in_closed_world(self, iot_result):
+        assert iot_result.suppression_rate == 1.0
+        assert iot_result.false_positives == 0
+
+    def test_daily_scaling(self, iot_result):
+        assert iot_result.bytes_saved_per_day > 0
+        assert iot_result.handshake_seconds_saved_per_day == pytest.approx(
+            iot_result.flight_rtts_saved_per_day * IOT_FLEET.rtt_s, rel=0.01
+        )
+
+    def test_tiny_filter_at_aggressive_fpp(self, iot_result):
+        assert iot_result.filter_payload_bytes < 150
+        assert IOT_FLEET.fpp == 1e-6
+
+    def test_deterministic(self):
+        a = simulate_scenario(MOBILE_APP, sample_handshakes=10)
+        b = simulate_scenario(MOBILE_APP, sample_handshakes=10)
+        assert a == b
+
+    def test_sample_count_validated(self):
+        with pytest.raises(SimulationError):
+            simulate_scenario(MOBILE_APP, sample_handshakes=0)
+
+    def test_custom_scenario(self):
+        tiny = ScenarioConfig(
+            name="lab",
+            algorithm="ecdsa-p256",
+            kem="x25519",
+            num_peers=2,
+            num_icas=2,
+            handshakes_per_day=10,
+            fpp=1e-4,
+            rtt_s=0.01,
+            initcwnd_segments=10,
+            seed=9,
+        )
+        result = simulate_scenario(tiny, sample_handshakes=5)
+        assert result.suppression_rate == 1.0
+        # Conventional chains inside one window: bytes saved, no RTTs.
+        assert result.bytes_saved_per_day > 0
+        assert result.flight_rtts_saved_per_day == 0
+
+    def test_format(self, iot_result):
+        out = format_environments([iot_result])
+        assert "iot-fleet" in out and "MB saved/day" in out

@@ -1,0 +1,106 @@
+"""Tests for the ICA population model and the Table-2 crawler."""
+
+import pytest
+
+from repro.webmodel.chains import TABLE2_MONTHS
+from repro.webmodel.crawler import crawl_all_months, crawl_top_domains
+from repro.webmodel.population import ICAPopulation, PopulationConfig
+
+
+@pytest.fixture(scope="module")
+def population():
+    return ICAPopulation(PopulationConfig(seed=1))
+
+
+class TestPopulationStructure:
+    def test_universe_size(self, population):
+        assert len(population.ica_universe()) == 1400
+
+    def test_assignments_deterministic(self, population):
+        for rank in (1, 10, 5000, 500_000):
+            assert (
+                population.path_for_rank(rank).issuer.name
+                == population.path_for_rank(rank).issuer.name
+            )
+            assert population.depth_for_rank(rank) == population.depth_for_rank(rank)
+
+    def test_depths_follow_mix(self, population):
+        mix = TABLE2_MONTHS[population.config.month]
+        n = 5000
+        counts = {}
+        for rank in range(1, n + 1):
+            d = min(population.depth_for_rank(rank), 4)
+            counts[d] = counts.get(d, 0) + 1
+        for depth, expected in enumerate(mix.probabilities()):
+            observed = counts.get(depth, 0) / n
+            assert observed == pytest.approx(expected, abs=0.03)
+
+    def test_credentials_cached_and_valid(self, population):
+        cred1 = population.credential_for_rank(42)
+        cred2 = population.credential_for_rank(42)
+        assert cred1 is cred2
+        cred1.chain.validate(population.hierarchy.trust_store(), at_time=100)
+
+    def test_chain_depth_matches_assignment(self, population):
+        for rank in (3, 77, 1234):
+            assert (
+                population.chain_for_rank(rank).num_icas
+                == population.depth_for_rank(rank)
+            )
+
+    def test_hot_set_in_paper_range(self, population):
+        """Table 2: 220-245 distinct ICAs in the top 10K."""
+        hot = population.hot_ica_certificates()
+        assert 200 <= len(hot) <= 270
+
+    def test_hot_set_subset_of_universe(self, population):
+        universe = {c.fingerprint() for c in population.ica_universe()}
+        assert all(c.fingerprint() in universe for c in population.hot_ica_certificates())
+
+    def test_config_validation(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            PopulationConfig(tail_uniform_share=1.5)
+        with pytest.raises(ConfigurationError):
+            PopulationConfig(head_exponent=0.9)
+
+
+class TestCrawler:
+    def test_single_month_row(self, population):
+        stats = crawl_top_domains(population, "Jun. '22", num_domains=4000)
+        assert stats.total_servers == 4000
+        assert abs(sum(stats.share_by_depth.values()) - 1.0) < 1e-9
+        assert stats.share(1) > stats.share(3)
+
+    def test_distinct_icas_in_range(self, population):
+        stats = crawl_top_domains(population, "Jun. '22", num_domains=10_000)
+        assert 200 <= stats.unique_icas <= 270
+
+    def test_months_vary(self, population):
+        rows = crawl_all_months(population, num_domains=3000)
+        assert len(rows) == len(TABLE2_MONTHS)
+        jan = next(r for r in rows if r.month == "Jan. '22")
+        feb = next(r for r in rows if r.month == "Feb. '22")
+        # Jan has far more 0-ICA chains than Feb (30.8% vs 14.4%).
+        assert jan.share(0) > feb.share(0) + 0.08
+
+    def test_shares_track_table2(self, population):
+        for month, mix in list(TABLE2_MONTHS.items())[:3]:
+            stats = crawl_top_domains(population, month, num_domains=4000)
+            for depth, expected in enumerate(mix.probabilities()):
+                assert stats.share(depth) == pytest.approx(expected, abs=0.03), (
+                    month,
+                    depth,
+                )
+
+    def test_as_row_format(self, population):
+        stats = crawl_top_domains(population, "Jun. '22", num_domains=1000)
+        row = stats.as_row()
+        assert row[0] == "Jun. '22"
+        assert len(row) == 8
+
+    def test_month_view_does_not_mutate(self, population):
+        original_mix = population._mix
+        crawl_top_domains(population, "Jan. '22", num_domains=500)
+        assert population._mix is original_mix

@@ -1,0 +1,108 @@
+"""Tests for the domain ranking and chain mixes."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.webmodel.chains import PAPER_MONTH, TABLE2_MONTHS, ChainMix, table2_mix
+from repro.webmodel.tranco import DomainRanking
+
+
+class TestDomainRanking:
+    def test_names_deterministic_and_invertible(self):
+        ranking = DomainRanking(size=1000, seed=1)
+        for rank in (1, 37, 999):
+            assert ranking.rank_of(ranking.domain(rank)) == rank
+
+    def test_rank_bounds_enforced(self):
+        ranking = DomainRanking(size=100)
+        with pytest.raises(ConfigurationError):
+            ranking.domain(0)
+        with pytest.raises(ConfigurationError):
+            ranking.domain(101)
+
+    def test_rank_of_rejects_foreign_names(self):
+        with pytest.raises(ConfigurationError):
+            DomainRanking().rank_of("www.google.com")
+
+    def test_zipf_sampling_is_head_heavy(self):
+        ranking = DomainRanking(size=1_000_000)
+        rng = random.Random(7)
+        samples = [ranking.sample_rank(rng, 1.9) for _ in range(3000)]
+        top10_share = sum(1 for s in samples if s <= 10) / len(samples)
+        assert top10_share > 0.5
+        assert max(samples) <= 1_000_000
+
+    def test_zipf_no_atom_at_bottom(self):
+        """Rejection sampling, not clamping: the bottom rank must not
+        accumulate the entire tail mass."""
+        ranking = DomainRanking(size=1000)
+        rng = random.Random(7)
+        samples = [ranking.sample_rank(rng, 1.08) for _ in range(4000)]
+        bottom = sum(1 for s in samples if s == 1000)
+        assert bottom < 40
+
+    def test_zipf_validates_exponent(self):
+        rng = random.Random(1)
+        with pytest.raises(ConfigurationError):
+            DomainRanking().sample_rank(rng, 1.0)
+
+    def test_monthly_rank_stays_in_bounds_and_is_stable(self):
+        ranking = DomainRanking(size=10_000, seed=3)
+        for rank in (1, 50, 9000):
+            a = ranking.monthly_rank(rank, 3)
+            b = ranking.monthly_rank(rank, 3)
+            assert a == b
+            assert 1 <= a <= 10_000
+        assert ranking.monthly_rank(500, 0) == 500
+
+    def test_top_listing(self):
+        ranking = DomainRanking(size=50)
+        assert len(ranking.top(10)) == 10
+        assert len(ranking.top(100)) == 50
+
+    def test_size_validation(self):
+        with pytest.raises(ConfigurationError):
+            DomainRanking(size=0)
+
+
+class TestChainMix:
+    def test_table2_rows_sum_to_one(self):
+        for month, mix in TABLE2_MONTHS.items():
+            assert abs(sum(mix.probabilities()) - 1.0) < 1e-9, month
+
+    def test_paper_month_has_245_icas(self):
+        assert table2_mix(PAPER_MONTH).unique_icas == 245
+
+    def test_unknown_month(self):
+        with pytest.raises(ConfigurationError):
+            table2_mix("Dec. '21")
+
+    def test_invalid_mix_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChainMix(0.5, 0.5, 0.5, 0.0, 0.0, 100)
+
+    def test_sampling_matches_mix(self):
+        mix = table2_mix("Jun. '22")
+        rng = random.Random(11)
+        n = 20_000
+        counts = {}
+        for _ in range(n):
+            d = mix.sample_depth(rng)
+            counts[d] = counts.get(d, 0) + 1
+        for depth, expected in enumerate(mix.probabilities()):
+            observed = counts.get(depth, 0) / n
+            assert observed == pytest.approx(expected, abs=0.02)
+
+    def test_mean_icas_consistent(self):
+        mix = table2_mix("Jun. '22")
+        rng = random.Random(5)
+        empirical = sum(mix.sample_depth(rng) for _ in range(20_000)) / 20_000
+        assert empirical == pytest.approx(mix.mean_icas(), abs=0.05)
+
+    def test_over_80_percent_have_icas(self):
+        """The paper's motivation: 'over 80% of the examined servers
+        include at least one ICA' (true for all months but Jan)."""
+        for month in ("Feb. '22", "Mar. '22", "Apr. '22", "May '22"):
+            assert table2_mix(month).p0 < 0.2
