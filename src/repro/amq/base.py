@@ -13,9 +13,13 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import ClassVar, Iterable
+from typing import ClassVar, Iterable, List, Sequence
 
-from repro.errors import ConfigurationError, DeletionUnsupportedError
+from repro.errors import (
+    ConfigurationError,
+    DeletionUnsupportedError,
+    FilterFullError,
+)
 
 
 @dataclass(frozen=True)
@@ -117,13 +121,60 @@ class AMQFilter(ABC):
         """Number of items currently stored."""
         return self._count
 
+    # -- batch API ----------------------------------------------------------
+    #
+    # The batch operations are observationally identical to running the
+    # scalar loop in batch order (same final state, same answers, same
+    # exceptions) — that equivalence is what tests/amq/
+    # test_batch_differential.py enforces for every registered backend.
+    # Subclasses override with vectorized implementations; these generic
+    # loops are both the fallback (no numpy, tiny batches) and the
+    # executable specification.
+
+    def insert_batch(self, items: Sequence[bytes]) -> None:
+        """Insert ``items`` in order.
+
+        Contract (all backends):
+
+        * **Ordering** — items are inserted in batch order; the final
+          state equals a scalar ``insert`` loop over the same sequence.
+        * **Overflow** — inserts are *not* atomic. On overflow the batch
+          raises :class:`~repro.errors.FilterFullError` with
+          ``inserted_count`` set to the number of fully-inserted leading
+          items (prefix-insert semantics); the failing item itself may
+          have displaced fingerprints exactly as the equivalent scalar
+          ``insert`` would have (cuckoo kick chains).
+        * **Duplicates** — permitted, with the same multiplicity
+          semantics as the scalar operation.
+        """
+        for index, item in enumerate(items):
+            try:
+                self.insert(item)
+            except FilterFullError as exc:
+                exc.inserted_count = index
+                raise
+
+    def contains_batch(self, items: Sequence[bytes]) -> List[bool]:
+        """Membership answers for ``items``, in order — exactly
+        ``[self.contains(x) for x in items]`` (no false negatives)."""
+        return [self.contains(item) for item in items]
+
+    def delete_batch(self, items: Sequence[bytes]) -> List[bool]:
+        """Delete ``items`` in order; per-item success flags.
+
+        Equivalent to ``[self.delete(x) for x in items]``: earlier
+        deletions in the batch are visible to later ones (deleting the
+        same fingerprint twice only succeeds twice if it was stored
+        twice). Raises :class:`~repro.errors.DeletionUnsupportedError`
+        on structures without deletion, like the scalar operation.
+        """
+        return [self.delete(item) for item in items]
+
     def insert_all(self, items: Iterable[bytes]) -> int:
-        """Insert every item; returns how many were inserted."""
-        n = 0
-        for item in items:
-            self.insert(item)
-            n += 1
-        return n
+        """Insert every item (batched); returns how many were inserted."""
+        batch = items if isinstance(items, (list, tuple)) else list(items)
+        self.insert_batch(batch)
+        return len(batch)
 
     def load_factor(self) -> float:
         """Current occupancy relative to the structure's slot count."""

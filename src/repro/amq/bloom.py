@@ -11,9 +11,15 @@ at 4x the space.
 from __future__ import annotations
 
 import math
+from typing import List, Sequence
 
 from repro.amq.base import AMQFilter, FilterParams
-from repro.amq.hashing import double_hashes
+from repro.amq.hashing import (
+    VECTOR_MIN_BATCH,
+    double_hashes,
+    hash64_np,
+    np,
+)
 from repro.errors import FilterFullError, FilterSerializationError
 
 
@@ -66,6 +72,48 @@ class BloomFilter(AMQFilter):
 
     def delete(self, item: bytes) -> bool:
         raise self._deletion_unsupported()
+
+    # -- batch overrides ------------------------------------------------------
+
+    def _batch_positions(self, items: Sequence[bytes]):
+        """(k, len(items)) matrix of bit positions, one row per hash —
+        identical values to k runs of :func:`double_hashes` per item."""
+        u64 = np.uint64
+        seed = self._params.seed
+        h1 = hash64_np(items, seed)
+        h2 = hash64_np(items, seed + 0x51ED) | u64(1)
+        bits = u64(self._bits)
+        return [
+            ((h1 + u64(i) * h2 + u64(i * i)) % bits) for i in range(self._k)
+        ]
+
+    def insert_batch(self, items: Sequence[bytes]) -> None:
+        if np is None or len(items) < VECTOR_MIN_BATCH:
+            return super().insert_batch(items)
+        allowed = self.capacity - self._count
+        accepted = items[:allowed] if allowed < len(items) else items
+        if accepted:
+            buf = np.frombuffer(self._array, dtype=np.uint8)
+            for pos in self._batch_positions(accepted):
+                masks = np.uint8(1) << (pos & np.uint64(7)).astype(np.uint8)
+                np.bitwise_or.at(buf, (pos >> np.uint64(3)).astype(np.intp), masks)
+            self._count += len(accepted)
+        if allowed < len(items):
+            raise FilterFullError(
+                f"bloom filter at provisioned capacity {self.capacity}",
+                inserted_count=len(accepted),
+            )
+
+    def contains_batch(self, items: Sequence[bytes]) -> List[bool]:
+        if np is None or len(items) < VECTOR_MIN_BATCH:
+            return super().contains_batch(items)
+        buf = np.frombuffer(self._array, dtype=np.uint8)
+        hit = np.ones(len(items), dtype=bool)
+        for pos in self._batch_positions(items):
+            bits = (buf[(pos >> np.uint64(3)).astype(np.intp)]
+                    >> (pos & np.uint64(7)).astype(np.uint8))
+            hit &= (bits & 1).astype(bool)
+        return hit.tolist()
 
     def slot_count(self) -> int:
         return self._bits
@@ -156,6 +204,57 @@ class CountingBloomFilter(AMQFilter):
 
     def contains(self, item: bytes) -> bool:
         return all(self._get(pos) > 0 for pos in self._positions(item))
+
+    # -- batch overrides ------------------------------------------------------
+
+    def _batch_positions(self, items: Sequence[bytes]):
+        u64 = np.uint64
+        seed = self._params.seed
+        h1 = hash64_np(items, seed)
+        h2 = hash64_np(items, seed + 0x51ED) | u64(1)
+        cells = u64(self._cells)
+        return [
+            ((h1 + u64(i) * h2 + u64(i * i)) % cells) for i in range(self._k)
+        ]
+
+    def insert_batch(self, items: Sequence[bytes]) -> None:
+        if np is None or len(items) < VECTOR_MIN_BATCH:
+            return super().insert_batch(items)
+        allowed = self.capacity - self._count
+        accepted = items[:allowed] if allowed < len(items) else items
+        if accepted:
+            # Unpack nibble counters, accumulate, saturate, repack. A
+            # sequence of saturating +1 increments from v is exactly
+            # min(v + n, MAX) — the clip reproduces scalar semantics.
+            buf = np.frombuffer(self._array, dtype=np.uint8)
+            counters = np.empty(2 * len(buf), dtype=np.uint32)
+            counters[0::2] = buf & 0xF
+            counters[1::2] = buf >> 4
+            for pos in self._batch_positions(accepted):
+                np.add.at(counters, pos.astype(np.intp), 1)
+            np.minimum(counters, self._COUNTER_MAX, out=counters)
+            buf[:] = (counters[0::2] | (counters[1::2] << 4)).astype(np.uint8)
+            self._count += len(accepted)
+        if allowed < len(items):
+            raise FilterFullError(
+                f"counting bloom filter at provisioned capacity {self.capacity}",
+                inserted_count=len(accepted),
+            )
+
+    def contains_batch(self, items: Sequence[bytes]) -> List[bool]:
+        if np is None or len(items) < VECTOR_MIN_BATCH:
+            return super().contains_batch(items)
+        buf = np.frombuffer(self._array, dtype=np.uint8)
+        hit = np.ones(len(items), dtype=bool)
+        for pos in self._batch_positions(items):
+            idx = pos.astype(np.intp)
+            nibble = np.where(idx & 1, buf[idx >> 1] >> 4, buf[idx >> 1] & 0xF)
+            hit &= nibble > 0
+        return hit.tolist()
+
+    # delete_batch stays on the generic scalar loop: consecutive deletes
+    # are order-dependent (a delete observes the decrements of earlier
+    # batch members), which vectorized accumulation cannot reproduce.
 
     def delete(self, item: bytes) -> bool:
         positions = list(self._positions(item))

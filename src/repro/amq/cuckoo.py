@@ -21,10 +21,20 @@ Design points, following the original paper:
 from __future__ import annotations
 
 import random
+from typing import List, Sequence
 
 from repro.amq import semisort
 from repro.amq.base import AMQFilter, FilterParams
-from repro.amq.hashing import hash64, hash_int, fingerprint
+from repro.amq.hashing import (
+    VECTOR_MIN_BATCH,
+    fingerprint,
+    fingerprint_np,
+    hash64,
+    hash64_np,
+    hash_int,
+    hash_int_np,
+    np,
+)
 from repro.amq.sizing import cuckoo_geometry, fingerprint_bits_for_fpp
 from repro.errors import FilterFullError, FilterSerializationError
 
@@ -116,9 +126,17 @@ class CuckooFilter(AMQFilter):
         fp = self._fingerprint(item)
         i1 = self._index1(item)
         i2 = self._alt_index(i1, fp)
+        self._insert_fp(fp, i1, i2)
+
+    def _insert_fp(self, fp: int, i1: int, i2: int) -> None:
+        """Place a precomputed fingerprint (shared by insert/insert_batch
+        so both paths drive the eviction rng identically)."""
         if self._bucket_insert(i1, fp) or self._bucket_insert(i2, fp):
             self._count += 1
             return
+        self._kick(fp, i1, i2)
+
+    def _kick(self, fp: int, i1: int, i2: int) -> None:
         # Evict: pick one of the two candidate buckets and relocate.
         index = self._rng.choice((i1, i2))
         for _ in range(self._max_kicks):
@@ -137,6 +155,83 @@ class CuckooFilter(AMQFilter):
             f"cuckoo filter insert failed after {self._max_kicks} kicks "
             f"(load factor {self.load_factor():.3f})"
         )
+
+    # -- batch overrides -------------------------------------------------------
+
+    def _batch_candidates(self, items: Sequence[bytes]):
+        """Vectorized (fingerprint, bucket1, bucket2) triples — identical
+        values to the scalar ``_fingerprint``/``_index1``/``_alt_index``."""
+        seed = self._params.seed
+        nb = np.uint64(self._num_buckets)
+        i1 = hash64_np(items, seed) % nb
+        fps = fingerprint_np(items, self._fp_bits, seed)
+        i2 = (i1 ^ hash_int_np(fps, seed)) % nb
+        return fps, i1, i2
+
+    def insert_batch(self, items: Sequence[bytes]) -> None:
+        if np is None or len(items) < VECTOR_MIN_BATCH:
+            return super().insert_batch(items)
+        fps, i1s, i2s = self._batch_candidates(items)
+        table = self._table
+        bucket_size = self._bucket_size
+        for index in range(len(items)):
+            fp = int(fps[index])
+            b1 = int(i1s[index])
+            b2 = int(i2s[index])
+            placed = False
+            for b in (b1, b2):
+                start = b * bucket_size
+                for slot in range(start, start + bucket_size):
+                    if table[slot] == 0:
+                        table[slot] = fp
+                        placed = True
+                        break
+                if placed:
+                    break
+            if placed:
+                self._count += 1
+                continue
+            try:
+                self._kick(fp, b1, b2)
+            except FilterFullError as exc:
+                exc.inserted_count = index
+                raise
+
+    def contains_batch(self, items: Sequence[bytes]) -> List[bool]:
+        if np is None or len(items) < VECTOR_MIN_BATCH:
+            return super().contains_batch(items)
+        fps, i1, i2 = self._batch_candidates(items)
+        buckets = np.array(self._table, dtype=np.uint64).reshape(
+            self._num_buckets, self._bucket_size
+        )
+        want = fps[:, None]
+        hit = (buckets[i1.astype(np.intp)] == want).any(axis=1)
+        hit |= (buckets[i2.astype(np.intp)] == want).any(axis=1)
+        return hit.tolist()
+
+    def delete_batch(self, items: Sequence[bytes]) -> List[bool]:
+        if np is None or len(items) < VECTOR_MIN_BATCH:
+            return super().delete_batch(items)
+        fps, i1s, i2s = self._batch_candidates(items)
+        table = self._table
+        bucket_size = self._bucket_size
+        out: List[bool] = []
+        for index in range(len(items)):
+            fp = int(fps[index])
+            removed = False
+            for b in (int(i1s[index]), int(i2s[index])):
+                start = b * bucket_size
+                for slot in range(start, start + bucket_size):
+                    if table[slot] == fp:
+                        table[slot] = 0
+                        removed = True
+                        break
+                if removed:
+                    break
+            if removed:
+                self._count -= 1
+            out.append(removed)
+        return out
 
     def contains(self, item: bytes) -> bool:
         fp = self._fingerprint(item)

@@ -11,7 +11,15 @@ All arithmetic is modulo 2**64.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterator, Sequence
+
+try:  # numpy is a declared dependency, but every path degrades gracefully
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on stripped installs
+    np = None  # type: ignore[assignment]
+
+#: Whether the vectorized batch-hashing kernels are available.
+HAVE_NUMPY = np is not None
 
 MASK64 = (1 << 64) - 1
 
@@ -61,6 +69,77 @@ def double_hashes(data: bytes, count: int, seed: int = 0) -> Iterator[int]:
     h2 |= 1
     for i in range(count):
         yield (h1 + i * h2 + i * i) & MASK64
+
+
+# ---------------------------------------------------------------------------
+# Vectorized batch kernels
+#
+# The batch API of :class:`repro.amq.base.AMQFilter` hashes every item of a
+# batch in one pass: the FNV-1a byte loop runs as ``len(item)`` vector
+# operations over the whole batch instead of ``len(batch) * len(item)``
+# interpreter steps. All kernels produce bit-identical values to their
+# scalar counterparts above — the wire image a remote peer queries must not
+# depend on which code path built it.
+# ---------------------------------------------------------------------------
+
+#: Below this batch size the numpy round-trip costs more than it saves and
+#: filters fall back to their scalar loops.
+VECTOR_MIN_BATCH = 32
+
+
+def _fnv1a64_np(items: Sequence[bytes], seed: int, length: int) -> "np.ndarray":
+    """Vectorized FNV-1a over same-length items (uint64, wrapping)."""
+    u64 = np.uint64
+    buf = np.frombuffer(b"".join(items), dtype=np.uint8)
+    cols = buf.reshape(len(items), length).astype(u64)
+    h = np.full(len(items), (_FNV_OFFSET ^ (seed * _SM_GAMMA)) & MASK64, dtype=u64)
+    prime = u64(_FNV_PRIME)
+    for j in range(length):
+        h = (h ^ cols[:, j]) * prime
+    return h
+
+
+def splitmix64_np(x: "np.ndarray") -> "np.ndarray":
+    """Vectorized :func:`splitmix64` over a uint64 array."""
+    u64 = np.uint64
+    x = x + u64(_SM_GAMMA)
+    x = (x ^ (x >> u64(30))) * u64(_SM_MIX1)
+    x = (x ^ (x >> u64(27))) * u64(_SM_MIX2)
+    return x ^ (x >> u64(31))
+
+
+def hash64_np(items: Sequence[bytes], seed: int = 0) -> "np.ndarray":
+    """Vectorized :func:`hash64`: one uint64 per item, batch order.
+
+    Mixed-length batches are hashed per length group (the hot paths only
+    ever see uniform 32-byte fingerprints, so the grouping is free there).
+    """
+    n = len(items)
+    first_len = len(items[0])
+    if all(len(item) == first_len for item in items):
+        return splitmix64_np(_fnv1a64_np(items, seed, first_len))
+    out = np.empty(n, dtype=np.uint64)
+    by_length: "dict[int, list[int]]" = {}
+    for idx, item in enumerate(items):
+        by_length.setdefault(len(item), []).append(idx)
+    for length, idxs in by_length.items():
+        group = [items[i] for i in idxs]
+        out[idxs] = splitmix64_np(_fnv1a64_np(group, seed, length))
+    return out
+
+
+def hash_int_np(values: "np.ndarray", seed: int = 0) -> "np.ndarray":
+    """Vectorized :func:`hash_int` over a uint64 array."""
+    return splitmix64_np(values ^ np.uint64((seed * _SM_GAMMA) & MASK64))
+
+
+def fingerprint_np(items: Sequence[bytes], bits: int, seed: int = 0) -> "np.ndarray":
+    """Vectorized :func:`fingerprint` (zero remapped to 1, as scalar)."""
+    if not 1 <= bits <= 32:
+        raise ValueError(f"fingerprint width must be in [1, 32], got {bits}")
+    fp = hash64_np(items, seed ^ 0xF1A9) & np.uint64((1 << bits) - 1)
+    fp[fp == 0] = 1
+    return fp
 
 
 def fingerprint(data: bytes, bits: int, seed: int = 0) -> int:

@@ -26,9 +26,10 @@ and verifiably correct, which matters more here than constant-factor speed.
 from __future__ import annotations
 
 from collections import deque
+from typing import List, Sequence, Tuple
 
 from repro.amq.base import AMQFilter, FilterParams
-from repro.amq.hashing import hash64
+from repro.amq.hashing import VECTOR_MIN_BATCH, hash64, hash64_np, np
 from repro.amq.sizing import quotient_geometry, remainder_bits_for_fpp
 from repro.errors import FilterFullError, FilterSerializationError
 
@@ -194,6 +195,56 @@ class QuotientFilter(AMQFilter):
             pos = (pos + 1) % self._slots
             if not self._cont[pos]:
                 return False
+
+    # -- batch overrides ------------------------------------------------------
+
+    def _qr_batch(self, items: Sequence[bytes]) -> "List[Tuple[int, int]]":
+        """Vectorized :meth:`_qr` — one (quotient, remainder) per item."""
+        h = hash64_np(items, self._params.seed)
+        rem = h & np.uint64((1 << self._r_bits) - 1)
+        quo = (h >> np.uint64(self._r_bits)) & np.uint64(self._slots - 1)
+        return list(zip(quo.tolist(), rem.tolist()))
+
+    def insert_batch(self, items: Sequence[bytes]) -> None:
+        if np is None or len(items) < VECTOR_MIN_BATCH:
+            return super().insert_batch(items)
+        limit = self._slots - 1
+        for index, (q, rem) in enumerate(self._qr_batch(items)):
+            if self._count >= limit:
+                raise FilterFullError(
+                    f"quotient filter full ({self._count}/{self._slots} slots)",
+                    inserted_count=index,
+                )
+            self._insert_qr(q, rem)
+            self._count += 1
+
+    def contains_batch(self, items: Sequence[bytes]) -> List[bool]:
+        if np is None or len(items) < VECTOR_MIN_BATCH:
+            return super().contains_batch(items)
+        occ = self._occ
+        cont = self._cont
+        rems = self._rem
+        slots = self._slots
+        run_start = self._run_start
+        out: List[bool] = []
+        for q, rem in self._qr_batch(items):
+            if not occ[q]:
+                out.append(False)
+                continue
+            pos = run_start(q)
+            hit = False
+            while True:
+                stored = rems[pos]
+                if stored == rem:
+                    hit = True
+                    break
+                if stored > rem:
+                    break  # runs are sorted
+                pos = (pos + 1) % slots
+                if not cont[pos]:
+                    break
+            out.append(hit)
+        return out
 
     def count_of(self, item: bytes) -> int:
         """Number of stored occurrences of ``item``'s remainder in its run

@@ -21,10 +21,17 @@ FilterManager` meters when this filter is plugged into the pipeline.
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.amq.base import AMQFilter, FilterParams
-from repro.amq.hashing import hash64, splitmix64
+from repro.amq.hashing import (
+    VECTOR_MIN_BATCH,
+    hash64,
+    hash64_np,
+    np,
+    splitmix64,
+    splitmix64_np,
+)
 from repro.errors import FilterFullError, FilterSerializationError
 
 _MAX_CONSTRUCTION_ATTEMPTS = 64
@@ -156,6 +163,45 @@ class XorFilter(AMQFilter):
 
     def delete(self, item: bytes) -> bool:
         raise self._deletion_unsupported()
+
+    # -- batch overrides -------------------------------------------------------
+
+    def insert_batch(self, items: Sequence[bytes]) -> None:
+        """Buffered bulk insert: one capacity check and one dirty mark for
+        the whole batch; the (expensive) rebuild happens on first query."""
+        allowed = self.capacity - len(self._items)
+        accepted = items[:allowed] if allowed < len(items) else items
+        if accepted:
+            self._items.extend(accepted)
+            self._count += len(accepted)
+            self._dirty = True
+        if allowed < len(items):
+            raise FilterFullError(
+                f"xor filter at provisioned capacity {self.capacity}",
+                inserted_count=len(accepted),
+            )
+
+    def contains_batch(self, items: Sequence[bytes]) -> List[bool]:
+        if self._dirty:
+            self._rebuild()
+        if np is None or len(items) < VECTOR_MIN_BATCH:
+            return super().contains_batch(items)
+        u64 = np.uint64
+        base = hash64_np(
+            items, self._params.seed ^ (self._construction_seed * 0x9E37)
+        )
+        third = u64(self._slots // 3)
+        h0 = base % third
+        h1 = third + splitmix64_np(base ^ u64(0xA5A5)) % third
+        h2 = u64(2) * third + splitmix64_np(base ^ u64(0x5A5A)) % third
+        fp = splitmix64_np(base ^ u64(0xF0F0)) & u64((1 << self._fp_bits) - 1)
+        table = np.array(self._table, dtype=u64)
+        hit = (
+            table[h0.astype(np.intp)]
+            ^ table[h1.astype(np.intp)]
+            ^ table[h2.astype(np.intp)]
+        ) == fp
+        return hit.tolist()
 
     def load_factor(self) -> float:
         return self._count / self.capacity if self.capacity else 0.0

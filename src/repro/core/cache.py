@@ -31,6 +31,7 @@ class ICACache:
         self._by_fingerprint: Dict[bytes, Certificate] = {}
         self._by_subject: Dict[str, Certificate] = {}
         self._add_listeners: List[Callable[[Certificate], None]] = []
+        self._batch_add_listeners: List[Callable[[List[Certificate]], None]] = []
         self._remove_listeners: List[Callable[[Certificate], None]] = []
 
     # -- listeners -----------------------------------------------------------
@@ -39,16 +40,36 @@ class ICACache:
         self,
         on_add: Optional[Callable[[Certificate], None]] = None,
         on_remove: Optional[Callable[[Certificate], None]] = None,
+        on_add_batch: Optional[Callable[[List[Certificate]], None]] = None,
     ) -> None:
+        """Register change listeners.
+
+        ``on_add_batch`` receives the *whole list* of newly-added
+        certificates when a bulk mutation (:meth:`add_many`,
+        :meth:`load_preload`, :meth:`observe_chain`) lands, letting
+        subscribers use the filters' vectorized ``insert_batch`` path; a
+        single :meth:`add` delivers a one-element list. A subscriber
+        should register either ``on_add`` or ``on_add_batch``, not both
+        (it would be notified twice).
+        """
         if on_add is not None:
             self._add_listeners.append(on_add)
+        if on_add_batch is not None:
+            self._batch_add_listeners.append(on_add_batch)
         if on_remove is not None:
             self._remove_listeners.append(on_remove)
 
+    def _notify_added(self, certs: List[Certificate]) -> None:
+        for listener in self._add_listeners:
+            for cert in certs:
+                listener(cert)
+        for batch_listener in self._batch_add_listeners:
+            batch_listener(certs)
+
     # -- mutation ------------------------------------------------------------
 
-    def add(self, cert: Certificate) -> bool:
-        """Add an ICA; returns False when already present."""
+    def _store(self, cert: Certificate) -> bool:
+        """Validate + index one ICA; returns False when already present."""
         if not cert.is_ca or cert.is_self_signed:
             raise CertificateError(
                 f"ICA cache accepts intermediate CA certificates only, "
@@ -59,9 +80,22 @@ class ICACache:
             return False
         self._by_fingerprint[fp] = cert
         self._by_subject[cert.subject] = cert
-        for listener in self._add_listeners:
-            listener(cert)
         return True
+
+    def add(self, cert: Certificate) -> bool:
+        """Add an ICA; returns False when already present."""
+        if not self._store(cert):
+            return False
+        self._notify_added([cert])
+        return True
+
+    def add_many(self, certs: Iterable[Certificate]) -> int:
+        """Bulk add; returns how many were new. Listeners see the new
+        certificates as one batch (one filter ``insert_batch``)."""
+        added = [cert for cert in certs if self._store(cert)]
+        if added:
+            self._notify_added(added)
+        return len(added)
 
     def remove(self, cert: Certificate) -> bool:
         fp = cert.fingerprint()
@@ -76,12 +110,12 @@ class ICACache:
 
     def load_preload(self, preload: IntermediatePreload) -> int:
         """Seed from a preload list; returns how many were new."""
-        return sum(self.add(cert) for cert in preload.certificates())
+        return self.add_many(preload.certificates())
 
     def observe_chain(self, chain: CertificateChain) -> int:
         """Learn the ICAs seen in a completed handshake; returns how many
         were new (the organic growth path of the cache)."""
-        return sum(self.add(ica) for ica in chain.intermediates)
+        return self.add_many(chain.intermediates)
 
     def sweep_expired(self, at_time: int) -> int:
         """Remove expired entries; returns how many were dropped."""

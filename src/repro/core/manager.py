@@ -12,7 +12,7 @@ rare, amortized event — counted so experiments can report it).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 from repro.amq import AMQFilter, FilterParams, canonical_params
 from repro.amq.serialization import filter_class_for_name
@@ -34,9 +34,11 @@ class FilterManager:
         self.rebuilds = 0
         #: Monotone mutation counter; consumers (e.g. the suppressor's
         #: payload memoization) use it to detect any filter change,
-        #: including equal-count churn.
+        #: including equal-count churn. Batch mutations advance it **per
+        #: item**, never per call, so experiment counters (Table 2 /
+        #: Fig. 5) stay comparable whichever path performed the update.
         self.version = 0
-        cache.subscribe(on_add=self._on_add, on_remove=self._on_remove)
+        cache.subscribe(on_add_batch=self._on_add_batch, on_remove=self._on_remove)
 
     @property
     def filter(self) -> AMQFilter:
@@ -48,12 +50,16 @@ class FilterManager:
 
     # -- cache listeners ------------------------------------------------------
 
-    def _on_add(self, cert: Certificate) -> None:
-        self.inserts += 1
-        self.version += 1
+    def _on_add_batch(self, certs: List[Certificate]) -> None:
+        # Counters advance item-by-item: a 100-cert bulk load and 100
+        # organic single adds report identical inserts/version totals.
+        self.inserts += len(certs)
+        self.version += len(certs)
         try:
-            self._filter.insert(cert.fingerprint())
+            self._filter.insert_batch([cert.fingerprint() for cert in certs])
         except FilterFullError:
+            # The cache already holds every cert of the batch, so the
+            # rebuild re-inserts the ones the failed batch left behind.
             self._rebuild()
 
     def _on_remove(self, cert: Certificate) -> None:
@@ -85,7 +91,7 @@ class FilterManager:
         )
         cls = filter_class_for_name(self._plan.filter_kind)
         rebuilt = cls(params)
-        rebuilt.insert_all(self._cache.fingerprints())
+        rebuilt.insert_batch(self._cache.fingerprints())
         self._filter = rebuilt
 
     def force_rebuild(self) -> None:
@@ -96,4 +102,4 @@ class FilterManager:
     def consistent_with_cache(self) -> bool:
         """Every cached ICA must be present in the filter (the
         no-false-negative contract the suppression pipeline relies on)."""
-        return all(self._filter.contains(fp) for fp in self._cache.fingerprints())
+        return all(self._filter.contains_batch(self._cache.fingerprints()))

@@ -30,7 +30,15 @@ class FilterFullError(FilterError):
     For cuckoo-style filters this corresponds to exceeding the maximum
     number of evictions; for quotient/bloom filters, to exceeding the
     configured capacity.
+
+    When raised by ``insert_batch``, :attr:`inserted_count` records how
+    many items of the batch were fully inserted before the failure (the
+    batch prefix-insert contract; see ``AMQFilter.insert_batch``).
     """
+
+    def __init__(self, message: str = "", inserted_count: "int | None" = None):
+        super().__init__(message)
+        self.inserted_count = inserted_count
 
 
 class FilterSerializationError(FilterError):

@@ -172,6 +172,119 @@ def throughput(
     return results
 
 
+@dataclass(frozen=True)
+class BatchThroughputResult:
+    """Scalar-loop vs ``*_batch`` throughput for one structure."""
+
+    kind: str
+    batch_size: int
+    scalar_insert_ops_per_s: float
+    batch_insert_ops_per_s: float
+    scalar_query_ops_per_s: float
+    batch_query_ops_per_s: float
+
+    @property
+    def insert_speedup(self) -> float:
+        return self.batch_insert_ops_per_s / self.scalar_insert_ops_per_s
+
+    @property
+    def query_speedup(self) -> float:
+        return self.batch_query_ops_per_s / self.scalar_query_ops_per_s
+
+
+BATCH_KINDS = ("bloom",) + DYNAMIC_KINDS + ("xor",)
+
+
+def batch_throughput(
+    kinds: Sequence[str] = BATCH_KINDS,
+    num_items: int = 10_000,
+    seed: int = 7,
+) -> List[BatchThroughputResult]:
+    """Scalar-vs-batch ops/sec at the paper's operating point.
+
+    Measures the same workload twice per structure: a per-item
+    insert/contains loop against ``insert_batch``/``contains_batch`` on a
+    twin filter. The query probe set is half absent, half present items,
+    as in :func:`throughput`.
+    """
+    import random
+
+    rng = random.Random(seed)
+    items = [rng.getrandbits(256).to_bytes(32, "big") for _ in range(num_items)]
+    probes = [rng.getrandbits(256).to_bytes(32, "big") for _ in range(num_items)]
+    mix = probes[: num_items // 2] + items[: num_items // 2]
+    results = []
+    for kind in kinds:
+        cls = filter_class_for_name(kind)
+        params = canonical_params(
+            FilterParams(
+                capacity=num_items, fpp=PAPER_FPP, load_factor=PAPER_LOAD_FACTOR,
+                seed=seed,
+            )
+        )
+        scalar_filt = cls(params)
+        t0 = time.perf_counter()
+        for item in items:
+            scalar_filt.insert(item)
+        t_scalar_insert = time.perf_counter() - t0
+        if kind == "xor":
+            scalar_filt.contains(items[0])  # fold the one-off build out
+        t0 = time.perf_counter()
+        for probe in mix:
+            scalar_filt.contains(probe)
+        t_scalar_query = time.perf_counter() - t0
+
+        batch_filt = cls(params)
+        t0 = time.perf_counter()
+        batch_filt.insert_batch(items)
+        t_batch_insert = time.perf_counter() - t0
+        if kind == "xor":
+            batch_filt.contains(items[0])
+        t0 = time.perf_counter()
+        batch_filt.contains_batch(mix)
+        t_batch_query = time.perf_counter() - t0
+        results.append(
+            BatchThroughputResult(
+                kind=kind,
+                batch_size=num_items,
+                scalar_insert_ops_per_s=num_items / t_scalar_insert,
+                batch_insert_ops_per_s=num_items / t_batch_insert,
+                scalar_query_ops_per_s=len(mix) / t_scalar_query,
+                batch_query_ops_per_s=len(mix) / t_batch_query,
+            )
+        )
+    return results
+
+
+def format_batch_throughput(results: Sequence[BatchThroughputResult]) -> str:
+    rows = [
+        [
+            r.kind,
+            f"{r.scalar_insert_ops_per_s:,.0f}",
+            f"{r.batch_insert_ops_per_s:,.0f}",
+            f"{r.insert_speedup:.1f}x",
+            f"{r.scalar_query_ops_per_s:,.0f}",
+            f"{r.batch_query_ops_per_s:,.0f}",
+            f"{r.query_speedup:.1f}x",
+        ]
+        for r in results
+    ]
+    batch = results[0].batch_size if results else 0
+    return format_table(
+        [
+            "structure",
+            "insert/s",
+            "insert_batch/s",
+            "speedup",
+            "query/s",
+            "contains_batch/s",
+            "speedup",
+        ],
+        rows,
+        title=f"Fig. 3-center companion — scalar vs batch ops/sec ({batch:,}-item batches)",
+    )
+
+
 def format_throughput(results: Sequence[ThroughputResult]) -> str:
     rows = [
         [

@@ -1,0 +1,233 @@
+"""Differential batch-vs-scalar testing of every AMQ backend.
+
+The batch API's contract (``AMQFilter.insert_batch`` docstring) is that
+every ``*_batch`` operation is observationally identical to running the
+scalar loop in batch order. This suite enforces that for all registered
+structures at once:
+
+* any interleaving of ``insert_batch``/``contains_batch``/``delete_batch``
+  produces the same answers and the same exceptions as the scalar loop on
+  a twin filter (Hypothesis-driven);
+* after every operation the twins are *bit-identical* (``to_bytes``
+  equality), so the vectorized overrides cannot drift from the reference
+  even in ways membership queries would not notice;
+* overflow follows prefix-insert semantics: ``FilterFullError.inserted_count``
+  equals the index at which the equivalent scalar loop failed, and the
+  failed twins remain bit-identical.
+
+Batches above ``VECTOR_MIN_BATCH`` exercise the numpy kernels when numpy
+is available; smaller ones exercise the generic fallback, so both code
+paths are pinned to the same specification.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.amq import (
+    FILTER_REGISTRY,
+    VECTOR_MIN_BATCH,
+    FilterParams,
+    canonical_params,
+)
+from repro.errors import (
+    DeletionUnsupportedError,
+    FilterFullError,
+    FilterSerializationError,
+)
+
+ALL_CLASSES = sorted(FILTER_REGISTRY.values(), key=lambda cls: cls.name)
+ALL_IDS = [cls.name for cls in ALL_CLASSES]
+
+CAPACITY = 128
+POOL_SIZE = 96  # small universe => plenty of duplicates within batches
+
+
+def build_twins(cls, seed=9):
+    """Two independent filters with identical canonical params."""
+    params = canonical_params(
+        FilterParams(capacity=CAPACITY, fpp=1e-2, load_factor=0.85, seed=seed)
+    )
+    return cls(params), cls(params)
+
+
+def pool_items(pool_seed):
+    rng = random.Random(pool_seed)
+    return [rng.getrandbits(192).to_bytes(24, "big") for _ in range(POOL_SIZE)]
+
+
+def scalar_outcome(filt, opcode, items):
+    """The reference: run the op as a per-item scalar loop, normalizing
+    results and exceptions into a comparable tuple."""
+    if opcode == "insert":
+        for index, item in enumerate(items):
+            try:
+                filt.insert(item)
+            except FilterFullError:
+                return ("full", index)
+        return ("ok", None)
+    if opcode == "contains":
+        return ("ok", [filt.contains(item) for item in items])
+    flags = []
+    for item in items:
+        try:
+            flags.append(filt.delete(item))
+        except DeletionUnsupportedError:
+            return ("nodelete", None)
+    return ("ok", flags)
+
+
+def batch_outcome(filt, opcode, items):
+    try:
+        if opcode == "insert":
+            filt.insert_batch(items)
+            return ("ok", None)
+        if opcode == "contains":
+            return ("ok", filt.contains_batch(items))
+        return ("ok", filt.delete_batch(items))
+    except FilterFullError as exc:
+        return ("full", exc.inserted_count)
+    except DeletionUnsupportedError:
+        return ("nodelete", None)
+
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "contains", "delete"]),
+        st.lists(
+            st.integers(min_value=0, max_value=POOL_SIZE - 1),
+            max_size=2 * VECTOR_MIN_BATCH + 16,  # straddles the numpy gate
+        ),
+    ),
+    max_size=8,
+)
+
+
+@pytest.mark.parametrize("cls", ALL_CLASSES, ids=ALL_IDS)
+@given(pool_seed=st.integers(min_value=0, max_value=2**16), ops=operations)
+@settings(max_examples=25, deadline=None)
+def test_any_interleaving_matches_scalar_twin(cls, pool_seed, ops):
+    pool = pool_items(pool_seed)
+    batch_filt, scalar_filt = build_twins(cls)
+    for opcode, indices in ops:
+        items = [pool[i] for i in indices]
+        assert batch_outcome(batch_filt, opcode, items) == scalar_outcome(
+            scalar_filt, opcode, items
+        )
+        assert len(batch_filt) == len(scalar_filt)
+        assert batch_filt.to_bytes() == scalar_filt.to_bytes()
+
+
+@pytest.mark.parametrize("cls", ALL_CLASSES, ids=ALL_IDS)
+def test_vectorized_bulk_load_matches_scalar(cls):
+    """Deterministic large-batch check: well above VECTOR_MIN_BATCH so the
+    numpy kernels (when installed) are definitely on the hot path."""
+    rng = random.Random(0xBA7C4)
+    items = [rng.getrandbits(192).to_bytes(24, "big") for _ in range(100)]
+    absent = [rng.getrandbits(192).to_bytes(24, "big") for _ in range(100)]
+    batch_filt, scalar_filt = build_twins(cls)
+
+    batch_filt.insert_batch(items)
+    for item in items:
+        scalar_filt.insert(item)
+    assert len(batch_filt) == len(scalar_filt) == len(items)
+    assert batch_filt.to_bytes() == scalar_filt.to_bytes()
+
+    probes = absent + items
+    assert batch_filt.contains_batch(probes) == [
+        scalar_filt.contains(p) for p in probes
+    ]
+    # No false negatives through the batch path.
+    assert all(batch_filt.contains_batch(items))
+
+    if cls.supports_deletion:
+        assert batch_filt.delete_batch(items) == [
+            scalar_filt.delete(item) for item in items
+        ]
+        assert batch_filt.to_bytes() == scalar_filt.to_bytes()
+
+
+@pytest.mark.parametrize("cls", ALL_CLASSES, ids=ALL_IDS)
+def test_overflow_prefix_semantics(cls):
+    """Overflowing insert_batch raises FilterFullError whose
+    ``inserted_count`` is the scalar loop's failure index, and leaves the
+    filter in exactly the scalar loop's post-failure state."""
+    rng = random.Random(0xF111)
+    items = [rng.getrandbits(192).to_bytes(24, "big") for _ in range(20 * CAPACITY)]
+    batch_filt, scalar_filt = build_twins(cls)
+
+    with pytest.raises(FilterFullError) as excinfo:
+        batch_filt.insert_batch(items)
+    inserted = excinfo.value.inserted_count
+    assert inserted is not None and 0 <= inserted < len(items)
+
+    failed_at = None
+    for index, item in enumerate(items):
+        try:
+            scalar_filt.insert(item)
+        except FilterFullError:
+            failed_at = index
+            break
+    assert failed_at == inserted
+    assert len(batch_filt) == len(scalar_filt)
+    assert batch_filt.to_bytes() == scalar_filt.to_bytes()
+    # Twins keep answering identically after the shared failure.
+    prefix = items[:inserted]
+    assert batch_filt.contains_batch(prefix) == [
+        scalar_filt.contains(item) for item in prefix
+    ]
+
+
+@pytest.mark.parametrize("cls", ALL_CLASSES, ids=ALL_IDS)
+def test_empty_batches_are_noops(cls):
+    filt, _ = build_twins(cls)
+    before = filt.to_bytes()
+    filt.insert_batch([])
+    assert filt.contains_batch([]) == []
+    assert filt.delete_batch([]) == []  # no raise even when non-deletable
+    assert filt.to_bytes() == before
+    assert len(filt) == 0
+
+
+@pytest.mark.parametrize(
+    "cls", [FILTER_REGISTRY[3], FILTER_REGISTRY[4]], ids=["cuckoo", "vacuum"]
+)
+def test_flat_encoding_variant_matches_scalar(cls):
+    """The semi-sort toggle changes the wire encoding, not the table, so
+    the batch path must stay bit-faithful in flat mode too — including a
+    full ``from_bytes`` roundtrip of the flat payload."""
+    params = canonical_params(
+        FilterParams(capacity=CAPACITY, fpp=1e-2, load_factor=0.85, seed=9)
+    )
+    rng = random.Random(0xF1A7)
+    items = [rng.getrandbits(192).to_bytes(24, "big") for _ in range(100)]
+    batch_filt = cls(params, semi_sort=False)
+    scalar_filt = cls(params, semi_sort=False)
+    batch_filt.insert_batch(items)
+    for item in items:
+        scalar_filt.insert(item)
+    payload = batch_filt.to_bytes()
+    assert payload == scalar_filt.to_bytes()
+    restored = cls.from_bytes(params, payload, semi_sort=False)
+    assert len(restored) == len(batch_filt)
+    assert restored.contains_batch(items) == [True] * len(items)
+    with pytest.raises(FilterSerializationError):
+        cls.from_bytes(params, payload + b"\x00", semi_sort=False)
+
+
+@pytest.mark.parametrize("cls", ALL_CLASSES, ids=ALL_IDS)
+def test_duplicate_multiplicity_matches_scalar(cls):
+    """Duplicates inside one batch carry scalar multiplicity semantics."""
+    item = b"\x07" * 24
+    batch_filt, scalar_filt = build_twins(cls)
+    batch_filt.insert_batch([item] * 5)
+    for _ in range(5):
+        scalar_filt.insert(item)
+    assert len(batch_filt) == len(scalar_filt)
+    assert batch_filt.to_bytes() == scalar_filt.to_bytes()
+    if cls.supports_deletion:
+        # Earlier deletions in a batch are visible to later ones: exactly
+        # five of six succeed, in order.
+        assert batch_filt.delete_batch([item] * 6) == [True] * 5 + [False]

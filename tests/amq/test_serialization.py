@@ -99,6 +99,29 @@ class TestRoundTrip:
         assert len(wire) - f.size_in_bytes() == serialized_overhead_bytes()
         assert serialized_overhead_bytes() <= 20
 
+    @pytest.mark.parametrize(
+        "name",
+        ["bloom", "counting-bloom", "cuckoo", "vacuum", "quotient", "xor"],
+    )
+    def test_batch_load_serializes_byte_identically(self, rng, name):
+        """A batch-loaded filter and a scalar-loaded twin are the same
+        filter on the wire: ``to_bytes`` (and hence the full serialized
+        image) must match byte for byte, so either endpoint may use the
+        vectorized path without breaking payload memoization or filter
+        dedup keyed on the wire image."""
+        cls = filter_class_for_name(name)
+        params = canonical_params(
+            FilterParams(capacity=245, fpp=1e-3, load_factor=0.9, seed=77)
+        )
+        items = make_items(rng, 245)
+        batch_loaded = cls(params)
+        batch_loaded.insert_batch(items)
+        scalar_loaded = cls(params)
+        for item in items:
+            scalar_loaded.insert(item)
+        assert batch_loaded.to_bytes() == scalar_loaded.to_bytes()
+        assert serialize_filter(batch_loaded) == serialize_filter(scalar_loaded)
+
     def test_seed_preserved(self, items_245):
         params = canonical_params(
             FilterParams(capacity=245, fpp=1e-3, load_factor=0.9, seed=123456)

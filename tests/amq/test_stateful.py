@@ -1,7 +1,8 @@
 """Stateful (rule-based) property testing of the dynamic filters.
 
-Hypothesis drives arbitrary interleavings of insert/delete/lookup against
-a reference multiset, checking after every step:
+Hypothesis drives arbitrary interleavings of insert/delete/lookup — both
+the scalar operations and their ``*_batch`` counterparts, freely mixed —
+against a reference multiset, checking after every step:
 
 * no false negatives for currently-inserted items;
 * deletions only succeed for plausible members and keep counts exact;
@@ -39,6 +40,12 @@ class FilterMachine(RuleBasedStateMachine):
 
     filter_cls = None
 
+    #: Stay well under the 2*bucket_size copies a cuckoo bucket pair can
+    #: hold: saturating one fingerprint forces a kick-chain failure that
+    #: evicts some victim copy, which is documented lossy behaviour
+    #: outside the operating envelope this machine models.
+    MAX_MULTIPLICITY = 4
+
     items = Bundle("items")
 
     @initialize(
@@ -60,6 +67,8 @@ class FilterMachine(RuleBasedStateMachine):
     def insert(self, item):
         if len(self.filt) >= int(0.8 * self.filt.slot_count()):
             return  # stay under the reliable operating load
+        if self.reference.get(item, 0) >= self.MAX_MULTIPLICITY:
+            return
         try:
             self.filt.insert(item)
         except FilterFullError:
@@ -81,6 +90,53 @@ class FilterMachine(RuleBasedStateMachine):
             # would surface as a false negative below. With 24-byte items
             # in a tiny universe this is overwhelmingly a bug — fail.
             raise AssertionError("deleted an item that was never inserted")
+
+    @rule(batch=st.lists(items, max_size=12))
+    def insert_batch(self, batch):
+        if len(self.filt) + len(batch) >= int(0.8 * self.filt.slot_count()):
+            return  # stay under the reliable operating load
+        # Enforce the multiplicity envelope across the whole batch,
+        # counting duplicates inside the batch itself.
+        pending = {}
+        capped = []
+        for item in batch:
+            copies = self.reference.get(item, 0) + pending.get(item, 0)
+            if copies >= self.MAX_MULTIPLICITY:
+                continue
+            pending[item] = pending.get(item, 0) + 1
+            capped.append(item)
+        try:
+            self.filt.insert_batch(capped)
+        except FilterFullError as exc:
+            # Prefix-insert contract: the leading inserted_count items
+            # landed, the rest did not.
+            for item in capped[: exc.inserted_count]:
+                self.reference[item] = self.reference.get(item, 0) + 1
+            return
+        for item in capped:
+            self.reference[item] = self.reference.get(item, 0) + 1
+
+    @rule(batch=st.lists(items, max_size=12))
+    def contains_batch(self, batch):
+        assert self.filt.contains_batch(batch) == [
+            self.filt.contains(item) for item in batch
+        ]
+
+    @rule(batch=st.lists(items, max_size=12))
+    def delete_batch(self, batch):
+        flags = self.filt.delete_batch(batch)
+        assert len(flags) == len(batch)
+        for item, deleted in zip(batch, flags):
+            present = self.reference.get(item, 0) > 0
+            if present:
+                assert deleted, "delete_batch lost a present item"
+                self.reference[item] -= 1
+                if not self.reference[item]:
+                    del self.reference[item]
+            elif deleted:
+                raise AssertionError(
+                    "delete_batch removed an item that was never inserted"
+                )
 
     @rule()
     def roundtrip(self):

@@ -53,6 +53,47 @@ class TestMirroring:
         assert mgr.rebuilds == 0
 
 
+class TestBatchCounters:
+    """Regression: batch mutations must advance ``inserts``/``version``
+    item-by-item, never per call, so Table 2 / Fig. 5 tallies do not
+    depend on whether the cache was fed one cert at a time or in bulk."""
+
+    def test_bulk_load_counts_per_item(self, icas):
+        cache, mgr = make_manager(icas, preloaded=0)
+        assert mgr.version == 0
+        assert cache.add_many(icas[:30]) == 30
+        assert mgr.inserts == 30
+        assert mgr.version == 30
+        assert len(mgr.filter) == 30
+        assert mgr.consistent_with_cache()
+
+    def test_batch_and_scalar_adds_count_identically(self, icas):
+        _, mgr_batch = make_manager(icas, preloaded=0)
+        cache_scalar, mgr_scalar = make_manager(icas, preloaded=0)
+        mgr_batch._cache.add_many(icas[:25])
+        for cert in icas[:25]:
+            cache_scalar.add(cert)
+        assert mgr_batch.inserts == mgr_scalar.inserts == 25
+        assert mgr_batch.version == mgr_scalar.version
+        # Same filter on the wire, whichever path performed the update.
+        assert mgr_batch.filter.to_bytes() == mgr_scalar.filter.to_bytes()
+
+    def test_duplicate_bulk_adds_do_not_count(self, icas):
+        cache, mgr = make_manager(icas, preloaded=0)
+        cache.add_many(icas[:20])
+        assert cache.add_many(icas[:20]) == 0
+        assert mgr.inserts == 20
+        assert mgr.version == 20
+
+    def test_bulk_overflow_rebuilds_consistently(self, icas):
+        cache, mgr = make_manager(icas, capacity=10, preloaded=0)
+        cache.add_many(icas)  # 60 certs into a 10-capacity plan
+        assert mgr.rebuilds >= 1
+        assert mgr.inserts == len(icas)
+        assert len(mgr.filter) == len(icas)
+        assert mgr.consistent_with_cache()
+
+
 class TestRebuilds:
     def test_overflow_triggers_rebuild(self, icas):
         cache, mgr = make_manager(icas, capacity=10, preloaded=0)

@@ -113,6 +113,24 @@ class TestServerSuppressor:
         assert ss(b"\xff\xff garbage", chain) == set()
         assert ss.malformed_payloads == 1
 
+    def test_lookup_counters_count_per_path_ica(self, world):
+        """Regression: the server queries the whole verification path in
+        one ``contains_batch``, but ``lookups``/``hits`` must still
+        advance once per path ICA (Table 2 / Fig. 5 accounting)."""
+        h, _, preload = world
+        cs = ClientSuppressor(preload=preload, budget_bytes=None)
+        ss = ServerSuppressor()
+        payload = cs.extension_payload()
+        expected = 0
+        for depth in (1, 2):
+            for i, path in enumerate(h.paths_by_depth(depth)[:2]):
+                chain = h.issue_chain(f"cnt{depth}{i}.example", path)
+                ss(payload, chain)
+                expected += depth
+        assert ss.lookups == expected
+        # Every path ICA is preloaded, so each lookup is also a hit.
+        assert ss.hits == expected
+
     def test_filter_deserialization_memoized(self, world):
         h, _, preload = world
         cs = ClientSuppressor(preload=preload, budget_bytes=None)
