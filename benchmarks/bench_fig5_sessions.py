@@ -1,0 +1,181 @@
+#!/usr/bin/env python
+"""End-to-end runtime benchmark for the Fig. 5 browsing-session engine.
+
+Measures three arms over the same workload and emits ``BENCH_fig5.json``:
+
+* ``baseline``  — serial, every disableable artifact cache bypassed
+  (approximates the pre-runtime-subsystem engine);
+* ``cached``    — serial (``jobs=1``), artifact caches on;
+* ``parallel``  — ``jobs=N`` process-pool fan-out, caches on.
+
+All arms build a fresh population and simulator and pin
+``lookup_seconds`` so the three produce byte-identical ``SessionResult``
+lists — which the script asserts. Speedup assertions are gated on the
+machine: the cached-serial floor always applies, the parallel floor only
+when the host actually has multiple cores.
+
+Usage::
+
+    python benchmarks/bench_fig5_sessions.py            # reduced scale
+    REPRO_FULL=1 python benchmarks/bench_fig5_sessions.py --jobs 4
+
+Exit status is non-zero when an assertion fails, so CI can run it as-is.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.runtime import artifacts
+from repro.webmodel.population import ICAPopulation, PopulationConfig
+from repro.webmodel.session_sim import BrowsingSessionSimulator, SessionConfig
+
+#: Simulated AMQ lookup cost, pinned so every arm models identical time
+#: (the default is wall-clock measured per simulator instance).
+LOOKUP_SECONDS = 1e-7
+
+#: Cached-serial must beat the uncached baseline by at least this factor
+#: on any machine (the caches save ~30 % of the engine's work; the floor
+#: leaves margin for shared-runner timing noise).
+MIN_CACHED_SPEEDUP = 1.2
+
+#: Parallel (``jobs>=2``) must beat the uncached baseline by at least this
+#: factor — asserted only when the host has at least two cores.
+MIN_PARALLEL_SPEEDUP = 1.5
+
+
+def _full_scale() -> bool:
+    return os.environ.get("REPRO_FULL", "") not in ("", "0")
+
+
+def _run_arm(
+    runs: int, domains: int, jobs: int, disable_caches: bool
+) -> Tuple[float, List[Any], Dict[str, Dict[str, int]]]:
+    """Time one arm on a fresh population/simulator; returns
+    (wall seconds, results, cache-stats snapshot)."""
+    artifacts.clear()
+    population = ICAPopulation(PopulationConfig(seed=1))
+    sim = BrowsingSessionSimulator(
+        SessionConfig(seed=1, num_domains=domains),
+        population=population,
+        lookup_seconds=LOOKUP_SECONDS,
+    )
+    start = time.perf_counter()
+    if disable_caches:
+        with artifacts.disabled():
+            results = sim.run_many(runs, jobs=jobs)
+    else:
+        results = sim.run_many(runs, jobs=jobs)
+    elapsed = time.perf_counter() - start
+    return elapsed, results, artifacts.stats()
+
+
+def run_benchmark(
+    runs: int, domains: int, jobs: int, output: Optional[str]
+) -> Dict[str, Any]:
+    cpus = os.cpu_count() or 1
+    print(
+        f"fig5 session engine: {runs} runs x {domains} domains, "
+        f"jobs={jobs}, cpus={cpus}"
+    )
+
+    t_base, r_base, _ = _run_arm(runs, domains, jobs=1, disable_caches=True)
+    print(f"  baseline (serial, caches off): {t_base:7.2f}s")
+    t_cached, r_cached, cached_stats = _run_arm(
+        runs, domains, jobs=1, disable_caches=False
+    )
+    print(f"  cached   (serial, caches on):  {t_cached:7.2f}s"
+          f"  -> {t_base / t_cached:.2f}x")
+    t_par, r_par, _ = _run_arm(runs, domains, jobs=jobs, disable_caches=False)
+    print(f"  parallel (jobs={jobs}, caches on): {t_par:7.2f}s"
+          f"  -> {t_base / t_par:.2f}x")
+
+    hit_rates = {
+        name: round(s["hits"] / (s["hits"] + s["misses"]), 4)
+        for name, s in cached_stats.items()
+        if s.get("hits", 0) + s.get("misses", 0) > 0
+    }
+    report = {
+        "benchmark": "fig5_sessions",
+        "scale": {"runs": runs, "num_domains": domains},
+        "cpu_count": cpus,
+        "jobs": jobs,
+        "lookup_seconds": LOOKUP_SECONDS,
+        "seconds": {
+            "baseline_uncached_serial": round(t_base, 3),
+            "cached_serial_jobs1": round(t_cached, 3),
+            f"parallel_jobs{jobs}": round(t_par, 3),
+        },
+        "speedup_vs_baseline": {
+            "cached_serial_jobs1": round(t_base / t_cached, 3),
+            f"parallel_jobs{jobs}": round(t_base / t_par, 3),
+        },
+        "results_equal": {
+            "cached_vs_baseline": r_cached == r_base,
+            "parallel_vs_serial": r_par == r_cached,
+        },
+        "cache_hit_rates_cached_arm": hit_rates,
+        "notes": (
+            "baseline = this engine with every disableable artifact cache "
+            "bypassed (pre-runtime-subsystem approximation); parallel "
+            "speedup is only meaningful when cpu_count covers the worker "
+            "count"
+        ),
+    }
+    if output:
+        with open(output, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"  wrote {output}")
+
+    # -- assertions (determinism always; speed floors where measurable) ------
+    assert r_cached == r_base, "caching changed SessionResults"
+    assert r_par == r_cached, "parallel run diverged from serial results"
+    assert t_base / t_cached >= MIN_CACHED_SPEEDUP, (
+        f"cached serial speedup {t_base / t_cached:.2f}x "
+        f"< {MIN_CACHED_SPEEDUP}x floor"
+    )
+    if jobs >= 2 and cpus >= 2:
+        assert t_base / t_par >= MIN_PARALLEL_SPEEDUP, (
+            f"parallel (jobs={jobs}) speedup {t_base / t_par:.2f}x "
+            f"< {MIN_PARALLEL_SPEEDUP}x floor on {cpus} cpus"
+        )
+    elif jobs >= 2:
+        print(f"  (parallel floor skipped: only {cpus} cpu)")
+    print("  all assertions passed")
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    full = _full_scale()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--runs", type=int, default=10 if full else 8,
+        help="browsing-session runs per arm",
+    )
+    parser.add_argument(
+        "--domains", type=int, default=200 if full else 100,
+        help="domains visited per run",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=4 if full else 2,
+        help="worker processes for the parallel arm",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_fig5.json",
+        help="report path ('' to skip writing)",
+    )
+    args = parser.parse_args(argv)
+    run_benchmark(args.runs, args.domains, args.jobs, args.output or None)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

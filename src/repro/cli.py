@@ -76,7 +76,7 @@ def _sessions(args):
     sim = BrowsingSessionSimulator(
         SessionConfig(seed=1, num_domains=args.domains)
     )
-    return sim.run_many(args.runs)
+    return sim.run_many(args.runs, jobs=args.jobs)
 
 
 def _run_fig5_left(args) -> None:
@@ -110,7 +110,7 @@ def _run_ablation_filters(args) -> None:
     from repro.experiments import ablations
 
     rows = ablations.filter_choice(
-        num_domains=max(20, args.domains // 2), runs=1
+        num_domains=max(20, args.domains // 2), runs=1, jobs=args.jobs
     )
     print(ablations.format_filter_choice(rows))
 
@@ -136,7 +136,7 @@ def _run_mixed_chains(args) -> None:
         mixed_chain_comparison,
     )
 
-    print(format_mixed_chains(mixed_chain_comparison()))
+    print(format_mixed_chains(mixed_chain_comparison(jobs=args.jobs)))
 
 
 def _run_nonweb(args) -> None:
@@ -241,6 +241,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--ops", type=int, default=5_000,
         help="items for the throughput measurement",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=0,
+        help=(
+            "worker processes for the session-driven artifacts "
+            "(0 = all cores, 1 = serial; results are identical either way)"
+        ),
     )
     return parser
 

@@ -21,11 +21,14 @@ from repro.amq import (
     size_bytes_for,
 )
 from repro.amq.serialization import (
+    deserialize_filter,
     filter_class_for_name,
+    serialize_filter,
     serialized_overhead_bytes,
 )
 from repro.errors import ConfigurationError
 from repro.pki.algorithms import get_kem_algorithm
+from repro.runtime import artifacts
 
 #: The paper's §5.2 figure for space left in a PQ ClientHello.
 DEFAULT_FILTER_BUDGET_BYTES = 550
@@ -83,10 +86,36 @@ class FilterPlan:
         )
 
     def build(self, items: Iterable[bytes] = ()) -> AMQFilter:
-        """Instantiate the filter and insert ``items``."""
+        """Instantiate the filter and insert ``items``.
+
+        Builds are memoized by (kind, capacity, fpp, load factor, seed)
+        plus a digest of the item sequence: every simulator construction
+        over the same hot-ICA set rehydrates one serialized image instead
+        of re-inserting item by item. Each call still returns a fresh,
+        independently mutable filter.
+        """
+        import hashlib
+
+        items = [bytes(item) for item in items]
+        digest = hashlib.sha256()
+        for item in items:
+            digest.update(len(item).to_bytes(4, "big"))
+            digest.update(item)
+        key = (
+            self.filter_kind,
+            self.params.capacity,
+            self.params.fpp,
+            self.params.load_factor,
+            self.params.seed,
+            digest.digest(),
+        )
+        cached = artifacts.FILTER_BUILDS.get(key)
+        if cached is not None:
+            return deserialize_filter(cached)
         cls = filter_class_for_name(self.filter_kind)
         filt = cls(self.params)
         filt.insert_all(items)
+        artifacts.FILTER_BUILDS.put(key, serialize_filter(filt))
         return filt
 
 

@@ -20,9 +20,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.analysis.regression import LinearFit, linear_fit
 from repro.analysis.tables import format_table
 from repro.core.estimator import crypto_cpu_seconds
+from repro.errors import ConfigurationError
 from repro.netsim.metrics import Summary, summarize
 from repro.netsim.tcp import TCPConfig, handshake_duration_s
 from repro.pki.algorithms import get_signature_algorithm
+from repro.pki.certificate import DEFAULT_ATTRIBUTE_BYTES
 from repro.webmodel.population import ICAPopulation, PopulationConfig
 from repro.webmodel.session_sim import (
     BrowsingSessionSimulator,
@@ -43,15 +45,32 @@ PAPER_DOMAINS = 200
 
 def run_sessions(
     runs: int = PAPER_RUNS,
-    num_domains: int = PAPER_DOMAINS,
+    num_domains: Optional[int] = None,
     config: Optional[SessionConfig] = None,
     population: Optional[ICAPopulation] = None,
+    jobs: Optional[int] = 1,
 ) -> List[SessionResult]:
-    config = config or SessionConfig(num_domains=num_domains, seed=1)
-    if config.num_domains != num_domains:
-        config = SessionConfig(**{**config.__dict__, "num_domains": num_domains})
+    """The shared Fig. 5 simulation: ``runs`` browsing sessions.
+
+    ``num_domains`` is a convenience for the default config; combining it
+    with an explicit ``config`` whose ``num_domains`` disagrees is a
+    conflict and raises (the old behaviour silently rebuilt the config).
+    ``jobs`` shards the runs across processes (``None``/``0`` = all
+    cores).
+    """
+    if config is None:
+        config = SessionConfig(
+            num_domains=PAPER_DOMAINS if num_domains is None else num_domains,
+            seed=1,
+        )
+    elif num_domains is not None and config.num_domains != num_domains:
+        raise ConfigurationError(
+            f"conflicting session sizes: config.num_domains="
+            f"{config.num_domains} but num_domains={num_domains}; pass one "
+            "or use dataclasses.replace(config, num_domains=...)"
+        )
     simulator = BrowsingSessionSimulator(config, population=population)
-    return simulator.run_many(runs)
+    return simulator.run_many(runs, jobs=jobs)
 
 
 # ---------------------------------------------------------------------------
@@ -96,10 +115,20 @@ def data_volume(
     from repro.analysis.stats import confidence_interval_95
 
     n = len(results)
+    # ICA counts are algorithm-free; per-cert size is result-free. Compute
+    # each once instead of re-resolving the algorithm (and re-walking the
+    # outcomes) inside the per-result loops.
+    total_icas = sum(r.total_icas for r in results)
+    sent_icas = sum(
+        sum(o.icas_sent_total for o in r.outcomes) for r in results
+    )
     rows = []
     for alg in algorithms:
-        without = sum(r.ica_data_bytes(alg, False) for r in results) / n / 1e6
-        with_sup = sum(r.ica_data_bytes(alg, True) for r in results) / n / 1e6
+        per_cert = get_signature_algorithm(alg).auth_bytes_per_certificate(
+            DEFAULT_ATTRIBUTE_BYTES
+        )
+        without = per_cert * total_icas / n / 1e6
+        with_sup = per_cert * sent_icas / n / 1e6
         rows.append(DataVolumeRow(alg, without, with_sup))
     reductions = [r.ica_reduction_ratio() for r in results]
     ci = (
@@ -231,12 +260,30 @@ def ttfb_scenarios(
     results: Sequence[SessionResult],
     algorithms: Sequence[str] = ("rsa-2048", "dilithium5", "sphincs-128f"),
 ) -> List[TTFBScenario]:
+    # Hoist per-scenario constants: the signature algorithm, its CPU cost
+    # per KEM, and the TCP model are invariant across results, so resolve
+    # them once here rather than inside every ttfb_samples call.
+    cpu_by_kem: Dict[Tuple[str, str], float] = {}
+    tcp_by_cwnd: Dict[int, TCPConfig] = {}
     scenarios = []
     for alg in algorithms:
+        sig_alg = get_signature_algorithm(alg)
         for suppressed in (False, True):
             samples: List[float] = []
             for result in results:
-                samples.extend(result.ttfb_samples(alg, suppressed))
+                kem = result.config.kem_name
+                cpu = cpu_by_kem.get((alg, kem))
+                if cpu is None:
+                    cpu = crypto_cpu_seconds(sig_alg, kem)
+                    cpu_by_kem[(alg, kem)] = cpu
+                cwnd = result.config.initcwnd_segments
+                tcp = tcp_by_cwnd.get(cwnd)
+                if tcp is None:
+                    tcp = TCPConfig(initcwnd_segments=cwnd)
+                    tcp_by_cwnd[cwnd] = tcp
+                samples.extend(
+                    result.ttfb_samples(alg, suppressed, tcp=tcp, cpu=cpu)
+                )
             scenarios.append(
                 TTFBScenario(alg, suppressed, summarize(samples))
             )

@@ -130,13 +130,17 @@ class CertificateAuthority:
         keypair: KeyPair,
         not_before: int = 0,
         not_after: Optional[int] = None,
+        serial: Optional[int] = None,
     ) -> Certificate:
+        """``serial=None`` draws from this CA's stateful counter; passing
+        one keeps the issuance a pure function of its arguments (what the
+        population layer needs for content-addressed credential reuse)."""
         return self._builder.build(
             subject=subject,
             issuer=self.name,
             subject_key=keypair,
             signer_key=self.keypair,
-            serial=self._take_serial(),
+            serial=self._take_serial() if serial is None else serial,
             is_ca=False,
             not_before=not_before,
             not_after=not_before + LEAF_VALIDITY if not_after is None else not_after,
@@ -230,14 +234,25 @@ class Hierarchy:
         subject: str,
         path: Optional[ICAPath] = None,
         not_before: int = 0,
+        seed: Optional[int] = None,
+        serial: Optional[int] = None,
     ) -> ServerCredential:
         """Issue a leaf plus its private key — what a server needs to run
-        TLS handshakes (the chain alone only supports size accounting)."""
+        TLS handshakes (the chain alone only supports size accounting).
+
+        With explicit ``seed`` and ``serial`` the issuance touches no
+        hierarchy state, making the credential a pure function of its
+        arguments (issuance-order independent; see
+        :meth:`ICAPopulation.credential_for_rank`)."""
         if path is None:
             path = self._rng.choice(self.paths)
-        self._leaf_seed += 1
-        keypair = KeyPair(path.issuer.certificate.public_key.algorithm, self._leaf_seed)
-        leaf = path.issuer.issue_leaf_with_key(subject, keypair, not_before=not_before)
+        if seed is None:
+            self._leaf_seed += 1
+            seed = self._leaf_seed
+        keypair = KeyPair(path.issuer.certificate.public_key.algorithm, seed)
+        leaf = path.issuer.issue_leaf_with_key(
+            subject, keypair, not_before=not_before, serial=serial
+        )
         chain = CertificateChain(
             leaf=leaf,
             intermediates=tuple(path.ica_certificates()),

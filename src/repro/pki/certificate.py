@@ -22,6 +22,7 @@ from typing import Optional
 
 from repro.errors import ASN1Error, CertificateError
 from repro.pki import asn1
+from repro.runtime import artifacts
 from repro.pki.algorithms import (
     SignatureAlgorithm,
     algorithm_from_oid,
@@ -39,7 +40,11 @@ _OID_ATTRIBUTE_PADDING = "1.3.6.1.4.1.99999.9.1"
 
 
 def _encode_name(common_name: str) -> bytes:
-    return asn1.encode_sequence(
+    key = ("name", common_name)
+    cached = artifacts.DER_FRAGMENTS.get(key)
+    if cached is not None:
+        return cached
+    encoded = asn1.encode_sequence(
         asn1.encode_set(
             asn1.encode_sequence(
                 asn1.encode_oid(_OID_COMMON_NAME),
@@ -47,6 +52,8 @@ def _encode_name(common_name: str) -> bytes:
             )
         )
     )
+    artifacts.DER_FRAGMENTS.put(key, encoded)
+    return encoded
 
 
 def _decode_name(node: asn1.DERNode) -> str:
@@ -58,7 +65,13 @@ def _decode_name(node: asn1.DERNode) -> str:
 
 
 def _encode_algorithm_identifier(name: str) -> bytes:
-    return asn1.encode_sequence(asn1.encode_oid(algorithm_oid(name)))
+    key = ("alg", name)
+    cached = artifacts.DER_FRAGMENTS.get(key)
+    if cached is not None:
+        return cached
+    encoded = asn1.encode_sequence(asn1.encode_oid(algorithm_oid(name)))
+    artifacts.DER_FRAGMENTS.put(key, encoded)
+    return encoded
 
 
 @dataclass(frozen=True)
@@ -79,17 +92,21 @@ class Certificate:
     attribute_bytes: int = DEFAULT_ATTRIBUTE_BYTES
     _der: bytes = field(default=b"", repr=False, compare=False)
     _tbs: bytes = field(default=b"", repr=False, compare=False)
+    _fp: bytes = field(default=b"", repr=False, compare=False)
 
     # -- encoding ------------------------------------------------------------
 
     def to_der(self) -> bytes:
         if not self._der:
+            artifacts.DER_ENCODE.record_miss()
             der = asn1.encode_sequence(
                 self.tbs_der(),
                 _encode_algorithm_identifier(self.signature_algorithm.name),
                 asn1.encode_bit_string(self.signature),
             )
             object.__setattr__(self, "_der", der)
+        else:
+            artifacts.DER_ENCODE.record_hit()
         return self._der
 
     def tbs_der(self) -> bytes:
@@ -115,8 +132,12 @@ class Certificate:
 
     def fingerprint(self) -> bytes:
         """SHA-256 of the DER encoding — the AMQ filter item for this
-        certificate (Fig. 2's set element ``c``)."""
-        return hashlib.sha256(self.to_der()).digest()
+        certificate (Fig. 2's set element ``c``). Memoized: the handshake
+        pipeline fingerprints the same immutable certificates on every
+        suppression decision."""
+        if not self._fp:
+            object.__setattr__(self, "_fp", hashlib.sha256(self.to_der()).digest())
+        return self._fp
 
     # -- semantics ------------------------------------------------------------
 
@@ -197,6 +218,24 @@ class Certificate:
         return cert
 
 
+def decode_certificate(data: bytes) -> Certificate:
+    """Parse DER into a :class:`Certificate`, content-cached.
+
+    Certificates are immutable and ``Certificate`` is frozen, so identical
+    DER bytes always map to one shared instance — the TLS endpoints use
+    this instead of :meth:`Certificate.from_der` to stop re-parsing the
+    same chains on every simulated handshake. Malformed input is never
+    cached and raises exactly like ``from_der``.
+    """
+    key = bytes(data)
+    cached = artifacts.CERT_DECODE.get(key)
+    if cached is not None:
+        return cached
+    cert = Certificate.from_der(key)
+    artifacts.CERT_DECODE.put(key, cert)
+    return cert
+
+
 def _decode_time(node: asn1.DERNode) -> int:
     import calendar
 
@@ -268,6 +307,23 @@ def build_tbs(
     if _pad_override is not None:
         return assemble(_pad_override)
 
+    # The solved pad depends only on component *lengths* (DER length
+    # fields never see contents), so identical length profiles share one
+    # fixed-point solution through the tbs_pads cache.
+    pad_key = (
+        signature_algorithm.name,
+        public_key.algorithm.name,
+        len(public_key.key_bytes),
+        len(asn1.encode_integer(serial)),
+        len(subject.encode("utf-8")),
+        len(issuer.encode("utf-8")),
+        is_ca,
+        attribute_bytes,
+    )
+    pad = artifacts.TBS_PADS.get(pad_key)
+    if pad is not None:
+        return assemble(pad)
+
     # Solve for the pad length that makes the *certificate* (TBS + outer
     # algorithm identifier + signature BIT STRING) carry exactly
     # ``attribute_bytes`` of non-cryptographic content. DER length fields
@@ -291,6 +347,7 @@ def build_tbs(
         if gap == 0 or (gap < 0 and pad == 0):
             break
         pad = max(0, pad + gap)
+    artifacts.TBS_PADS.put(pad_key, pad)
     return assemble(pad)
 
 
@@ -360,10 +417,16 @@ class CertificateBuilder:
             signature=signature,
             attribute_bytes=self.attribute_bytes,
         )
+        artifacts.DER_ENCODE.record_miss()
         der = asn1.encode_sequence(
             tbs,
             _encode_algorithm_identifier(signer_key.algorithm.name),
             asn1.encode_bit_string(signature),
         )
         object.__setattr__(cert, "_der", der)
+        object.__setattr__(cert, "_tbs", tbs)
+        # Prime the decode cache: a TLS peer in this process will receive
+        # exactly these bytes and can reuse this instance instead of
+        # re-parsing them.
+        artifacts.CERT_DECODE.put(der, cert)
         return cert

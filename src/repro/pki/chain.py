@@ -11,11 +11,13 @@ local ICA cache.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ChainValidationError, RevocationError
 from repro.pki.certificate import Certificate
+from repro.runtime import artifacts
 
 IssuerLookup = Callable[[str], Optional[Certificate]]
 
@@ -69,6 +71,14 @@ class CertificateChain:
     def all_certificates(self) -> List[Certificate]:
         return [self.leaf, *self.intermediates, self.root]
 
+    def content_digest(self) -> bytes:
+        """SHA-256 over every certificate fingerprint in path order —
+        equal digests mean byte-identical chains."""
+        digest = hashlib.sha256()
+        for cert in (self.leaf, *self.intermediates, self.root):
+            digest.update(cert.fingerprint())
+        return digest.digest()
+
     # -- validation -----------------------------------------------------------
 
     def validate(
@@ -82,7 +92,32 @@ class CertificateChain:
         Checks, leaf to root: signature by the next certificate's key,
         validity window, CA bit on every non-leaf, trust anchor membership
         and (optionally) revocation status.
+
+        Successful validations of revocation-free paths are memoized by
+        (chain digest, trust-store token) together with the path's shared
+        validity window: a later validation of the same bytes against the
+        same anchors at any time inside that window is a cache hit and
+        skips the signature walk entirely. The ICA→root suffix is memoized
+        separately, so a *new* leaf over an already-verified issuing path
+        only pays its own signature check. Revocation checks are stateful,
+        so any ``revocation`` argument bypasses the caches both ways.
         """
+        cache_key = suffix_key = None
+        suffix_verified = False
+        if revocation is None and hasattr(trust_store, "cache_token"):
+            token = trust_store.cache_token()
+            cache_key = (b"chain", self.content_digest(), token)
+            window = artifacts.VERIFIED_CHAINS.get(cache_key)
+            if window is not None and window[0] <= at_time <= window[1]:
+                return
+            suffix_digest = hashlib.sha256()
+            for cert in (*self.intermediates, self.root):
+                suffix_digest.update(cert.fingerprint())
+            suffix_key = (b"suffix", suffix_digest.digest(), token)
+            window = artifacts.VERIFIED_CHAINS.get(suffix_key)
+            suffix_verified = (
+                window is not None and window[0] <= at_time <= window[1]
+            )
         path = [self.leaf, *self.intermediates, self.root]
         if not trust_store.contains(self.root):
             raise ChainValidationError(
@@ -96,7 +131,7 @@ class CertificateChain:
                 )
             if revocation is not None and revocation.is_revoked(cert):
                 raise RevocationError(f"certificate {cert.subject!r} is revoked")
-        for child, parent in zip(path, path[1:]):
+        for position, (child, parent) in enumerate(zip(path, path[1:])):
             if not parent.is_ca:
                 raise ChainValidationError(
                     f"issuer {parent.subject!r} is not a CA certificate"
@@ -106,14 +141,34 @@ class CertificateChain:
                     f"name chaining broken: {child.subject!r} names issuer "
                     f"{child.issuer!r}, got {parent.subject!r}"
                 )
+            if suffix_verified and position >= 1:
+                continue  # suffix signatures already verified this window
             if not child.verify_signature(parent.public_key):
                 raise ChainValidationError(
                     f"signature of {child.subject!r} does not verify under "
                     f"{parent.subject!r}"
                 )
-        if not self.root.verify_signature(self.root.public_key):
-            raise ChainValidationError(
-                f"root {self.root.subject!r} self-signature invalid"
+        if not suffix_verified:
+            if not self.root.verify_signature(self.root.public_key):
+                raise ChainValidationError(
+                    f"root {self.root.subject!r} self-signature invalid"
+                )
+            if suffix_key is not None:
+                suffix = path[1:]
+                artifacts.VERIFIED_CHAINS.put(
+                    suffix_key,
+                    (
+                        max(cert.not_before for cert in suffix),
+                        min(cert.not_after for cert in suffix),
+                    ),
+                )
+        if cache_key is not None:
+            artifacts.VERIFIED_CHAINS.put(
+                cache_key,
+                (
+                    max(cert.not_before for cert in path),
+                    min(cert.not_after for cert in path),
+                ),
             )
 
 

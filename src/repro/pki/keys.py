@@ -16,17 +16,15 @@ from repro.pki.algorithms import SignatureAlgorithm
 
 
 def expand_bytes(seed: bytes, length: int, label: bytes = b"") -> bytes:
-    """Deterministically expand ``seed`` to ``length`` bytes (SHA-256 in
-    counter mode, domain-separated by ``label``)."""
-    out = bytearray()
-    counter = 0
-    while len(out) < length:
-        block = hashlib.sha256(
-            label + counter.to_bytes(4, "big") + seed
-        ).digest()
-        out.extend(block)
-        counter += 1
-    return bytes(out[:length])
+    """Deterministically expand ``seed`` to ``length`` bytes (SHAKE-256,
+    domain-separated by a length-framed ``label``).
+
+    A single XOF call: multi-KB post-quantum key and signature sizes are
+    the common case, and an extendable-output function produces them in
+    one pass (shorter outputs are prefixes of longer ones)."""
+    return hashlib.shake_256(
+        len(label).to_bytes(4, "big") + label + seed
+    ).digest(length)
 
 
 @dataclass(frozen=True)

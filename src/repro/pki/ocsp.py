@@ -15,6 +15,7 @@ from repro.pki import asn1
 from repro.pki.certificate import Certificate
 from repro.pki.keys import KeyPair, PublicKey
 from repro.pki.signatures import sign_payload, verify_payload
+from repro.runtime import artifacts
 
 STATUS_GOOD = 0
 STATUS_REVOKED = 1
@@ -52,17 +53,31 @@ class OCSPStaple:
 
     @staticmethod
     def _tbs(serial: int, status: int, produced_at: int) -> bytes:
-        return asn1.encode_sequence(
-            asn1.encode_integer(serial),
-            asn1.encode_integer(status),
-            asn1.encode_generalized_time(produced_at),
-        )
+        # Re-assembled by every client that verifies the staple; the
+        # response body is immutable, so memoize it by content.
+        key = ("ocsp-tbs", serial, status, produced_at)
+        body = artifacts.DER_FRAGMENTS.get(key)
+        if body is None:
+            body = asn1.encode_sequence(
+                asn1.encode_integer(serial),
+                asn1.encode_integer(status),
+                asn1.encode_generalized_time(produced_at),
+            )
+            artifacts.DER_FRAGMENTS.put(key, body)
+        return body
 
     def to_der(self) -> bytes:
-        return asn1.encode_sequence(
-            self._tbs(self.serial, self.status, self.produced_at),
-            asn1.encode_bit_string(self.signature),
-        )
+        # The server staples the same response into every handshake it
+        # serves, so the encoding is content-keyed and memoized.
+        key = ("ocsp", self.serial, self.status, self.produced_at, self.signature)
+        der = artifacts.DER_FRAGMENTS.get(key)
+        if der is None:
+            der = asn1.encode_sequence(
+                self._tbs(self.serial, self.status, self.produced_at),
+                asn1.encode_bit_string(self.signature),
+            )
+            artifacts.DER_FRAGMENTS.put(key, der)
+        return der
 
     def size_bytes(self) -> int:
         return len(self.to_der())

@@ -17,6 +17,7 @@ from __future__ import annotations
 import hmac
 
 from repro.pki.keys import KeyPair, PublicKey, expand_bytes
+from repro.runtime import artifacts
 
 
 def sign_payload(keypair: KeyPair, payload: bytes) -> bytes:
@@ -36,8 +37,18 @@ def _signature_bytes(public_key: PublicKey, payload: bytes) -> bytes:
     import hashlib
 
     digest = hashlib.sha256(public_key.key_bytes + payload).digest()
-    return expand_bytes(
+    # The counter-mode expansion to multi-KB PQ signature sizes dominates
+    # this function; (key, payload) pairs repeat constantly (the same TBS
+    # verified on every handshake), so it is content-cached. The digest
+    # binds key and payload, making it the whole cache key.
+    key = (public_key.algorithm.name, digest)
+    cached = artifacts.SIGNATURE_BYTES.get(key)
+    if cached is not None:
+        return cached
+    signature = expand_bytes(
         digest,
         public_key.algorithm.signature_bytes,
         label=b"sig:" + public_key.algorithm.name.encode(),
     )
+    artifacts.SIGNATURE_BYTES.put(key, signature)
+    return signature

@@ -9,6 +9,7 @@ ships with, which in our pipeline seeds the ICA cache and hence the filter.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Iterable, Iterator, List, Optional
 
 from repro.errors import CertificateError
@@ -21,6 +22,7 @@ class TrustStore:
     def __init__(self, roots: Iterable[Certificate] = ()) -> None:
         self._by_fingerprint: Dict[bytes, Certificate] = {}
         self._by_subject: Dict[str, Certificate] = {}
+        self._token: Optional[bytes] = None
         for root in roots:
             self.add(root)
 
@@ -35,6 +37,18 @@ class TrustStore:
             )
         self._by_fingerprint[root.fingerprint()] = root
         self._by_subject[root.subject] = root
+        self._token = None
+
+    def cache_token(self) -> bytes:
+        """Content digest of the anchor set: two stores trust the same
+        roots iff their tokens are equal. Keys the verified-chain cache,
+        and is invalidated whenever an anchor is added."""
+        if self._token is None:
+            digest = hashlib.sha256()
+            for fp in sorted(self._by_fingerprint):
+                digest.update(fp)
+            self._token = digest.digest()
+        return self._token
 
     def contains(self, cert: Certificate) -> bool:
         return cert.fingerprint() in self._by_fingerprint

@@ -1,0 +1,27 @@
+"""Experiment runtime: process-pool fan-out + immutable-artifact caches.
+
+``repro.runtime.parallel`` shards deterministic experiment loops across
+worker processes (ordered results, stable per-item seeds, serial
+fallback); ``repro.runtime.artifacts`` memoizes the immutable PKI
+artifacts the handshake fast path would otherwise recompute per
+connection. Both are wired through the browsing-session simulator, the
+experiment drivers, the CLI (``--jobs``) and the benchmark harness.
+"""
+
+from repro.runtime import artifacts
+from repro.runtime.parallel import (
+    WorkerCrashError,
+    default_jobs,
+    derive_seed,
+    parallel_map,
+    resolve_jobs,
+)
+
+__all__ = [
+    "artifacts",
+    "WorkerCrashError",
+    "default_jobs",
+    "derive_seed",
+    "parallel_map",
+    "resolve_jobs",
+]

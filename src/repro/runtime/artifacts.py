@@ -1,0 +1,249 @@
+"""Content-keyed caches for immutable PKI artifacts (the handshake fast path).
+
+The browsing-session engine re-derives the same immutable artifacts
+thousands of times per experiment: certificates are re-parsed from
+identical DER bytes on every handshake, chain signatures are re-verified
+although neither the certificates nor the trust anchors changed, OCSP
+staples are re-signed for the same leaf, and every simulator construction
+rebuilds an identical AMQ filter from the same hot-ICA set. All of those
+are pure functions of their inputs, so this module gives each one a
+bounded, content-keyed cache with hit/miss counters.
+
+Design rules:
+
+* **Content keys only.** Keys are derived from the bytes that define the
+  artifact (DER images, fingerprints, canonical filter parameters), never
+  from object identity — so a cache hit can never change an experiment's
+  byte accounting, only skip recomputation.
+* **Bounded.** Every cache is an LRU with a per-cache entry cap; the
+  engine never grows without bound across long sweeps.
+* **Observable.** ``stats()`` exposes hits/misses/size per cache, and the
+  ``DER_ENCODE`` event counter tracks how many actual DER assemblies
+  happened, so tests can assert a warm run performs zero redundant work.
+* **Optional.** ``set_enabled(False)`` (or the ``disabled()`` context
+  manager) turns every *disableable* cache into a pass-through, which is
+  how the benchmark harness measures the uncached baseline. Caches that
+  pre-date this subsystem's semantics (the flight-size memo) are marked
+  non-disableable so experiment loops never regress to re-probing.
+* **Shippable.** ``export_shippable()`` / ``import_entries()`` move
+  picklable cache contents into freshly initialized worker processes so
+  cold workers do not re-probe what the parent already measured.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple
+
+_ENABLED = True
+_LOCK = threading.Lock()
+
+
+class EventCounter:
+    """Hit/miss tally for work that is memoized outside a ContentCache
+    (e.g. per-instance DER memos on frozen dataclasses)."""
+
+    __slots__ = ("name", "hits", "misses")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.hits = 0
+        self.misses = 0
+
+    def record_hit(self) -> None:
+        self.hits += 1
+
+    def record_miss(self) -> None:
+        self.misses += 1
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}
+
+
+class ContentCache:
+    """A bounded LRU keyed by content-derived hashable keys."""
+
+    def __init__(
+        self,
+        name: str,
+        max_entries: int,
+        disableable: bool = True,
+        shippable: bool = False,
+    ) -> None:
+        self.name = name
+        self.max_entries = max_entries
+        self.disableable = disableable
+        self.shippable = shippable
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    @property
+    def active(self) -> bool:
+        return _ENABLED or not self.disableable
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        if not self.active:
+            self.misses += 1
+            return None
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if not self.active:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def export(self) -> List[Tuple[Hashable, Any]]:
+        """Entries as a picklable list (insertion/LRU order preserved)."""
+        return list(self._entries.items())
+
+    def import_entries(self, entries: Iterable[Tuple[Hashable, Any]]) -> int:
+        count = 0
+        for key, value in entries:
+            self.put(key, value)
+            count += 1
+        return count
+
+    def snapshot(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "size": len(self)}
+
+
+_CACHES: Dict[str, ContentCache] = {}
+_EVENTS: Dict[str, EventCounter] = {}
+
+
+def _register(cache: ContentCache) -> ContentCache:
+    _CACHES[cache.name] = cache
+    return cache
+
+
+def _register_event(counter: EventCounter) -> EventCounter:
+    _EVENTS[counter.name] = counter
+    return counter
+
+
+#: DER bytes -> decoded Certificate (the client/server re-parse path).
+CERT_DECODE = _register(ContentCache("cert_decode", max_entries=16384))
+#: (algorithm, sha256(key || payload)) -> simulated signature bytes; hit on
+#: both signing and verification of a previously expanded payload.
+SIGNATURE_BYTES = _register(ContentCache("signature_bytes", max_entries=65536))
+#: (chain digest, trust-store token) -> validated (not_before, not_after)
+#: window; a hit inside the window skips full path validation.
+VERIFIED_CHAINS = _register(ContentCache("verified_chains", max_entries=16384))
+#: (kind, capacity, fpp, load_factor, seed, items digest) -> serialized
+#: filter image, rehydrated instead of re-inserting every item.
+FILTER_BUILDS = _register(ContentCache("filter_builds", max_entries=64))
+#: (leaf fingerprint, responder key fp, produced_at) -> (staple, SCTs).
+STAPLES = _register(ContentCache("staples", max_entries=8192))
+#: Length profile of a TBSCertificate -> solved attribute-padding length
+#: (the fixed-point loop in ``build_tbs`` otherwise re-assembles the full
+#: TBS several times per issued certificate).
+TBS_PADS = _register(ContentCache("tbs_pads", max_entries=1024))
+#: Small recurring DER fragments: ("name", cn) -> encoded Name,
+#: ("alg", name) -> encoded AlgorithmIdentifier.
+DER_FRAGMENTS = _register(ContentCache("der_fragments", max_entries=8192))
+#: (issuer fingerprint, subject, leaf seed, serial, not_before) ->
+#: ServerCredential; content-addressed leaf issuance (the population
+#: derives leaf seeds from (population seed, rank), so the key is pure).
+CREDENTIALS = _register(ContentCache("credentials", max_entries=8192))
+#: Flight-size probe memo; shipped to workers and never disabled (the
+#: TTFB loops would otherwise re-run one handshake per sample).
+FLIGHT_SIZES = _register(
+    ContentCache("flight_sizes", max_entries=4096, disableable=False, shippable=True)
+)
+
+#: Actual DER assemblies of Certificate objects (encode events, not cache
+#: lookups): ``misses`` counts real encodes, ``hits`` counts memoized
+#: returns. A warm run must not advance ``misses``.
+DER_ENCODE = _register_event(EventCounter("der_encode"))
+
+
+def enabled() -> bool:
+    return _ENABLED
+
+
+def set_enabled(value: bool) -> None:
+    """Globally enable/disable the disableable caches (pass-through mode)."""
+    global _ENABLED
+    with _LOCK:
+        _ENABLED = bool(value)
+
+
+@contextmanager
+def disabled():
+    """Run a block with every disableable cache bypassed (the benchmark
+    harness's uncached baseline)."""
+    previous = _ENABLED
+    set_enabled(False)
+    try:
+        yield
+    finally:
+        set_enabled(previous)
+
+
+def stats() -> Dict[str, Dict[str, int]]:
+    """Hit/miss/size snapshot of every cache and event counter."""
+    out = {name: cache.snapshot() for name, cache in _CACHES.items()}
+    for name, counter in _EVENTS.items():
+        out[name] = counter.snapshot()
+    return out
+
+
+def reset_stats() -> None:
+    for cache in _CACHES.values():
+        cache.reset_stats()
+    for counter in _EVENTS.values():
+        counter.reset()
+
+
+def clear() -> None:
+    """Drop every cached entry (stats are reset too)."""
+    for cache in _CACHES.values():
+        cache.clear()
+    reset_stats()
+
+
+def export_shippable() -> Dict[str, List[Tuple[Hashable, Any]]]:
+    """Picklable contents of the caches marked shippable — what a parent
+    process sends along when it warms cold workers."""
+    return {
+        name: cache.export()
+        for name, cache in _CACHES.items()
+        if cache.shippable and len(cache)
+    }
+
+
+def import_entries(shipped: Dict[str, List[Tuple[Hashable, Any]]]) -> int:
+    """Load shipped cache contents (unknown cache names are ignored, so
+    newer parents can ship to older workers)."""
+    count = 0
+    for name, entries in (shipped or {}).items():
+        cache = _CACHES.get(name)
+        if cache is not None:
+            count += cache.import_entries(entries)
+    return count

@@ -21,7 +21,7 @@ from repro.errors import (
     RevocationError,
     UnexpectedMessageError,
 )
-from repro.pki.certificate import Certificate
+from repro.pki.certificate import Certificate, decode_certificate
 from repro.pki.chain import CertificateChain, complete_path
 from repro.pki.signatures import verify_payload
 from repro.tls import extensions as ext
@@ -194,7 +194,7 @@ class TLSClient:
         # Certificate path (with suppression completion).
         try:
             transmitted = [
-                Certificate.from_der(e.cert_data) for e in cert_msg.entries
+                decode_certificate(e.cert_data) for e in cert_msg.entries
             ]
         except Exception as exc:  # CertificateError subclasses ReproError
             return ClientResult(False, failure_reason=f"bad certificate: {exc}")

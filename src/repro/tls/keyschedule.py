@@ -13,18 +13,21 @@ import hmac
 import struct
 
 _HASH_LEN = 32
+_EMPTY_HASH = hashlib.sha256(b"").digest()
 
 
 def hkdf_extract(salt: bytes, ikm: bytes) -> bytes:
-    return hmac.new(salt or b"\x00" * _HASH_LEN, ikm, hashlib.sha256).digest()
+    return hmac.digest(salt or b"\x00" * _HASH_LEN, ikm, "sha256")
 
 
 def hkdf_expand(prk: bytes, info: bytes, length: int) -> bytes:
+    if length <= _HASH_LEN:  # the schedule's common case: one block
+        return hmac.digest(prk, info + b"\x01", "sha256")[:length]
     out = b""
     block = b""
     counter = 1
     while len(out) < length:
-        block = hmac.new(prk, block + info + bytes([counter]), hashlib.sha256).digest()
+        block = hmac.digest(prk, block + info + bytes([counter]), "sha256")
         out += block
         counter += 1
     return out[:length]
@@ -63,11 +66,11 @@ class KeySchedule:
 
     def inject_shared_secret(self, shared_secret: bytes) -> None:
         derived = hkdf_expand_label(
-            self._early_secret, "derived", hashlib.sha256(b"").digest(), _HASH_LEN
+            self._early_secret, "derived", _EMPTY_HASH, _HASH_LEN
         )
         self._handshake_secret = hkdf_extract(derived, shared_secret)
         derived2 = hkdf_expand_label(
-            self._handshake_secret, "derived", hashlib.sha256(b"").digest(), _HASH_LEN
+            self._handshake_secret, "derived", _EMPTY_HASH, _HASH_LEN
         )
         self._master_secret = hkdf_extract(derived2, b"\x00" * _HASH_LEN)
 
@@ -88,9 +91,7 @@ class KeySchedule:
         )
 
     def finished_mac(self, role: str) -> bytes:
-        return hmac.new(
-            self.finished_key(role), self.transcript_hash(), hashlib.sha256
-        ).digest()
+        return hmac.digest(self.finished_key(role), self.transcript_hash(), "sha256")
 
     def verify_finished(self, role: str, verify_data: bytes) -> bool:
         return hmac.compare_digest(self.finished_mac(role), verify_data)

@@ -23,7 +23,7 @@ from repro.errors import (
     UnexpectedMessageError,
 )
 from repro.pki.authority import ServerCredential
-from repro.pki.certificate import Certificate
+from repro.pki.certificate import Certificate, decode_certificate
 from repro.pki.chain import CertificateChain, complete_path
 from repro.pki.ocsp import OCSPStaple
 from repro.pki.sct import SignedCertificateTimestamp
@@ -278,7 +278,7 @@ class TLSServer:
             )
         try:
             transmitted = [
-                Certificate.from_der(e.cert_data) for e in cert_msg.entries
+                decode_certificate(e.cert_data) for e in cert_msg.entries
             ]
         except Exception as exc:
             return ClientAuthVerdict(

@@ -27,6 +27,8 @@ from typing import Dict, List, Optional
 from repro.errors import ConfigurationError
 from repro.pki.authority import Hierarchy, ICAPath, ServerCredential, build_hierarchy
 from repro.pki.certificate import Certificate
+from repro.runtime import artifacts
+from repro.runtime.parallel import derive_seed
 from repro.webmodel.chains import PAPER_MONTH, ChainMix, table2_mix
 from repro.webmodel.tranco import DomainRanking
 
@@ -84,6 +86,7 @@ class ICAPopulation:
         }
         self._mix: ChainMix = table2_mix(config.month)
         self._credentials: Dict[int, ServerCredential] = {}
+        self._hot_icas: Dict[int, List[Certificate]] = {}
 
     # -- internals ------------------------------------------------------------
 
@@ -134,12 +137,32 @@ class ICAPopulation:
 
     def credential_for_rank(self, rank: int) -> ServerCredential:
         """The server credential (chain + leaf key) for a domain; cached,
-        so a domain presents one stable chain across the simulation."""
+        so a domain presents one stable chain across the simulation.
+
+        The leaf seed and serial derive from (population seed, rank), so
+        issuance is a pure function of its inputs — independent of visit
+        order, identical across processes, and shareable across simulator
+        instances through the content-keyed credentials cache."""
         cred = self._credentials.get(rank)
         if cred is None:
-            cred = self.hierarchy.issue_credential(
-                self.ranking.domain(rank), self.path_for_rank(rank)
+            domain = self.ranking.domain(rank)
+            path = self.path_for_rank(rank)
+            leaf_seed = derive_seed("population.leaf", self.config.seed, rank)
+            serial = derive_seed(
+                "population.serial", self.config.seed, rank, bits=48
             )
+            key = (
+                path.issuer.certificate.fingerprint(),
+                domain,
+                leaf_seed,
+                serial,
+            )
+            cred = artifacts.CREDENTIALS.get(key)
+            if cred is None:
+                cred = self.hierarchy.issue_credential(
+                    domain, path, seed=leaf_seed, serial=serial
+                )
+                artifacts.CREDENTIALS.put(key, cred)
             self._credentials[rank] = cred
         return cred
 
@@ -153,10 +176,17 @@ class ICAPopulation:
 
     def hot_ica_certificates(self, top_n: int = 10_000) -> List[Certificate]:
         """Distinct ICAs observed across the top-``top_n`` domains — the
-        paper's filter contents (245 for the June '22 crawl)."""
-        seen: Dict[bytes, Certificate] = {}
-        for rank in range(1, top_n + 1):
-            path = self.path_for_rank(rank)
-            for cert in path.ica_certificates():
-                seen.setdefault(cert.fingerprint(), cert)
-        return list(seen.values())
+        paper's filter contents (245 for the June '22 crawl). Memoized per
+        ``top_n``: rank assignment is a pure function of (seed, rank), so
+        the scan's result never changes and every simulator sharing this
+        population reuses one copy."""
+        cached = self._hot_icas.get(top_n)
+        if cached is None:
+            seen: Dict[bytes, Certificate] = {}
+            for rank in range(1, top_n + 1):
+                path = self.path_for_rank(rank)
+                for cert in path.ica_certificates():
+                    seen.setdefault(cert.fingerprint(), cert)
+            cached = list(seen.values())
+            self._hot_icas[top_n] = cached
+        return list(cached)

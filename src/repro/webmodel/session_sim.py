@@ -24,6 +24,7 @@ the paper's three panels:
 from __future__ import annotations
 
 import functools
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -39,6 +40,8 @@ from repro.pki.keys import KeyPair
 from repro.pki.ocsp import OCSPStaple
 from repro.pki.sct import SignedCertificateTimestamp
 from repro.pki.store import IntermediatePreload
+from repro.runtime import artifacts
+from repro.runtime.parallel import derive_seed, parallel_map, resolve_jobs
 from repro.tls.server import ServerConfig
 from repro.tls.session import HandshakeOutcome, run_handshake
 from repro.webmodel.browsing import BrowsingConfig, BrowsingModel
@@ -142,14 +145,26 @@ class SessionResult:
     # -- Fig. 5-right: TTFB -----------------------------------------------------------
 
     def ttfb_samples(
-        self, algorithm_name: str, suppressed: bool
+        self,
+        algorithm_name: str,
+        suppressed: bool,
+        *,
+        tcp: Optional[TCPConfig] = None,
+        cpu: Optional[float] = None,
     ) -> List[float]:
         """Per-destination TTFB under the scenario, per the paper's
         method: flight-model TTFB, filter-lookup time added when
-        suppression is on, and a false positive doubling the TTFB."""
-        tcp = TCPConfig(initcwnd_segments=self.config.initcwnd_segments)
-        alg = get_signature_algorithm(algorithm_name)
-        cpu = crypto_cpu_seconds(alg, self.config.kem_name)
+        suppression is on, and a false positive doubling the TTFB.
+
+        ``tcp``/``cpu`` accept pre-resolved per-algorithm constants so
+        scenario sweeps hoist them once per call instead of re-deriving
+        them for every result (they must match this result's config).
+        """
+        if tcp is None:
+            tcp = TCPConfig(initcwnd_segments=self.config.initcwnd_segments)
+        if cpu is None:
+            alg = get_signature_algorithm(algorithm_name)
+            cpu = crypto_cpu_seconds(alg, self.config.kem_name)
         samples = []
         for outcome in self.outcomes:
             n_sent = outcome.icas_sent_first if suppressed else outcome.num_icas
@@ -201,12 +216,28 @@ def _micro_credential(algorithm_name: str, n_icas: int):
     )
 
 
-@functools.lru_cache(maxsize=None)
 def flight_sizes(
     algorithm_name: str, kem_name: str, n_icas: int, staples: bool
 ) -> Tuple[int, int]:
     """(ClientHello bytes, server-flight bytes) measured by running one
-    real handshake with the given chain shape — exact by construction."""
+    real handshake with the given chain shape — exact by construction.
+
+    Memoized in the shippable ``flight_sizes`` artifact cache: the parent
+    process probes each shape once, and `run_many` ships the entries to
+    its workers so cold processes never re-run probe handshakes.
+    """
+    key = (algorithm_name, kem_name, n_icas, staples)
+    cached = artifacts.FLIGHT_SIZES.get(key)
+    if cached is not None:
+        return cached
+    result = _measure_flight_sizes(algorithm_name, kem_name, n_icas, staples)
+    artifacts.FLIGHT_SIZES.put(key, result)
+    return result
+
+
+def _measure_flight_sizes(
+    algorithm_name: str, kem_name: str, n_icas: int, staples: bool
+) -> Tuple[int, int]:
     from repro.tls.client import ClientConfig
 
     credential, store = _micro_credential(algorithm_name, n_icas)
@@ -240,11 +271,22 @@ def flight_sizes(
 class BrowsingSessionSimulator:
     """Runs browsing sessions against a shared population."""
 
+    #: Per-rank staple cache bound: staples are tiny, but scenario sweeps
+    #: drive millions of destinations through one simulator, so the
+    #: per-rank map is an LRU instead of growing without bound.
+    DEFAULT_STAPLES_CACHE_SIZE = 4096
+
     def __init__(
         self,
         config: SessionConfig = SessionConfig(),
         population: Optional[ICAPopulation] = None,
+        lookup_seconds: Optional[float] = None,
+        staples_cache_size: int = DEFAULT_STAPLES_CACHE_SIZE,
     ) -> None:
+        if staples_cache_size < 1:
+            raise SimulationError(
+                f"staples_cache_size must be >= 1, got {staples_cache_size}"
+            )
         self.config = config
         self.population = population or ICAPopulation(
             PopulationConfig(seed=config.seed)
@@ -260,11 +302,21 @@ class BrowsingSessionSimulator:
         )
         self.server_suppressor = ServerSuppressor(max_cached_filters=8)
         self.trust_store = self.population.hierarchy.trust_store()
-        self._staples_cache: Dict[int, Tuple[Optional[OCSPStaple], list]] = {}
+        self._staples_cache: "OrderedDict[int, Tuple[Optional[OCSPStaple], list]]" = (
+            OrderedDict()
+        )
+        self._staples_cache_size = staples_cache_size
         self._responder = KeyPair(
             get_signature_algorithm(self.population.config.algorithm), 0xCA7
         )
-        self._lookup_seconds = self._measure_lookup_seconds()
+        # ``lookup_seconds`` overrides the wall-clock measurement: workers
+        # receive the parent's figure so serial and parallel runs report
+        # byte-for-byte identical SessionResults.
+        self._lookup_seconds = (
+            lookup_seconds
+            if lookup_seconds is not None
+            else self._measure_lookup_seconds()
+        )
 
     #: Verification-path batch size used to meter per-lookup cost: the
     #: server queries a whole path per handshake via ``contains_batch``,
@@ -288,34 +340,51 @@ class BrowsingSessionSimulator:
     def _staples_for(self, rank: int):
         cached = self._staples_cache.get(rank)
         if cached is not None:
+            self._staples_cache.move_to_end(rank)
             return cached
         if not self.config.include_staples:
             result = (None, [])
         else:
             leaf = self.population.credential_for_rank(rank).chain.leaf
-            result = (
-                OCSPStaple.create(leaf, self._responder, produced_at=1),
-                [
-                    SignedCertificateTimestamp.create(
-                        leaf, self._responder, bytes([i]) * 32, 7
-                    )
-                    for i in (1, 2)
-                ],
+            # Staples are pure functions of (leaf, responder, time), so
+            # their content is shared across simulators through the
+            # artifact cache; the per-rank LRU above only saves the
+            # fingerprint lookup on the session's revisit path.
+            content_key = (
+                leaf.fingerprint(),
+                self._responder.public_key.fingerprint(),
+                1,
             )
+            result = artifacts.STAPLES.get(content_key)
+            if result is None:
+                result = (
+                    OCSPStaple.create(leaf, self._responder, produced_at=1),
+                    [
+                        SignedCertificateTimestamp.create(
+                            leaf, self._responder, bytes([i]) * 32, 7
+                        )
+                        for i in (1, 2)
+                    ],
+                )
+                artifacts.STAPLES.put(content_key, result)
         self._staples_cache[rank] = result
+        while len(self._staples_cache) > self._staples_cache_size:
+            self._staples_cache.popitem(last=False)
         return result
 
     def run(self, run_index: int = 0) -> SessionResult:
         """Simulate one session (the paper runs 10 with 200 domains)."""
         cfg = self.config
         browsing = BrowsingModel(
-            BrowsingConfig(seed=cfg.seed * 1009 + run_index),
+            BrowsingConfig(seed=derive_seed("session.browsing", cfg.seed, run_index)),
             ranking=self.population.ranking,
         )
         visits = browsing.session(cfg.num_domains)
         destinations = browsing.unique_destination_ranks(visits)
         rtt_sampler = LogNormalRTT(
-            cfg.rtt_median_s, cfg.rtt_sigma, seed=cfg.seed * 31 + run_index
+            cfg.rtt_median_s,
+            cfg.rtt_sigma,
+            seed=derive_seed("session.rtt", cfg.seed, run_index),
         )
         outcomes: List[DestinationOutcome] = []
         for i, rank in enumerate(destinations):
@@ -326,14 +395,14 @@ class BrowsingSessionSimulator:
                 suppression_handler=self.server_suppressor,
                 ocsp_staple=ocsp,
                 scts=list(scts),
-                seed=run_index * 1_000_003 + i,
+                seed=derive_seed("session.server", cfg.seed, run_index, i),
             )
             client_config = self.suppressor.client_config(
                 self.trust_store,
                 hostname=credential.chain.leaf.subject,
                 kem_name=cfg.kem_name,
                 at_time=cfg.at_time,
-                seed=run_index * 7_000_003 + i,
+                seed=derive_seed("session.client", cfg.seed, run_index, i),
             )
             trace = run_handshake(client_config, server_config)
             if not trace.succeeded:
@@ -364,5 +433,65 @@ class BrowsingSessionSimulator:
             filter_lookup_seconds=self._lookup_seconds,
         )
 
-    def run_many(self, runs: int = 10) -> List[SessionResult]:
-        return [self.run(i) for i in range(runs)]
+    def run_many(
+        self, runs: int = 10, jobs: Optional[int] = 1
+    ) -> List[SessionResult]:
+        """Run ``runs`` sessions; ``jobs`` > 1 shards them across worker
+        processes (``None``/``0`` = all cores).
+
+        Each worker rebuilds the population and simulator once from the
+        configs (sessions are pure functions of (config, run index), so
+        sharding changes nothing), receives the parent's flight-size cache
+        and measured filter-lookup time, and returns its
+        :class:`SessionResult` s in run order — element-wise identical to
+        the serial path. A custom ``population`` not reconstructible from
+        its ``PopulationConfig`` (e.g. a hand-built ranking) must be run
+        with ``jobs=1``.
+        """
+        jobs = resolve_jobs(jobs)
+        if jobs <= 1 or runs <= 1:
+            return [self.run(i) for i in range(runs)]
+        payload = _WorkerPayload(
+            session_config=self.config,
+            population_config=self.population.config,
+            lookup_seconds=self._lookup_seconds,
+            staples_cache_size=self._staples_cache_size,
+        )
+        return parallel_map(
+            _session_worker_run,
+            range(runs),
+            jobs=jobs,
+            initializer=_session_worker_init,
+            initargs=(payload,),
+            shipped_caches=artifacts.export_shippable(),
+        )
+
+
+@dataclass(frozen=True)
+class _WorkerPayload:
+    """What a session worker needs to rebuild the simulator bit-for-bit."""
+
+    session_config: SessionConfig
+    population_config: PopulationConfig
+    lookup_seconds: float
+    staples_cache_size: int
+
+
+#: Worker-process simulator, built once by ``_session_worker_init``.
+_WORKER_SIMULATOR: Optional[BrowsingSessionSimulator] = None
+
+
+def _session_worker_init(payload: _WorkerPayload) -> None:
+    global _WORKER_SIMULATOR
+    _WORKER_SIMULATOR = BrowsingSessionSimulator(
+        payload.session_config,
+        population=ICAPopulation(payload.population_config),
+        lookup_seconds=payload.lookup_seconds,
+        staples_cache_size=payload.staples_cache_size,
+    )
+
+
+def _session_worker_run(run_index: int) -> SessionResult:
+    if _WORKER_SIMULATOR is None:
+        raise SimulationError("session worker used before initialization")
+    return _WORKER_SIMULATOR.run(run_index)

@@ -208,6 +208,25 @@ class TestFig5:
         assert "slope" in fig5.format_latency_models(fig5.latency_models())
         assert "median ms" in fig5.format_ttfb(fig5.ttfb_scenarios(results))
 
+    def test_run_sessions_rejects_conflicting_num_domains(self, population):
+        from repro.errors import ConfigurationError
+        from repro.webmodel.session_sim import SessionConfig
+
+        config = SessionConfig(seed=1, num_domains=50)
+        with pytest.raises(ConfigurationError, match="conflicting session sizes"):
+            fig5.run_sessions(
+                runs=1, num_domains=25, config=config, population=population
+            )
+
+    def test_run_sessions_accepts_matching_num_domains(self, population):
+        from repro.webmodel.session_sim import SessionConfig
+
+        config = SessionConfig(seed=1, num_domains=20)
+        results = fig5.run_sessions(
+            runs=1, num_domains=20, config=config, population=population
+        )
+        assert len(results) == 1
+
 
 class TestAblations:
     def test_initcwnd_large_window_removes_penalty(self):
