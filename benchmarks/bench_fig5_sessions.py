@@ -1,18 +1,26 @@
 #!/usr/bin/env python
 """End-to-end runtime benchmark for the Fig. 5 browsing-session engine.
 
-Measures three arms over the same workload and emits ``BENCH_fig5.json``:
+Measures four arms over the same workload and emits ``BENCH_fig5.json``:
 
 * ``baseline``  — serial, every disableable artifact cache bypassed
   (approximates the pre-runtime-subsystem engine);
 * ``cached``    — serial (``jobs=1``), artifact caches on;
-* ``parallel``  — ``jobs=N`` process-pool fan-out, caches on.
+* ``parallel``  — ``jobs=N`` process-pool fan-out, caches on;
+* ``metered``   — serial, caches on, the observability registry enabled.
 
 All arms build a fresh population and simulator and pin
-``lookup_seconds`` so the three produce byte-identical ``SessionResult``
+``lookup_seconds`` so the four produce byte-identical ``SessionResult``
 lists — which the script asserts. Speedup assertions are gated on the
 machine: the cached-serial floor always applies, the parallel floor only
 when the host actually has multiple cores.
+
+The metered arm also prices the *disabled* instrumentation: it counts
+the exact number of recording events the workload fires, multiplies by
+the measured cost of one disabled ``obs.inc`` call (a global read plus a
+``None`` check) and asserts that total stays under
+``MAX_DISABLED_OVERHEAD`` of the cached arm's wall time — the "metrics
+off means near-zero cost" contract.
 
 Usage::
 
@@ -33,6 +41,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro import obs
 from repro.runtime import artifacts
 from repro.webmodel.population import ICAPopulation, PopulationConfig
 from repro.webmodel.session_sim import BrowsingSessionSimulator, SessionConfig
@@ -49,6 +58,10 @@ MIN_CACHED_SPEEDUP = 1.2
 #: Parallel (``jobs>=2``) must beat the uncached baseline by at least this
 #: factor — asserted only when the host has at least two cores.
 MIN_PARALLEL_SPEEDUP = 1.5
+
+#: Ceiling on the estimated cost of the instrumentation when the
+#: registry is disabled, as a fraction of the cached arm's wall time.
+MAX_DISABLED_OVERHEAD = 0.02
 
 
 def _full_scale() -> bool:
@@ -77,6 +90,45 @@ def _run_arm(
     return elapsed, results, artifacts.stats()
 
 
+def _run_metered_arm(
+    runs: int, domains: int
+) -> Tuple[float, List[Any], int]:
+    """The cached-serial workload with the metrics registry enabled;
+    returns (wall seconds, results, instrumentation event count).
+
+    Runs the sessions directly on one registry (no scoped capture) so
+    ``registry.events`` counts every recording call the workload fires —
+    the event total the disabled-overhead estimate prices.
+    """
+    artifacts.clear()
+    population = ICAPopulation(PopulationConfig(seed=1))
+    sim = BrowsingSessionSimulator(
+        SessionConfig(seed=1, num_domains=domains),
+        population=population,
+        lookup_seconds=LOOKUP_SECONDS,
+    )
+    obs.disable()
+    reg = obs.enable()
+    try:
+        start = time.perf_counter()
+        results = [sim.run(i) for i in range(runs)]
+        elapsed = time.perf_counter() - start
+        events = reg.events
+    finally:
+        obs.disable()
+    return elapsed, results, events
+
+
+def _disabled_inc_seconds(calls: int = 200_000) -> float:
+    """Measured per-call cost of ``obs.inc`` with the registry disabled
+    (what every instrumentation site pays when metrics are off)."""
+    obs.disable()
+    start = time.perf_counter()
+    for _ in range(calls):
+        obs.inc("bench.overhead.probe")
+    return (time.perf_counter() - start) / calls
+
+
 def run_benchmark(
     runs: int, domains: int, jobs: int, output: Optional[str]
 ) -> Dict[str, Any]:
@@ -96,6 +148,13 @@ def run_benchmark(
     t_par, r_par, _ = _run_arm(runs, domains, jobs=jobs, disable_caches=False)
     print(f"  parallel (jobs={jobs}, caches on): {t_par:7.2f}s"
           f"  -> {t_base / t_par:.2f}x")
+    t_metered, r_metered, events = _run_metered_arm(runs, domains)
+    print(f"  metered  (serial, metrics on): {t_metered:7.2f}s"
+          f"  ({events} events)")
+    inc_s = _disabled_inc_seconds()
+    disabled_overhead = events * inc_s / t_cached
+    print(f"  disabled instrumentation: {inc_s * 1e9:.0f}ns/event x "
+          f"{events} events = {disabled_overhead:.3%} of cached arm")
 
     hit_rates = {
         name: round(s["hits"] / (s["hits"] + s["misses"]), 4)
@@ -112,6 +171,12 @@ def run_benchmark(
             "baseline_uncached_serial": round(t_base, 3),
             "cached_serial_jobs1": round(t_cached, 3),
             f"parallel_jobs{jobs}": round(t_par, 3),
+            "metered_serial_jobs1": round(t_metered, 3),
+        },
+        "observability": {
+            "instrumentation_events": events,
+            "disabled_inc_ns_per_call": round(inc_s * 1e9, 1),
+            "estimated_disabled_overhead_fraction": round(disabled_overhead, 6),
         },
         "speedup_vs_baseline": {
             "cached_serial_jobs1": round(t_base / t_cached, 3),
@@ -120,6 +185,7 @@ def run_benchmark(
         "results_equal": {
             "cached_vs_baseline": r_cached == r_base,
             "parallel_vs_serial": r_par == r_cached,
+            "metered_vs_cached": r_metered == r_cached,
         },
         "cache_hit_rates_cached_arm": hit_rates,
         "notes": (
@@ -138,6 +204,12 @@ def run_benchmark(
     # -- assertions (determinism always; speed floors where measurable) ------
     assert r_cached == r_base, "caching changed SessionResults"
     assert r_par == r_cached, "parallel run diverged from serial results"
+    assert r_metered == r_cached, "enabling metrics changed SessionResults"
+    assert events > 0, "metered arm recorded no instrumentation events"
+    assert disabled_overhead <= MAX_DISABLED_OVERHEAD, (
+        f"disabled instrumentation estimated at {disabled_overhead:.3%} "
+        f"of cached runtime > {MAX_DISABLED_OVERHEAD:.0%} ceiling"
+    )
     assert t_base / t_cached >= MIN_CACHED_SPEEDUP, (
         f"cached serial speedup {t_base / t_cached:.2f}x "
         f"< {MIN_CACHED_SPEEDUP}x floor"

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Validate ``--metrics-out`` JSON exports and compare runs for determinism.
+
+Usage::
+
+    python scripts/check_metrics_export.py metrics.json
+    python scripts/check_metrics_export.py serial.json parallel.json
+
+With one file: validate it against the checked-in ``repro.obs/v1``
+schema and print a short summary. With two files: additionally assert
+that their *deterministic* counters (everything outside the
+``runtime.artifacts.*`` per-process cache counters) are identical —
+the serial-vs-parallel contract CI enforces.
+
+Exit status: 0 on success, 1 on schema errors or counter divergence.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.obs.export import SCHEMA_ID, deterministic_counters
+from repro.obs.schema import validation_errors
+
+
+def _load_and_validate(path: str) -> Optional[dict]:
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"FAIL {path}: unreadable export: {exc}")
+        return None
+    errors = validation_errors(doc)
+    if errors:
+        print(f"FAIL {path}: {len(errors)} schema violation(s) vs {SCHEMA_ID}:")
+        for error in errors:
+            print(f"  - {error}")
+        return None
+    counters = deterministic_counters(doc)
+    print(
+        f"ok   {path}: schema-valid ({len(doc['counters'])} counters, "
+        f"{len(doc['gauges'])} gauges, {len(doc['histograms'])} histograms; "
+        f"{len(counters)} deterministic series)"
+    )
+    return doc
+
+
+def _compare(path_a: str, doc_a: dict, path_b: str, doc_b: dict) -> bool:
+    a, b = deterministic_counters(doc_a), deterministic_counters(doc_b)
+    if a == b:
+        print(f"ok   deterministic counters identical across {path_a} and {path_b}")
+        return True
+    print(f"FAIL deterministic counters diverge between {path_a} and {path_b}:")
+    for key in sorted(set(a) | set(b)):
+        left, right = a.get(key), b.get(key)
+        if left != right:
+            print(f"  - {key}: {left} != {right}")
+    return False
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("exports", nargs="+", help="metrics JSON export(s)")
+    args = parser.parse_args(argv)
+    docs = [_load_and_validate(path) for path in args.exports]
+    if any(doc is None for doc in docs):
+        return 1
+    ok = True
+    for path, doc in zip(args.exports[1:], docs[1:]):
+        ok = _compare(args.exports[0], docs[0], path, doc) and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

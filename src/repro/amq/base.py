@@ -15,6 +15,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import ClassVar, Iterable, List, Sequence
 
+from repro import obs
 from repro.errors import (
     ConfigurationError,
     DeletionUnsupportedError,
@@ -61,6 +62,14 @@ class AMQFilter(ABC):
     succeeds (and until ``delete(x)``), ``contains(x)`` is True. A
     ``contains`` hit for an item never inserted happens with probability at
     most roughly ``params.fpp`` at the target load factor.
+
+    The public operations (``insert``/``contains``/``delete`` and their
+    batch forms) are concrete template methods: they record ``amq.*``
+    metrics when :mod:`repro.obs` is enabled, then delegate to the
+    underscore-prefixed implementation hooks subclasses provide. Counters
+    count *attempted* operations (recorded on entry), so a batch call and
+    the equivalent scalar loop always account identically, including on
+    mid-batch overflow.
     """
 
     #: Short stable name used in wire images and experiment tables.
@@ -71,22 +80,59 @@ class AMQFilter(ABC):
     def __init__(self, params: FilterParams) -> None:
         self._params = params
         self._count = 0
+        # Label tuples precomputed once so the enabled hot path does no
+        # allocation beyond the counter bump itself.
+        self._obs_labels = {
+            op: (("backend", self.name), ("op", op))
+            for op in ("insert", "contains", "delete")
+        }
 
-    # -- abstract core -----------------------------------------------------
+    # -- public API (instrumented template methods) -------------------------
 
-    @abstractmethod
     def insert(self, item: bytes) -> None:
         """Add ``item``; raises FilterFullError when it cannot be placed."""
+        reg = obs.registry()
+        if reg is not None:
+            reg.inc("amq.ops", 1, self._obs_labels["insert"])
+        self._insert(item)
 
-    @abstractmethod
     def contains(self, item: bytes) -> bool:
         """Approximate membership test (no false negatives)."""
+        reg = obs.registry()
+        if reg is not None:
+            reg.inc("amq.ops", 1, self._obs_labels["contains"])
+        return self._contains(item)
 
-    @abstractmethod
     def delete(self, item: bytes) -> bool:
         """Remove one occurrence of ``item``; returns True when a matching
         fingerprint was found and removed.
         """
+        reg = obs.registry()
+        if reg is not None:
+            reg.inc("amq.ops", 1, self._obs_labels["delete"])
+        return self._delete(item)
+
+    def _record_batch(self, op: str, size: int) -> None:
+        reg = obs.registry()
+        if reg is not None:
+            labels = self._obs_labels[op]
+            reg.inc("amq.ops", size, labels)
+            reg.inc("amq.batch.calls", 1, labels)
+            reg.observe("amq.batch.size", size, labels)
+
+    # -- abstract core -----------------------------------------------------
+
+    @abstractmethod
+    def _insert(self, item: bytes) -> None:
+        """Implementation hook for :meth:`insert`."""
+
+    @abstractmethod
+    def _contains(self, item: bytes) -> bool:
+        """Implementation hook for :meth:`contains`."""
+
+    @abstractmethod
+    def _delete(self, item: bytes) -> bool:
+        """Implementation hook for :meth:`delete`."""
 
     @abstractmethod
     def size_in_bytes(self) -> int:
@@ -127,9 +173,12 @@ class AMQFilter(ABC):
     # scalar loop in batch order (same final state, same answers, same
     # exceptions) — that equivalence is what tests/amq/
     # test_batch_differential.py enforces for every registered backend.
-    # Subclasses override with vectorized implementations; these generic
-    # loops are both the fallback (no numpy, tiny batches) and the
-    # executable specification.
+    # The public methods instrument then delegate; subclasses override the
+    # ``_x_batch`` hooks with vectorized implementations, and the generic
+    # underscore loops here are both the fallback (no numpy, tiny batches)
+    # and the executable specification. The hooks call the underscore
+    # scalar core — never the public methods — so no operation is ever
+    # double-counted.
 
     def insert_batch(self, items: Sequence[bytes]) -> None:
         """Insert ``items`` in order.
@@ -147,17 +196,14 @@ class AMQFilter(ABC):
         * **Duplicates** — permitted, with the same multiplicity
           semantics as the scalar operation.
         """
-        for index, item in enumerate(items):
-            try:
-                self.insert(item)
-            except FilterFullError as exc:
-                exc.inserted_count = index
-                raise
+        self._record_batch("insert", len(items))
+        self._insert_batch(items)
 
     def contains_batch(self, items: Sequence[bytes]) -> List[bool]:
         """Membership answers for ``items``, in order — exactly
         ``[self.contains(x) for x in items]`` (no false negatives)."""
-        return [self.contains(item) for item in items]
+        self._record_batch("contains", len(items))
+        return self._contains_batch(items)
 
     def delete_batch(self, items: Sequence[bytes]) -> List[bool]:
         """Delete ``items`` in order; per-item success flags.
@@ -168,7 +214,22 @@ class AMQFilter(ABC):
         twice). Raises :class:`~repro.errors.DeletionUnsupportedError`
         on structures without deletion, like the scalar operation.
         """
-        return [self.delete(item) for item in items]
+        self._record_batch("delete", len(items))
+        return self._delete_batch(items)
+
+    def _insert_batch(self, items: Sequence[bytes]) -> None:
+        for index, item in enumerate(items):
+            try:
+                self._insert(item)
+            except FilterFullError as exc:
+                exc.inserted_count = index
+                raise
+
+    def _contains_batch(self, items: Sequence[bytes]) -> List[bool]:
+        return [self._contains(item) for item in items]
+
+    def _delete_batch(self, items: Sequence[bytes]) -> List[bool]:
+        return [self._delete(item) for item in items]
 
     def insert_all(self, items: Iterable[bytes]) -> int:
         """Insert every item (batched); returns how many were inserted."""

@@ -58,7 +58,7 @@ class BloomFilter(AMQFilter):
 
     # -- AMQFilter interface --------------------------------------------------
 
-    def insert(self, item: bytes) -> None:
+    def _insert(self, item: bytes) -> None:
         if self._count >= self.capacity:
             raise FilterFullError(
                 f"bloom filter at provisioned capacity {self.capacity}"
@@ -67,10 +67,10 @@ class BloomFilter(AMQFilter):
             self._set_bit(pos)
         self._count += 1
 
-    def contains(self, item: bytes) -> bool:
+    def _contains(self, item: bytes) -> bool:
         return all(self._get_bit(pos) for pos in self._positions(item))
 
-    def delete(self, item: bytes) -> bool:
+    def _delete(self, item: bytes) -> bool:
         raise self._deletion_unsupported()
 
     # -- batch overrides ------------------------------------------------------
@@ -87,9 +87,9 @@ class BloomFilter(AMQFilter):
             ((h1 + u64(i) * h2 + u64(i * i)) % bits) for i in range(self._k)
         ]
 
-    def insert_batch(self, items: Sequence[bytes]) -> None:
+    def _insert_batch(self, items: Sequence[bytes]) -> None:
         if np is None or len(items) < VECTOR_MIN_BATCH:
-            return super().insert_batch(items)
+            return super()._insert_batch(items)
         allowed = self.capacity - self._count
         accepted = items[:allowed] if allowed < len(items) else items
         if accepted:
@@ -104,9 +104,9 @@ class BloomFilter(AMQFilter):
                 inserted_count=len(accepted),
             )
 
-    def contains_batch(self, items: Sequence[bytes]) -> List[bool]:
+    def _contains_batch(self, items: Sequence[bytes]) -> List[bool]:
         if np is None or len(items) < VECTOR_MIN_BATCH:
-            return super().contains_batch(items)
+            return super()._contains_batch(items)
         buf = np.frombuffer(self._array, dtype=np.uint8)
         hit = np.ones(len(items), dtype=bool)
         for pos in self._batch_positions(items):
@@ -189,7 +189,7 @@ class CountingBloomFilter(AMQFilter):
         else:
             self._array[idx] = (self._array[idx] & 0xF0) | value
 
-    def insert(self, item: bytes) -> None:
+    def _insert(self, item: bytes) -> None:
         if self._count >= self.capacity:
             raise FilterFullError(
                 f"counting bloom filter at provisioned capacity {self.capacity}"
@@ -202,7 +202,7 @@ class CountingBloomFilter(AMQFilter):
                 self._set(pos, current + 1)
         self._count += 1
 
-    def contains(self, item: bytes) -> bool:
+    def _contains(self, item: bytes) -> bool:
         return all(self._get(pos) > 0 for pos in self._positions(item))
 
     # -- batch overrides ------------------------------------------------------
@@ -217,9 +217,9 @@ class CountingBloomFilter(AMQFilter):
             ((h1 + u64(i) * h2 + u64(i * i)) % cells) for i in range(self._k)
         ]
 
-    def insert_batch(self, items: Sequence[bytes]) -> None:
+    def _insert_batch(self, items: Sequence[bytes]) -> None:
         if np is None or len(items) < VECTOR_MIN_BATCH:
-            return super().insert_batch(items)
+            return super()._insert_batch(items)
         allowed = self.capacity - self._count
         accepted = items[:allowed] if allowed < len(items) else items
         if accepted:
@@ -241,9 +241,9 @@ class CountingBloomFilter(AMQFilter):
                 inserted_count=len(accepted),
             )
 
-    def contains_batch(self, items: Sequence[bytes]) -> List[bool]:
+    def _contains_batch(self, items: Sequence[bytes]) -> List[bool]:
         if np is None or len(items) < VECTOR_MIN_BATCH:
-            return super().contains_batch(items)
+            return super()._contains_batch(items)
         buf = np.frombuffer(self._array, dtype=np.uint8)
         hit = np.ones(len(items), dtype=bool)
         for pos in self._batch_positions(items):
@@ -256,7 +256,7 @@ class CountingBloomFilter(AMQFilter):
     # are order-dependent (a delete observes the decrements of earlier
     # batch members), which vectorized accumulation cannot reproduce.
 
-    def delete(self, item: bytes) -> bool:
+    def _delete(self, item: bytes) -> bool:
         positions = list(self._positions(item))
         if not all(self._get(pos) > 0 for pos in positions):
             return False

@@ -111,7 +111,7 @@ class QuotientFilter(AMQFilter):
 
     # -- core operations ------------------------------------------------------------
 
-    def insert(self, item: bytes) -> None:
+    def _insert(self, item: bytes) -> None:
         if self._count >= self._slots - 1:
             # Keep one slot free so probe scans always terminate.
             raise FilterFullError(
@@ -182,7 +182,7 @@ class QuotientFilter(AMQFilter):
             pos = (pos + 1) % self._slots
             shifted_flag = True
 
-    def contains(self, item: bytes) -> bool:
+    def _contains(self, item: bytes) -> bool:
         q, rem = self._qr(item)
         if not self._occ[q]:
             return False
@@ -205,9 +205,9 @@ class QuotientFilter(AMQFilter):
         quo = (h >> np.uint64(self._r_bits)) & np.uint64(self._slots - 1)
         return list(zip(quo.tolist(), rem.tolist()))
 
-    def insert_batch(self, items: Sequence[bytes]) -> None:
+    def _insert_batch(self, items: Sequence[bytes]) -> None:
         if np is None or len(items) < VECTOR_MIN_BATCH:
-            return super().insert_batch(items)
+            return super()._insert_batch(items)
         limit = self._slots - 1
         for index, (q, rem) in enumerate(self._qr_batch(items)):
             if self._count >= limit:
@@ -218,9 +218,9 @@ class QuotientFilter(AMQFilter):
             self._insert_qr(q, rem)
             self._count += 1
 
-    def contains_batch(self, items: Sequence[bytes]) -> List[bool]:
+    def _contains_batch(self, items: Sequence[bytes]) -> List[bool]:
         if np is None or len(items) < VECTOR_MIN_BATCH:
-            return super().contains_batch(items)
+            return super()._contains_batch(items)
         occ = self._occ
         cont = self._cont
         rems = self._rem
@@ -264,9 +264,9 @@ class QuotientFilter(AMQFilter):
                 break
         return hits
 
-    def delete(self, item: bytes) -> bool:
+    def _delete(self, item: bytes) -> bool:
         q, rem = self._qr(item)
-        if not self._occ[q] or not self.contains(item):
+        if not self._occ[q] or not self._contains(item):
             return False
         cs = self._cluster_start(q)
         cells = self._decode_cluster(cs)

@@ -139,7 +139,7 @@ class VacuumFilter(AMQFilter):
 
     # -- AMQFilter interface -----------------------------------------------------
 
-    def insert(self, item: bytes) -> None:
+    def _insert(self, item: bytes) -> None:
         fp = self._fingerprint(item)
         i1 = self._index1(item)
         i2 = self._alt_index(i1, fp)
@@ -155,14 +155,20 @@ class VacuumFilter(AMQFilter):
 
     def _kick(self, fp: int, i1: int, i2: int) -> None:
         index = self._rng.choice((i1, i2))
+        path: List[int] = []
         for _ in range(self._max_kicks):
             start, _ = self._bucket_slice(index)
             victim_slot = start + self._rng.randrange(self._bucket_size)
+            path.append(victim_slot)
             fp, self._table[victim_slot] = self._table[victim_slot], fp
             index = self._alt_index(index, fp)
             if self._bucket_insert(index, fp):
                 self._count += 1
                 return
+        # Unwind the swap chain in reverse so a failed insert leaves the
+        # table exactly as it was (see CuckooFilter._kick).
+        for slot in reversed(path):
+            fp, self._table[slot] = self._table[slot], fp
         raise FilterFullError(
             f"vacuum filter insert failed after {self._max_kicks} kicks "
             f"(load factor {self.load_factor():.3f})"
@@ -189,9 +195,9 @@ class VacuumFilter(AMQFilter):
         fps = fingerprint_np(items, self._fp_bits, seed)
         return fps, i1, self._alt_index_np(i1, fps)
 
-    def insert_batch(self, items: Sequence[bytes]) -> None:
+    def _insert_batch(self, items: Sequence[bytes]) -> None:
         if np is None or len(items) < VECTOR_MIN_BATCH:
-            return super().insert_batch(items)
+            return super()._insert_batch(items)
         fps, i1s, i2s = self._batch_candidates(items)
         table = self._table
         bucket_size = self._bucket_size
@@ -218,9 +224,9 @@ class VacuumFilter(AMQFilter):
                 exc.inserted_count = index
                 raise
 
-    def contains_batch(self, items: Sequence[bytes]) -> List[bool]:
+    def _contains_batch(self, items: Sequence[bytes]) -> List[bool]:
         if np is None or len(items) < VECTOR_MIN_BATCH:
-            return super().contains_batch(items)
+            return super()._contains_batch(items)
         fps, i1, i2 = self._batch_candidates(items)
         buckets = np.array(self._table, dtype=np.uint64).reshape(
             self._num_buckets, self._bucket_size
@@ -230,9 +236,9 @@ class VacuumFilter(AMQFilter):
         hit |= (buckets[i2.astype(np.intp)] == want).any(axis=1)
         return hit.tolist()
 
-    def delete_batch(self, items: Sequence[bytes]) -> List[bool]:
+    def _delete_batch(self, items: Sequence[bytes]) -> List[bool]:
         if np is None or len(items) < VECTOR_MIN_BATCH:
-            return super().delete_batch(items)
+            return super()._delete_batch(items)
         fps, i1s, i2s = self._batch_candidates(items)
         table = self._table
         bucket_size = self._bucket_size
@@ -254,14 +260,14 @@ class VacuumFilter(AMQFilter):
             out.append(removed)
         return out
 
-    def contains(self, item: bytes) -> bool:
+    def _contains(self, item: bytes) -> bool:
         fp = self._fingerprint(item)
         i1 = self._index1(item)
         if self._bucket_contains(i1, fp):
             return True
         return self._bucket_contains(self._alt_index(i1, fp), fp)
 
-    def delete(self, item: bytes) -> bool:
+    def _delete(self, item: bytes) -> bool:
         fp = self._fingerprint(item)
         i1 = self._index1(item)
         if self._bucket_delete(i1, fp):

@@ -146,7 +146,7 @@ class XorFilter(AMQFilter):
 
     # -- AMQFilter interface ---------------------------------------------------------
 
-    def insert(self, item: bytes) -> None:
+    def _insert(self, item: bytes) -> None:
         if len(self._items) >= self.capacity:
             raise FilterFullError(
                 f"xor filter at provisioned capacity {self.capacity}"
@@ -155,18 +155,18 @@ class XorFilter(AMQFilter):
         self._count += 1
         self._dirty = True
 
-    def contains(self, item: bytes) -> bool:
+    def _contains(self, item: bytes) -> bool:
         if self._dirty:
             self._rebuild()
         h0, h1, h2, fp = self._hashes(item, self._construction_seed)
         return (self._table[h0] ^ self._table[h1] ^ self._table[h2]) == fp
 
-    def delete(self, item: bytes) -> bool:
+    def _delete(self, item: bytes) -> bool:
         raise self._deletion_unsupported()
 
     # -- batch overrides -------------------------------------------------------
 
-    def insert_batch(self, items: Sequence[bytes]) -> None:
+    def _insert_batch(self, items: Sequence[bytes]) -> None:
         """Buffered bulk insert: one capacity check and one dirty mark for
         the whole batch; the (expensive) rebuild happens on first query."""
         allowed = self.capacity - len(self._items)
@@ -181,11 +181,11 @@ class XorFilter(AMQFilter):
                 inserted_count=len(accepted),
             )
 
-    def contains_batch(self, items: Sequence[bytes]) -> List[bool]:
+    def _contains_batch(self, items: Sequence[bytes]) -> List[bool]:
         if self._dirty:
             self._rebuild()
         if np is None or len(items) < VECTOR_MIN_BATCH:
-            return super().contains_batch(items)
+            return super()._contains_batch(items)
         u64 = np.uint64
         base = hash64_np(
             items, self._params.seed ^ (self._construction_seed * 0x9E37)

@@ -249,7 +249,37 @@ def build_parser() -> argparse.ArgumentParser:
             "(0 = all cores, 1 = serial; results are identical either way)"
         ),
     )
+    parser.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help=(
+            "enable the observability registry and write its final state "
+            "to PATH (.prom/.txt: Prometheus text; anything else: "
+            "repro.obs/v1 JSON)"
+        ),
+    )
     return parser
+
+
+def _export_metrics(path: str) -> None:
+    from repro.obs.export import write_metrics
+    from repro.runtime import artifacts
+
+    from repro import obs
+
+    reg = obs.registry()
+    if reg is None:  # pragma: no cover - guarded by the caller
+        return
+    # Publish end-of-run artifact-cache totals as gauges (per-process
+    # state; excluded from the serial-vs-parallel determinism contract
+    # like the runtime.artifacts.* counters).
+    for name, stats in artifacts.stats().items():
+        labels = (("cache", name),)
+        reg.set_gauge("runtime.artifacts.cache_hits", stats["hits"], labels)
+        reg.set_gauge("runtime.artifacts.cache_misses", stats["misses"], labels)
+        if "size" in stats:
+            reg.set_gauge("runtime.artifacts.cache_size", stats["size"], labels)
+    fmt = write_metrics(path, obs.snapshot())
+    print(f"[metrics: {fmt} export written to {path}]", file=sys.stderr)
 
 
 def main(argv=None) -> int:
@@ -264,13 +294,28 @@ def main(argv=None) -> int:
         names = sorted(n for n in ARTIFACTS if n != "report")
     else:
         names = [args.artifact]
-    for i, name in enumerate(names):
-        if i:
-            print("\n" + "=" * 78 + "\n")
-        start = time.perf_counter()
-        ARTIFACTS[name](args)
-        if args.artifact == "all":
-            print(f"\n[{name} done in {time.perf_counter() - start:.1f}s]")
+    metrics_out = getattr(args, "metrics_out", None)
+    was_enabled = False
+    if metrics_out:
+        from repro import obs
+
+        was_enabled = obs.enabled()
+        obs.enable()
+    try:
+        for i, name in enumerate(names):
+            if i:
+                print("\n" + "=" * 78 + "\n")
+            start = time.perf_counter()
+            ARTIFACTS[name](args)
+            if args.artifact == "all":
+                print(f"\n[{name} done in {time.perf_counter() - start:.1f}s]")
+        if metrics_out:
+            _export_metrics(metrics_out)
+    finally:
+        if metrics_out and not was_enabled:
+            from repro import obs
+
+            obs.disable()
     return 0
 
 

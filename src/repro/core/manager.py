@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro import obs
 from repro.amq import AMQFilter, FilterParams, canonical_params
 from repro.amq.serialization import filter_class_for_name
 from repro.core.cache import ICACache
@@ -55,6 +56,7 @@ class FilterManager:
         # organic single adds report identical inserts/version totals.
         self.inserts += len(certs)
         self.version += len(certs)
+        obs.inc("core.filter_manager.inserts", len(certs))
         try:
             self._filter.insert_batch([cert.fingerprint() for cert in certs])
         except FilterFullError:
@@ -65,6 +67,7 @@ class FilterManager:
     def _on_remove(self, cert: Certificate) -> None:
         self.deletes += 1
         self.version += 1
+        obs.inc("core.filter_manager.deletes")
         if self._filter.supports_deletion:
             self._filter.delete(cert.fingerprint())
         else:
@@ -77,6 +80,7 @@ class FilterManager:
     def _rebuild(self, capacity: Optional[int] = None) -> None:
         self.rebuilds += 1
         self.version += 1
+        obs.inc("core.filter_manager.rebuilds")
         needed = max(len(self._cache), 1)
         new_capacity = capacity or max(
             self._plan.params.capacity, int(needed * 1.25) + 8

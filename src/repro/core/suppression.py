@@ -12,6 +12,7 @@ from __future__ import annotations
 import hashlib
 from typing import Dict, Optional, Set
 
+from repro import obs
 from repro.amq import AMQFilter
 from repro.core.cache import ICACache
 from repro.core.extension import build_extension_payload, parse_extension_payload
@@ -123,6 +124,7 @@ class ServerSuppressor:
             filt: Optional[AMQFilter] = parse_extension_payload(payload)
         except FilterSerializationError:
             self.malformed_payloads += 1
+            obs.inc("core.suppressor.malformed_payloads")
             filt = None
         if len(self._filters) >= self._max_cached:
             # Drop the oldest entry (insertion-ordered dict).
@@ -147,4 +149,8 @@ class ServerSuppressor:
             if hit:
                 self.hits += 1
                 suppressed.add(fp)
+        reg = obs.registry()
+        if reg is not None:
+            reg.inc("core.suppressor.lookups", len(fingerprints))
+            reg.inc("core.suppressor.hits", len(suppressed))
         return suppressed

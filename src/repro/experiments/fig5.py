@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.analysis.regression import LinearFit, linear_fit
 from repro.analysis.tables import format_table
 from repro.core.estimator import crypto_cpu_seconds
@@ -136,7 +137,7 @@ def data_volume(
         if n >= 2
         else (reductions[0], reductions[0])
     )
-    return DataVolumeResult(
+    volume = DataVolumeResult(
         rows=rows,
         mean_reduction=sum(reductions) / n,
         reduction_ci95=ci,
@@ -144,6 +145,20 @@ def data_volume(
         mean_false_positives=sum(r.false_positives for r in results) / n,
         mean_unique_destinations=sum(r.unique_destinations for r in results) / n,
     )
+    reg = obs.registry()
+    if reg is not None:
+        for row in volume.rows:
+            reg.set_gauge(
+                "experiments.fig5.mb_saved",
+                row.mb_saved,
+                (("algorithm", row.algorithm),),
+            )
+        reg.set_gauge("experiments.fig5.mean_reduction", volume.mean_reduction)
+        reg.set_gauge("experiments.fig5.mean_known_rate", volume.mean_known_rate)
+        reg.set_gauge(
+            "experiments.fig5.mean_false_positives", volume.mean_false_positives
+        )
+    return volume
 
 
 def format_data_volume(result: DataVolumeResult) -> str:

@@ -91,7 +91,10 @@ def summarize(values: Sequence[float]) -> Summary:
     ordered = sorted(values)
     n = len(ordered)
     mean = sum(ordered) / n
-    var = sum((v - mean) ** 2 for v in ordered) / n if n > 1 else 0.0
+    # Sample variance (Bessel's correction): these are always summaries of
+    # a sample of simulated handshakes, never the full population. A
+    # single observation has no spread estimate; report 0.0.
+    var = sum((v - mean) ** 2 for v in ordered) / (n - 1) if n > 1 else 0.0
     return Summary(
         count=n,
         mean=mean,

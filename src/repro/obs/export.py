@@ -1,0 +1,170 @@
+"""Exporters: registry snapshot -> JSON document / Prometheus text.
+
+The JSON document is the stable interchange format (schema
+``repro.obs/v1``, checked into ``metrics_schema.json`` next to this
+module): three sorted lists of ``{name, labels, value | stats}`` entries,
+so two exports of equal registries are byte-identical files — which is
+what lets CI diff a serial run's export against a ``--jobs 2`` run's.
+
+The Prometheus text format is a rendering of the same snapshot for
+scrape-style tooling; metric names are sanitized (``.``/``-`` become
+``_``) and label values escaped per the exposition format.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Tuple
+
+from repro.obs.registry import Labels, MetricKey
+
+SCHEMA_ID = "repro.obs/v1"
+
+#: Counter-name prefixes excluded from the serial-vs-parallel determinism
+#: contract: artifact-cache hits and misses depend on per-process cache
+#: state (a cold worker misses where the warm serial process hits), so
+#: they are real telemetry but not comparable across job counts.
+NONDETERMINISTIC_PREFIXES = ("runtime.artifacts.",)
+
+
+def _labels_dict(labels: Labels) -> Dict[str, str]:
+    return {key: str(value) for key, value in labels}
+
+
+def _sort_key(entry: Dict[str, Any]) -> Tuple[str, str]:
+    return (entry["name"], json.dumps(entry["labels"], sort_keys=True))
+
+
+def to_json_doc(snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    """Render a registry snapshot (``obs.snapshot()``) as the schema'd
+    JSON document."""
+    counters = [
+        {"name": name, "labels": _labels_dict(labels), "value": value}
+        for (name, labels), value in snapshot.get("counters", {}).items()
+    ]
+    gauges = [
+        {"name": name, "labels": _labels_dict(labels), "value": value}
+        for (name, labels), value in snapshot.get("gauges", {}).items()
+    ]
+    histograms = [
+        {
+            "name": name,
+            "labels": _labels_dict(labels),
+            "count": count,
+            "sum": total,
+            "min": minimum,
+            "max": maximum,
+        }
+        for (name, labels), (count, total, minimum, maximum, _samples)
+        in snapshot.get("histograms", {}).items()
+    ]
+    return {
+        "schema": SCHEMA_ID,
+        "counters": sorted(counters, key=_sort_key),
+        "gauges": sorted(gauges, key=_sort_key),
+        "histograms": sorted(histograms, key=_sort_key),
+    }
+
+
+def to_json_text(snapshot: Dict[str, Any]) -> str:
+    return json.dumps(to_json_doc(snapshot), indent=2, sort_keys=True) + "\n"
+
+
+def _prom_name(name: str) -> str:
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch == "_" else "_")
+    sanitized = "".join(out)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _prom_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    rendered = ",".join(
+        f'{_prom_name(key)}="{_escape_label_value(value)}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + rendered + "}"
+
+
+def to_prometheus_text(snapshot: Dict[str, Any]) -> str:
+    """Prometheus exposition-format rendering of the snapshot. Counters
+    get a ``_total`` suffix; histograms export ``_count``/``_sum`` plus
+    min/max gauges (the bounded reservoir is not exported)."""
+    doc = to_json_doc(snapshot)
+    lines: List[str] = []
+    seen_types = set()
+
+    def _type_line(name: str, kind: str) -> None:
+        if name not in seen_types:
+            seen_types.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for entry in doc["counters"]:
+        name = _prom_name(entry["name"]) + "_total"
+        _type_line(name, "counter")
+        lines.append(f"{name}{_prom_labels(entry['labels'])} {entry['value']}")
+    for entry in doc["gauges"]:
+        name = _prom_name(entry["name"])
+        _type_line(name, "gauge")
+        lines.append(f"{name}{_prom_labels(entry['labels'])} {entry['value']}")
+    for entry in doc["histograms"]:
+        base = _prom_name(entry["name"])
+        labels = _prom_labels(entry["labels"])
+        _type_line(base, "summary")
+        lines.append(f"{base}_count{labels} {entry['count']}")
+        lines.append(f"{base}_sum{labels} {entry['sum']}")
+        lines.append(f"{base}_min{labels} {entry['min']}")
+        lines.append(f"{base}_max{labels} {entry['max']}")
+    return "\n".join(lines) + "\n"
+
+
+def write_metrics(path: str, snapshot: Dict[str, Any]) -> str:
+    """Write the snapshot to ``path``; ``.prom``/``.txt`` extensions get
+    Prometheus text, anything else the JSON document. Returns the format
+    written ('prometheus' or 'json')."""
+    lowered = path.lower()
+    if lowered.endswith((".prom", ".txt")):
+        text, fmt = to_prometheus_text(snapshot), "prometheus"
+    else:
+        text, fmt = to_json_text(snapshot), "json"
+    with open(path, "w") as fh:
+        fh.write(text)
+    return fmt
+
+
+def deterministic_counters(doc_or_snapshot: Dict[str, Any]) -> Dict[str, int]:
+    """The counters covered by the serial-vs-parallel determinism
+    contract, flattened to ``name{k=v,...} -> value``. Accepts either a
+    registry snapshot or an exported JSON document. Artifact-cache
+    counters (see :data:`NONDETERMINISTIC_PREFIXES`) are excluded;
+    histograms (which include wall-clock span timings) never participate.
+    """
+    if "schema" in doc_or_snapshot:
+        entries = [
+            ((e["name"], tuple(sorted(e["labels"].items()))), e["value"])
+            for e in doc_or_snapshot.get("counters", [])
+        ]
+    else:
+        entries = [
+            ((name, tuple(sorted(labels))), value)
+            for (name, labels), value in doc_or_snapshot.get(
+                "counters", {}
+            ).items()
+        ]
+    out: Dict[str, int] = {}
+    for (name, labels), value in entries:
+        if name.startswith(NONDETERMINISTIC_PREFIXES):
+            continue
+        rendered = ",".join(f"{k}={v}" for k, v in labels)
+        out[f"{name}{{{rendered}}}"] = value
+    return out

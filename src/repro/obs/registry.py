@@ -1,0 +1,182 @@
+"""The metrics registry: counters, gauges, bounded histograms.
+
+A :class:`MetricsRegistry` is a plain in-process store keyed by
+``(metric name, labels)`` where labels are a tuple of ``(key, value)``
+pairs. Three metric families cover what the experiments need:
+
+* **counters** — monotone integers (handshake attempts, AMQ ops,
+  false-positive retries). ``merge`` adds them, so per-item snapshots
+  recombine into exactly the totals a serial run would have counted.
+* **gauges** — last-written values (configured epsilon, bytes-saved
+  totals, cache hit ratios at export time). ``merge`` is last-write-wins
+  in merge order.
+* **histograms** — count/sum/min/max plus a bounded reservoir of the
+  first ``RESERVOIR_CAP`` observations (deterministic, no sampling RNG).
+  ``merge`` appends the incoming reservoir in order and re-caps, so
+  merging per-item snapshots in item order is reproducible.
+
+Everything in a registry (and in its :meth:`~MetricsRegistry.snapshot`)
+is picklable built-in types, which is what lets
+:mod:`repro.runtime.parallel` ship per-item metric deltas back from
+worker processes and merge them in item order. The registry is not
+thread-safe; the experiment engine is process-parallel, never
+thread-parallel.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+LabelPair = Tuple[str, str]
+Labels = Tuple[LabelPair, ...]
+MetricKey = Tuple[str, Labels]
+
+#: Bound on stored histogram observations. The first N samples are kept
+#: verbatim (deterministic across runs); count/sum/min/max always cover
+#: every observation.
+RESERVOIR_CAP = 512
+
+
+def _normalize_labels(labels: Union[Labels, Iterable[LabelPair]]) -> Labels:
+    """Labels enter as a tuple of (key, value) pairs; call sites on hot
+    paths precompute the tuple so this is a no-op there."""
+    if isinstance(labels, tuple):
+        return labels
+    return tuple(labels)
+
+
+class Histogram:
+    """count/sum/min/max plus the first ``RESERVOIR_CAP`` samples."""
+
+    __slots__ = ("count", "total", "minimum", "maximum", "samples")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+        self.samples: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        if len(self.samples) < RESERVOIR_CAP:
+            self.samples.append(value)
+
+    def state(self) -> Tuple[int, float, float, float, List[float]]:
+        return (
+            self.count,
+            self.total,
+            self.minimum,
+            self.maximum,
+            list(self.samples),
+        )
+
+    def merge_state(
+        self, state: Tuple[int, float, float, float, List[float]]
+    ) -> None:
+        count, total, minimum, maximum, samples = state
+        self.count += count
+        self.total += total
+        if minimum < self.minimum:
+            self.minimum = minimum
+        if maximum > self.maximum:
+            self.maximum = maximum
+        room = RESERVOIR_CAP - len(self.samples)
+        if room > 0:
+            self.samples.extend(samples[:room])
+
+
+class MetricsRegistry:
+    """Process-local metric store (see module docstring)."""
+
+    __slots__ = ("_counters", "_gauges", "_histograms", "events")
+
+    def __init__(self) -> None:
+        self._counters: Dict[MetricKey, int] = {}
+        self._gauges: Dict[MetricKey, float] = {}
+        self._histograms: Dict[MetricKey, Histogram] = {}
+        #: Recording calls served by this registry instance — the number
+        #: of instrumentation events the hot paths fired while enabled.
+        #: Process-local: deliberately absent from snapshots and merges
+        #: (the benchmark uses it to price what the same events would
+        #: cost with the registry disabled).
+        self.events = 0
+
+    # -- recording -----------------------------------------------------------
+
+    def inc(self, name: str, value: int = 1, labels: Labels = ()) -> None:
+        self.events += 1
+        key = (name, _normalize_labels(labels))
+        self._counters[key] = self._counters.get(key, 0) + value
+
+    def set_gauge(self, name: str, value: float, labels: Labels = ()) -> None:
+        self.events += 1
+        self._gauges[(name, _normalize_labels(labels))] = value
+
+    def observe(self, name: str, value: float, labels: Labels = ()) -> None:
+        self.events += 1
+        key = (name, _normalize_labels(labels))
+        hist = self._histograms.get(key)
+        if hist is None:
+            hist = self._histograms[key] = Histogram()
+        hist.observe(value)
+
+    # -- reading -------------------------------------------------------------
+
+    def counter(self, name: str, labels: Labels = ()) -> int:
+        return self._counters.get((name, _normalize_labels(labels)), 0)
+
+    def gauge(self, name: str, labels: Labels = ()) -> Optional[float]:
+        return self._gauges.get((name, _normalize_labels(labels)))
+
+    def histogram(self, name: str, labels: Labels = ()) -> Optional[Histogram]:
+        return self._histograms.get((name, _normalize_labels(labels)))
+
+    def counters_with_name(self, name: str) -> Dict[Labels, int]:
+        """Every labeled series of counter ``name``."""
+        return {
+            labels: value
+            for (n, labels), value in self._counters.items()
+            if n == name
+        }
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    # -- snapshot / merge ------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A picklable copy of every metric (ships across process
+        boundaries and feeds the exporters)."""
+        return {
+            "counters": dict(self._counters),
+            "gauges": dict(self._gauges),
+            "histograms": {
+                key: hist.state() for key, hist in self._histograms.items()
+            },
+        }
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        """Fold a snapshot in: counters add, gauges overwrite, histograms
+        append their reservoirs in order. Merging per-item snapshots in
+        item order therefore yields identical registries whether the
+        items ran serially or sharded across workers."""
+        for key, value in snapshot.get("counters", {}).items():
+            self._counters[key] = self._counters.get(key, 0) + value
+        self._gauges.update(snapshot.get("gauges", {}))
+        for key, state in snapshot.get("histograms", {}).items():
+            hist = self._histograms.get(key)
+            if hist is None:
+                hist = self._histograms[key] = Histogram()
+            hist.merge_state(state)
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        self.events = 0

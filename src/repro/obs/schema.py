@@ -1,0 +1,95 @@
+"""The checked-in export schema and a dependency-free validator.
+
+``metrics_schema.json`` (shipped as package data next to this module) is
+the contract for ``repro.obs/v1`` JSON exports; CI validates every
+export against it. The validator below implements exactly the JSON
+Schema subset that file uses — ``type``, ``const``, ``required``,
+``properties``, ``additionalProperties``, ``items`` — so validation
+works in environments without the ``jsonschema`` package (the CI image
+installs only ``.[test]``). When ``jsonschema`` *is* importable, it is
+run as well, so the subset validator can never silently drift from the
+real semantics.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List
+
+SCHEMA_PATH = os.path.join(os.path.dirname(__file__), "metrics_schema.json")
+
+
+def load_schema() -> Dict[str, Any]:
+    with open(SCHEMA_PATH) as fh:
+        return json.load(fh)
+
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    # bool is an int subclass in Python; JSON Schema says it is neither.
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def _validate(value: Any, schema: Dict[str, Any], path: str, errors: List[str]) -> None:
+    if "const" in schema and value != schema["const"]:
+        errors.append(f"{path}: expected const {schema['const']!r}, got {value!r}")
+        return
+    expected_type = schema.get("type")
+    if expected_type is not None and not _TYPE_CHECKS[expected_type](value):
+        errors.append(
+            f"{path}: expected {expected_type}, got {type(value).__name__}"
+        )
+        return
+    if isinstance(value, dict):
+        for name in schema.get("required", ()):
+            if name not in value:
+                errors.append(f"{path}: missing required property {name!r}")
+        properties = schema.get("properties", {})
+        additional = schema.get("additionalProperties", True)
+        for name, item in value.items():
+            if name in properties:
+                _validate(item, properties[name], f"{path}.{name}", errors)
+            elif isinstance(additional, dict):
+                _validate(item, additional, f"{path}.{name}", errors)
+            elif additional is False:
+                errors.append(f"{path}: unexpected property {name!r}")
+    elif isinstance(value, list):
+        item_schema = schema.get("items")
+        if item_schema is not None:
+            for index, item in enumerate(value):
+                _validate(item, item_schema, f"{path}[{index}]", errors)
+
+
+def validation_errors(doc: Any, schema: Dict[str, Any] = None) -> List[str]:
+    """Schema violations in ``doc`` ([] when valid)."""
+    if schema is None:
+        schema = load_schema()
+    errors: List[str] = []
+    _validate(doc, schema, "$", errors)
+    if not errors:
+        try:
+            import jsonschema  # optional cross-check, never required
+        except ImportError:
+            pass
+        else:
+            try:
+                jsonschema.validate(doc, schema)
+            except jsonschema.ValidationError as exc:  # pragma: no cover
+                errors.append(f"jsonschema: {exc.message}")
+    return errors
+
+
+def validate_export(doc: Any) -> None:
+    """Raise ``ValueError`` when ``doc`` violates the v1 export schema."""
+    errors = validation_errors(doc)
+    if errors:
+        raise ValueError(
+            "metrics export fails schema validation:\n  " + "\n  ".join(errors)
+        )

@@ -23,10 +23,12 @@ unusable on the platform — the same call runs serially in-process.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import os
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.errors import SimulationError
 
 
@@ -99,6 +101,51 @@ def _bootstrap_worker(
     _BOOTSTRAPPED[os.getpid()] = True
 
 
+def run_metered(fn: Callable[[Any], Any], item: Any) -> Tuple[Any, Dict[str, Any]]:
+    """Run one work item inside a fresh metrics scope.
+
+    Returns ``(fn(item), snapshot)`` where the snapshot holds exactly the
+    metrics the item recorded — plus this item's artifact-cache hit/miss
+    deltas as ``runtime.artifacts.{hits,misses}{cache=...}`` counters.
+    Because :func:`repro.obs.scoped` isolates the item whether or not the
+    process had metrics enabled (workers fork-inherit the parent's
+    registry state), a serial loop and a pool worker capture identical
+    per-item deltas, which is what makes merging deterministic.
+    """
+    from repro.runtime import artifacts
+
+    before = artifacts.stats()
+    with obs.scoped() as reg:
+        result = fn(item)
+    after = artifacts.stats()
+    for name, stats in after.items():
+        prior = before.get(name, {})
+        hits = stats.get("hits", 0) - prior.get("hits", 0)
+        misses = stats.get("misses", 0) - prior.get("misses", 0)
+        if hits:
+            reg.inc("runtime.artifacts.hits", hits, (("cache", name),))
+        if misses:
+            reg.inc("runtime.artifacts.misses", misses, (("cache", name),))
+    return result, reg.snapshot()
+
+
+def _metered_call(fn: Callable[[Any], Any], item: Any) -> Tuple[Any, Dict[str, Any]]:
+    """Module-level (hence picklable via ``functools.partial``) wrapper
+    pools map instead of ``fn`` when ``metered=True``."""
+    return run_metered(fn, item)
+
+
+def _merge_metered(pairs: List[Tuple[Any, Dict[str, Any]]]) -> List[Any]:
+    """Fold per-item snapshots into the parent registry **in item order**
+    (counter merges commute, but histogram reservoirs are order-sensitive)
+    and return the bare results."""
+    results = []
+    for result, snap in pairs:
+        obs.merge(snap)
+        results.append(result)
+    return results
+
+
 def _pool_context():
     """Prefer fork (cheap worker start, inherits warm caches); fall back
     to the platform default where fork does not exist."""
@@ -119,18 +166,26 @@ def parallel_map(
     initargs: Sequence[Any] = (),
     shipped_caches: Optional[Dict[str, List[Tuple[Any, Any]]]] = None,
     chunksize: Optional[int] = None,
+    metered: bool = False,
 ) -> List[Any]:
     """Map ``fn`` over ``items`` on ``jobs`` processes, results ordered.
 
     ``fn``, ``initializer`` and every item must be picklable module-level
     objects. ``chunksize`` defaults to a round-robin-ish split that keeps
     every worker busy without starving the tail.
+
+    With ``metered=True`` each item runs through :func:`run_metered`; the
+    per-item metric snapshots ship back with the results and are merged
+    into this process's registry in item order, so the merged counters are
+    identical for every ``jobs`` value.
     """
     items = list(items)
     jobs = resolve_jobs(jobs)
     jobs = min(jobs, max(1, len(items)))
+    mapped_fn = functools.partial(_metered_call, fn) if metered else fn
     if jobs <= 1 or len(items) <= 1:
-        return _serial_map(fn, items, initializer, initargs, shipped_caches)
+        out = _serial_map(mapped_fn, items, initializer, initargs, shipped_caches)
+        return _merge_metered(out) if metered else out
 
     try:
         from concurrent.futures import ProcessPoolExecutor
@@ -138,7 +193,8 @@ def parallel_map(
 
         context = _pool_context()
     except (ImportError, OSError, ValueError):
-        return _serial_map(fn, items, initializer, initargs, shipped_caches)
+        out = _serial_map(mapped_fn, items, initializer, initargs, shipped_caches)
+        return _merge_metered(out) if metered else out
 
     if chunksize is None:
         chunksize = max(1, len(items) // (jobs * 4))
@@ -149,7 +205,8 @@ def parallel_map(
         initargs=(shipped_caches, initializer, tuple(initargs)),
     )
     try:
-        return list(executor.map(fn, items, chunksize=chunksize))
+        out = list(executor.map(mapped_fn, items, chunksize=chunksize))
+        return _merge_metered(out) if metered else out
     except BrokenProcessPool as exc:
         raise WorkerCrashError(
             f"a worker process died while mapping {getattr(fn, '__name__', fn)!r} "

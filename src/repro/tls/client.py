@@ -14,6 +14,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
+from repro import obs
 from repro.errors import (
     ChainValidationError,
     DecodeError,
@@ -203,17 +204,24 @@ class TLSClient:
             chain = complete_path(
                 transmitted, self.config.issuer_lookup, self.config.trust_store
             )
+        except ChainValidationError as exc:
+            # If we advertised a filter, an incompletable path is the
+            # paper's false-positive signature: retry without suppression.
+            # Only *path completion* failures set needs_retry — a chain
+            # that reassembles fine but fails validation (expiry, broken
+            # signature, untrusted root) is not a suppression artifact.
+            obs.inc("tls.client.path_incomplete")
+            return ClientResult(
+                False, needs_retry=advertised, failure_reason=str(exc)
+            )
+        try:
             chain.validate(
                 self.config.trust_store,
                 at_time=self.config.at_time,
                 revocation=self.config.revocation,
             )
         except ChainValidationError as exc:
-            # If we advertised a filter, an incompletable path is the
-            # paper's false-positive signature: retry without suppression.
-            return ClientResult(
-                False, needs_retry=advertised, failure_reason=str(exc)
-            )
+            return ClientResult(False, failure_reason=str(exc))
         except RevocationError as exc:
             return ClientResult(False, failure_reason=str(exc))
         if chain.leaf.subject != self.config.hostname:

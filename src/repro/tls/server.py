@@ -16,6 +16,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Set
 
+from repro import obs
 from repro.errors import (
     ChainValidationError,
     DecodeError,
@@ -102,6 +103,10 @@ class ServerFlightResult:
     certificate_payload_bytes: int
     ica_bytes_sent: int
     ica_bytes_suppressed: int
+    #: Chain ICAs omitted from the Certificate message — the count the
+    #: byte figures above derive from, reported together so per-attempt
+    #: accounting can never mix a zeroed count with nonzero bytes.
+    ica_suppressed_count: int = 0
 
 
 class TLSServer:
@@ -199,17 +204,27 @@ class TLSServer:
         self._schedule.update_transcript(fin_bytes)
         self._sent_flight = True
 
-        sent_ica = sum(
-            ica.size_bytes()
-            for ica in chain.intermediates
-            if ica.fingerprint() not in suppressed
-        )
+        sent_ica = 0
+        suppressed_count = 0
+        for ica in chain.intermediates:
+            if ica.fingerprint() in suppressed:
+                suppressed_count += 1
+            else:
+                sent_ica += ica.size_bytes()
+        reg = obs.registry()
+        if reg is not None:
+            reg.inc("tls.server.flights")
+            reg.inc("tls.server.icas_suppressed", suppressed_count)
+            reg.inc(
+                "tls.server.ica_bytes_suppressed", chain.ica_bytes() - sent_ica
+            )
         return ServerFlightResult(
             flight=sh_bytes + ee_bytes + cr_bytes + cert_bytes + cv_bytes + fin_bytes,
             suppressed_fingerprints=suppressed,
             certificate_payload_bytes=cert_msg.certificate_payload_bytes(),
             ica_bytes_sent=sent_ica,
             ica_bytes_suppressed=chain.ica_bytes() - sent_ica,
+            ica_suppressed_count=suppressed_count,
         )
 
     def _certificate_message(
@@ -289,17 +304,24 @@ class TLSServer:
             chain = complete_path(
                 transmitted, self.config.client_issuer_lookup, store
             )
+        except ChainValidationError as exc:
+            # Only a path that cannot be *reassembled* is the client-side
+            # over-suppression signature; validation failures on a complete
+            # chain never warrant a retry.
+            obs.inc("tls.server.client_path_incomplete")
+            return ClientAuthVerdict(
+                ok=False,
+                needs_retry=advertised,
+                reason=f"client-auth: {exc}",
+            )
+        try:
             chain.validate(
                 store,
                 at_time=self.config.at_time,
                 revocation=self.config.client_revocation,
             )
         except ChainValidationError as exc:
-            return ClientAuthVerdict(
-                ok=False,
-                needs_retry=advertised,
-                reason=f"client-auth: {exc}",
-            )
+            return ClientAuthVerdict(ok=False, reason=f"client-auth: {exc}")
         except RevocationError as exc:
             return ClientAuthVerdict(ok=False, reason=f"client-auth: {exc}")
         self._schedule.update_transcript(cert_msg.encode())

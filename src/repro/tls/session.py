@@ -13,6 +13,7 @@ import enum
 from dataclasses import dataclass, field, replace
 from typing import List, Optional
 
+from repro import obs
 from repro.errors import HandshakeError
 from repro.tls.client import ClientConfig, TLSClient
 from repro.tls.record import wire_size
@@ -23,6 +24,29 @@ class HandshakeOutcome(enum.Enum):
     COMPLETED = "completed"
     COMPLETED_AFTER_RETRY = "completed-after-retry"
     FAILED = "failed"
+
+
+class RetryCause(enum.Enum):
+    """Typed discriminator for why an attempt warrants a plain retry.
+
+    Set from the stage that *detected* the failure — the client path
+    builder (server over-suppressed the Certificate message) or the
+    server's client-certificate verifier (mTLS: the client over-suppressed
+    its own chain) — never inferred from failure-reason text.
+    """
+
+    #: The client's advertised filter false-positived on a chain ICA, so
+    #: the server omitted an ICA the client cannot recover locally.
+    SERVER_SUPPRESSION_FP = "server-fp"
+    #: mTLS: the server's advertised filter false-positived on the
+    #: client's own chain, so the client over-suppressed itself.
+    CLIENT_AUTH_FP = "client-auth-fp"
+
+
+_OUTCOME_LABELS = {
+    outcome: (("outcome", outcome.value),) for outcome in HandshakeOutcome
+}
+_RETRY_LABELS = {cause: (("cause", cause.value),) for cause in RetryCause}
 
 
 @dataclass(frozen=True)
@@ -44,6 +68,8 @@ class AttemptTrace:
     client_auth_ica_bytes_sent: int = 0
     client_auth_ica_bytes_suppressed: int = 0
     client_auth_suppressed_count: int = 0
+    #: Why this attempt is retryable; None for successes and hard failures.
+    retry_cause: Optional[RetryCause] = None
 
     @property
     def total_bytes(self) -> int:
@@ -123,9 +149,12 @@ def _run_attempt(
     client = TLSClient(client_config)
     server = TLSServer(server_config)
 
-    hello = client.create_client_hello()
-    flight: ServerFlightResult = server.process_client_hello(hello)
-    result = client.process_server_flight(flight.flight)
+    with obs.span("tls.client.hello"):
+        hello = client.create_client_hello()
+    with obs.span("tls.server.flight"):
+        flight: ServerFlightResult = server.process_client_hello(hello)
+    with obs.span("tls.client.process_flight"):
+        result = client.process_server_flight(flight.flight)
 
     staple_bytes = (
         server_config.ocsp_staple.size_bytes() if server_config.ocsp_staple else 0
@@ -134,8 +163,10 @@ def _run_attempt(
     auth_bytes = flight.certificate_payload_bytes + staple_bytes + cv_sig_bytes
 
     succeeded = result.complete
+    retry_cause: Optional[RetryCause] = None
     if succeeded:
-        verdict = server.process_client_flight(result.client_finished)
+        with obs.span("tls.server.client_flight"):
+            verdict = server.process_client_flight(result.client_finished)
         if not verdict.ok:
             succeeded = False
             result = replace(
@@ -143,6 +174,10 @@ def _run_attempt(
                 failure_reason=verdict.reason or "client flight rejected",
                 needs_retry=verdict.needs_retry,
             )
+            if verdict.needs_retry:
+                retry_cause = RetryCause.CLIENT_AUTH_FP
+    elif result.needs_retry:
+        retry_cause = RetryCause.SERVER_SUPPRESSION_FP
 
     return AttemptTrace(
         client_hello_bytes=len(hello),
@@ -151,15 +186,31 @@ def _run_attempt(
         certificate_payload_bytes=flight.certificate_payload_bytes,
         auth_data_bytes=auth_bytes,
         ica_bytes_sent=flight.ica_bytes_sent,
+        # Both byte and count figures describe the attempt as the server
+        # executed it — a failed suppression attempt still omitted ICAs.
+        # HandshakeTrace's aggregates filter on ``succeeded``.
         ica_bytes_suppressed=flight.ica_bytes_suppressed,
-        suppressed_ica_count=result.suppressed_ica_count if succeeded else 0,
+        suppressed_ica_count=flight.ica_suppressed_count,
         used_suppression_extension=client_config.ica_filter_payload is not None,
         succeeded=succeeded,
         failure_reason=result.failure_reason,
         client_auth_ica_bytes_sent=result.own_ica_bytes_sent,
         client_auth_ica_bytes_suppressed=result.own_ica_bytes_suppressed,
         client_auth_suppressed_count=result.own_suppressed_ica_count,
+        retry_cause=retry_cause,
     )
+
+
+def _finish(trace: HandshakeTrace) -> HandshakeTrace:
+    reg = obs.registry()
+    if reg is not None:
+        reg.inc("tls.handshake.runs")
+        reg.inc("tls.handshake.attempts", len(trace.attempts))
+        reg.inc("tls.handshake.outcomes", 1, _OUTCOME_LABELS[trace.outcome])
+        cause = trace.attempts[0].retry_cause
+        if len(trace.attempts) > 1 and cause is not None:
+            reg.inc("tls.handshake.retries", 1, _RETRY_LABELS[cause])
+    return trace
 
 
 def run_handshake(
@@ -169,25 +220,25 @@ def run_handshake(
     the suppression attempt cannot complete the verification path."""
     first = _run_attempt(client_config, server_config)
     if first.succeeded:
-        return HandshakeTrace(HandshakeOutcome.COMPLETED, [first])
+        return _finish(HandshakeTrace(HandshakeOutcome.COMPLETED, [first]))
 
     # Two false-positive recoveries exist: the client's filter caused the
     # server to over-suppress (retry without the ClientHello extension),
     # or — under mutual TLS — the server's advertised filter caused the
     # *client* to over-suppress its own chain (retry without client-side
-    # suppression).
+    # suppression). The attempt carries a typed cause set by whichever
+    # stage detected the incompletable path; the config guards only keep
+    # us from "retrying without" a feature that was never on.
     server_fp = (
-        client_config.ica_filter_payload is not None
-        and "cannot complete path" in first.failure_reason
-        and not first.failure_reason.startswith("client-auth:")
+        first.retry_cause is RetryCause.SERVER_SUPPRESSION_FP
+        and client_config.ica_filter_payload is not None
     )
     client_fp = (
-        client_config.own_suppression_handler is not None
-        and first.failure_reason.startswith("client-auth:")
-        and "cannot complete path" in first.failure_reason
+        first.retry_cause is RetryCause.CLIENT_AUTH_FP
+        and client_config.own_suppression_handler is not None
     )
     if not server_fp and not client_fp:
-        return HandshakeTrace(HandshakeOutcome.FAILED, [first])
+        return _finish(HandshakeTrace(HandshakeOutcome.FAILED, [first]))
 
     plain_config = replace(
         client_config,
@@ -201,7 +252,9 @@ def run_handshake(
     )
     second = _run_attempt(plain_config, server_config)
     if second.succeeded:
-        return HandshakeTrace(
-            HandshakeOutcome.COMPLETED_AFTER_RETRY, [first, second]
+        return _finish(
+            HandshakeTrace(
+                HandshakeOutcome.COMPLETED_AFTER_RETRY, [first, second]
+            )
         )
-    return HandshakeTrace(HandshakeOutcome.FAILED, [first, second])
+    return _finish(HandshakeTrace(HandshakeOutcome.FAILED, [first, second]))

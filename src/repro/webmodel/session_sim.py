@@ -28,6 +28,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core.estimator import crypto_cpu_seconds
 from repro.core.suppression import ClientSuppressor, ServerSuppressor
 from repro.errors import SimulationError
@@ -41,7 +42,12 @@ from repro.pki.ocsp import OCSPStaple
 from repro.pki.sct import SignedCertificateTimestamp
 from repro.pki.store import IntermediatePreload
 from repro.runtime import artifacts
-from repro.runtime.parallel import derive_seed, parallel_map, resolve_jobs
+from repro.runtime.parallel import (
+    derive_seed,
+    parallel_map,
+    resolve_jobs,
+    run_metered,
+)
 from repro.tls.server import ServerConfig
 from repro.tls.session import HandshakeOutcome, run_handshake
 from repro.webmodel.browsing import BrowsingConfig, BrowsingModel
@@ -302,6 +308,10 @@ class BrowsingSessionSimulator:
         )
         self.server_suppressor = ServerSuppressor(max_cached_filters=8)
         self.trust_store = self.population.hierarchy.trust_store()
+        # ICAs genuinely in the client cache: lookups outside this set are
+        # the negative queries whose hit rate the configured filter fpp
+        # bounds (the FP-retry-rate-vs-eps check in the metrics export).
+        self._known_fps = frozenset(self.suppressor.cache.fingerprints())
         self._staples_cache: "OrderedDict[int, Tuple[Optional[OCSPStaple], list]]" = (
             OrderedDict()
         )
@@ -386,6 +396,9 @@ class BrowsingSessionSimulator:
             cfg.rtt_sigma,
             seed=derive_seed("session.rtt", cfg.seed, run_index),
         )
+        reg = obs.registry()
+        if reg is not None:
+            reg.inc("webmodel.session.runs")
         outcomes: List[DestinationOutcome] = []
         for i, rank in enumerate(destinations):
             credential = self.population.credential_for_rank(rank)
@@ -416,16 +429,35 @@ class BrowsingSessionSimulator:
             sent_first = (
                 first.ica_bytes_sent // ica_size if chain.num_icas else 0
             )
-            outcomes.append(
-                DestinationOutcome(
-                    rank=rank,
-                    num_icas=chain.num_icas,
-                    icas_sent_first=sent_first,
-                    suppressed_count=chain.num_icas - sent_first,
-                    false_positive=trace.false_positive,
-                    rtt_s=rtt_sampler.sample(),
-                )
+            outcome = DestinationOutcome(
+                rank=rank,
+                num_icas=chain.num_icas,
+                icas_sent_first=sent_first,
+                suppressed_count=chain.num_icas - sent_first,
+                false_positive=trace.false_positive,
+                rtt_s=rtt_sampler.sample(),
             )
+            outcomes.append(outcome)
+            if reg is not None:
+                reg.inc("webmodel.session.destinations")
+                reg.inc("webmodel.session.icas_encountered", chain.num_icas)
+                reg.inc("webmodel.session.icas_sent_total", outcome.icas_sent_total)
+                reg.inc(
+                    "webmodel.session.icas_suppressed_first",
+                    outcome.suppressed_count,
+                )
+                if outcome.false_positive:
+                    reg.inc("webmodel.session.false_positives")
+                # Negative queries against the filter on this path: the
+                # denominator of the observed-FP-rate-vs-eps check.
+                reg.inc(
+                    "webmodel.session.unknown_ica_probes",
+                    sum(
+                        1
+                        for fp in chain.ica_fingerprints()
+                        if fp not in self._known_fps
+                    ),
+                )
         return SessionResult(
             config=cfg,
             outcomes=outcomes,
@@ -449,8 +481,18 @@ class BrowsingSessionSimulator:
         with ``jobs=1``.
         """
         jobs = resolve_jobs(jobs)
+        metered = obs.enabled()
         if jobs <= 1 or runs <= 1:
-            return [self.run(i) for i in range(runs)]
+            if not metered:
+                return [self.run(i) for i in range(runs)]
+            # Capture per-run deltas through the same scoped/merge path a
+            # pool worker uses, so merged metrics match any jobs value.
+            results = []
+            for i in range(runs):
+                result, snap = run_metered(self.run, i)
+                obs.merge(snap)
+                results.append(result)
+            return results
         payload = _WorkerPayload(
             session_config=self.config,
             population_config=self.population.config,
@@ -464,6 +506,7 @@ class BrowsingSessionSimulator:
             initializer=_session_worker_init,
             initargs=(payload,),
             shipped_caches=artifacts.export_shippable(),
+            metered=metered,
         )
 
 

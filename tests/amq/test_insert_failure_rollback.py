@@ -1,0 +1,84 @@
+"""A failed kick-chain insert must leave the table byte-identical.
+
+Regression for a lossy-eviction bug the stateful suite caught
+intermittently: when two *distinct* items land on the same bucket pair
+and jointly saturate it, the next insert exhausts its kick budget and
+raises ``FilterFullError`` — but the old code dropped the in-hand
+fingerprint mid-chain, silently deleting a stored copy of some other
+item. Every later lookup of that item was a false negative, and the
+reference implementations' documented "lossy on failure" behaviour
+leaked into experiment results. The kick chain is a sequence of swaps,
+so the fix replays it in reverse: a failed insert now stores nothing
+and loses nothing.
+"""
+
+import pytest
+
+from repro.amq import CuckooFilter, FilterParams, VacuumFilter, canonical_params
+from repro.errors import FilterFullError
+
+PARAMS = canonical_params(
+    FilterParams(capacity=64, fpp=1e-2, load_factor=0.8, seed=221453161)
+)
+
+
+def _colliding_pair(filt):
+    """Two distinct items that hash to the same candidate bucket pair of
+    ``filt`` (with different fingerprints), found by deterministic scan."""
+    seen = {}
+    for i in range(200_000):
+        item = b"probe-%d" % i
+        fp = filt._fingerprint(item)
+        i1 = filt._index1(item)
+        pair = frozenset((i1, filt._alt_index(i1, fp)))
+        if len(pair) == 1:
+            continue  # self-partnered bucket: saturates at 4, not 8
+        prior = seen.get(pair)
+        if prior is not None and prior[1] != fp:
+            return prior[0], item
+        seen[pair] = (item, fp)
+    raise AssertionError("no colliding pair found (hashing changed?)")
+
+
+@pytest.fixture(params=[CuckooFilter, VacuumFilter], ids=["cuckoo", "vacuum"])
+def saturated(request):
+    """A filter whose next insert of ``x`` must exhaust its kick budget:
+    the bucket pair shared by ``x`` and ``y`` holds 4 copies of each."""
+    filt = request.param(PARAMS)
+    x, y = _colliding_pair(filt)
+    for item in (x, x, x, x, y, y, y, y):
+        filt.insert(item)
+    return filt, x, y
+
+
+class TestFailedInsertIsTransactional:
+    def test_raises_without_mutating_the_table(self, saturated):
+        filt, x, y = saturated
+        before_bytes = filt.to_bytes()
+        before_len = len(filt)
+        with pytest.raises(FilterFullError):
+            filt.insert(x)
+        assert filt.to_bytes() == before_bytes
+        assert len(filt) == before_len
+
+    def test_no_false_negative_after_failure(self, saturated):
+        filt, x, y = saturated
+        with pytest.raises(FilterFullError):
+            filt.insert(x)
+        # Every stored copy survives: delete each exactly as many times
+        # as it was inserted, with the item still present throughout.
+        for item in (x, y):
+            for _ in range(4):
+                assert filt.contains(item)
+                assert filt.delete(item)
+        assert len(filt) == 0
+
+    def test_batch_prefix_contract_after_mid_batch_failure(self, saturated):
+        filt, x, y = saturated
+        before_bytes = filt.to_bytes()
+        with pytest.raises(FilterFullError) as excinfo:
+            filt.insert_batch([x, x])
+        # The failing element inserted nothing and rolled back cleanly.
+        assert excinfo.value.inserted_count == 0
+        assert filt.to_bytes() == before_bytes
+        assert filt.contains(x) and filt.contains(y)

@@ -13,7 +13,7 @@ metadata-bit machinery and the vacuum filter's dual alternate maps.
 """
 
 import pytest
-from hypothesis import settings
+from hypothesis import HealthCheck, settings
 from hypothesis.stateful import (
     Bundle,
     RuleBasedStateMachine,
@@ -41,9 +41,11 @@ class FilterMachine(RuleBasedStateMachine):
     filter_cls = None
 
     #: Stay well under the 2*bucket_size copies a cuckoo bucket pair can
-    #: hold: saturating one fingerprint forces a kick-chain failure that
-    #: evicts some victim copy, which is documented lossy behaviour
-    #: outside the operating envelope this machine models.
+    #: hold, so kick-chain failures stay rare and the machine exercises
+    #: mostly-successful traffic. Failed inserts are transactional (see
+    #: test_insert_failure_rollback), so an occasional ``FilterFullError``
+    #: from *distinct* items colliding on one bucket pair is harmless:
+    #: it stores nothing and the reference stays in sync.
     MAX_MULTIPLICITY = 4
 
     items = Bundle("items")
@@ -187,7 +189,12 @@ class QuotientMachine(FilterMachine):
 
 
 _settings = settings(
-    max_examples=20, stateful_step_count=40, deadline=None
+    max_examples=20,
+    stateful_step_count=40,
+    deadline=None,
+    # Timing-based health checks misfire on loaded CI runners sharing
+    # cores with the benchmark jobs; correctness is load-independent.
+    suppress_health_check=[HealthCheck.too_slow],
 )
 
 TestCuckooStateful = CuckooMachine.TestCase

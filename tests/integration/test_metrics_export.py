@@ -1,0 +1,186 @@
+"""End-to-end observability: session metrics, export, determinism.
+
+These tests drive the real browsing-session engine with the registry
+enabled and check the three contracts the metrics layer promises:
+
+* merged counters are identical for serial and sharded runs;
+* the export validates against the checked-in ``repro.obs/v1`` schema
+  (both in-process and through the CLI's ``--metrics-out``);
+* the numbers are *true*: the FP-retry rate tracks the configured filter
+  eps, cache hit ratios are nonzero on warm paths, and the byte-savings
+  counters reproduce what the Fig. 5 result objects report.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.experiments import fig5
+from repro.obs.export import deterministic_counters, to_json_doc
+from repro.obs.schema import validation_errors
+from repro.runtime import artifacts
+from repro.webmodel.session_sim import BrowsingSessionSimulator, SessionConfig
+
+RUNS = 2
+CONFIG = SessionConfig(seed=3, num_domains=40)
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+def _run_arm(jobs):
+    """One metered experiment arm on a fresh registry; returns
+    (session results, registry snapshot).
+
+    The simulator is built *before* the registry turns on and with a
+    pinned lookup time: construction cost depends on process-global
+    artifact-cache state (a warm ``filter_builds`` entry skips the
+    preload's inserts) and on the wall clock, neither of which is part
+    of the serial-vs-parallel determinism contract the run-phase
+    metrics promise.
+    """
+    obs.disable()
+    sim = BrowsingSessionSimulator(CONFIG, lookup_seconds=1e-7)
+    obs.enable()
+    results = sim.run_many(RUNS, jobs=jobs)
+    return results, obs.snapshot()
+
+
+@pytest.fixture(scope="module")
+def arms():
+    obs.disable()
+    artifacts.clear()
+    serial = _run_arm(jobs=1)
+    parallel = _run_arm(jobs=2)
+    obs.disable()
+    return {"serial": serial, "parallel": parallel}
+
+
+class TestSerialParallelDeterminism:
+    def test_results_identical(self, arms):
+        serial_results, _ = arms["serial"]
+        parallel_results, _ = arms["parallel"]
+        assert serial_results == parallel_results
+
+    def test_merged_deterministic_counters_identical(self, arms):
+        serial = deterministic_counters(arms["serial"][1])
+        parallel = deterministic_counters(arms["parallel"][1])
+        assert serial == parallel
+        assert serial["tls.handshake.runs{}"] > 0
+
+    def test_histogram_counts_match_across_arms(self, arms):
+        # Span histograms carry nondeterministic *timings* but the event
+        # counts they accumulated must match exactly.
+        counts = {}
+        for arm, (_, snap) in arms.items():
+            counts[arm] = {
+                key: state[0] for key, state in snap["histograms"].items()
+            }
+        assert counts["serial"] == counts["parallel"]
+
+
+class TestMetricsTellTheTruth:
+    def test_export_is_schema_valid(self, arms):
+        assert validation_errors(to_json_doc(arms["serial"][1])) == []
+
+    def test_fp_retry_rate_tracks_configured_eps(self, arms):
+        results, snap = arms["serial"]
+        flat = deterministic_counters(snap)
+        fp_retries = flat.get("tls.handshake.retries{cause=server-fp}", 0)
+        probes = flat["webmodel.session.unknown_ica_probes{}"]
+        assert probes > 0
+        # Every observed FP retry is a session-level false positive.
+        assert fp_retries == sum(r.false_positives for r in results)
+        # The observed rate stays within a generous binomial envelope of
+        # the configured lookup fpp (small-sample slack of 5 events).
+        assert fp_retries / probes <= CONFIG.fpp * 10 + 5 / probes
+
+    def test_byte_savings_counters_match_results(self, arms):
+        results, snap = arms["serial"]
+        flat = deterministic_counters(snap)
+        assert flat["webmodel.session.icas_encountered{}"] == sum(
+            r.total_icas for r in results
+        )
+        assert flat["webmodel.session.icas_sent_total{}"] == sum(
+            sum(o.icas_sent_total for o in r.outcomes) for r in results
+        )
+        suppressed_first = flat["webmodel.session.icas_suppressed_first{}"]
+        assert suppressed_first == sum(
+            sum(o.suppressed_count for o in r.outcomes) for r in results
+        )
+        # The paper's headline: most encountered ICAs get suppressed.
+        assert suppressed_first / flat["webmodel.session.icas_encountered{}"] > 0.5
+
+    def test_handshake_accounting_is_closed(self, arms):
+        _, snap = arms["serial"]
+        flat = deterministic_counters(snap)
+        runs = flat["tls.handshake.runs{}"]
+        attempts = flat["tls.handshake.attempts{}"]
+        retries = sum(
+            v for k, v in flat.items() if k.startswith("tls.handshake.retries{")
+        )
+        outcomes = sum(
+            v for k, v in flat.items() if k.startswith("tls.handshake.outcomes{")
+        )
+        assert outcomes == runs
+        assert attempts == runs + retries
+
+    def test_fig5_gauges_match_result_rows(self, arms):
+        results, _ = arms["serial"]
+        obs.disable()
+        reg = obs.enable()
+        volume = fig5.data_volume(results)
+        for row in volume.rows:
+            labels = (("algorithm", row.algorithm),)
+            assert reg.gauge("experiments.fig5.mb_saved", labels) == pytest.approx(
+                row.mb_saved
+            )
+        assert reg.gauge("experiments.fig5.mean_reduction") == pytest.approx(
+            volume.mean_reduction
+        )
+
+    def test_warm_artifact_caches_have_nonzero_hit_ratio(self, arms):
+        # The arms fixture ran four sessions over the same population, so
+        # the content-keyed caches must be warm by the end.
+        stats = artifacts.stats()
+        for cache in (
+            "signature_bytes", "verified_chains", "tbs_pads", "der_fragments"
+        ):
+            hits = stats[cache]["hits"]
+            total = hits + stats[cache]["misses"]
+            assert total > 0
+            assert hits / total > 0.2, f"{cache} hit ratio too low"
+
+
+class TestCliMetricsOut:
+    def test_json_export_schema_valid(self, tmp_path, capsys):
+        out = tmp_path / "metrics.json"
+        assert main(
+            ["fig5-left", "--runs", "1", "--domains", "15",
+             "--jobs", "1", "--metrics-out", str(out)]
+        ) == 0
+        assert not obs.enabled()  # CLI restores the disabled default
+        doc = json.loads(out.read_text())
+        assert validation_errors(doc) == []
+        names = {entry["name"] for entry in doc["counters"]}
+        assert "tls.handshake.runs" in names
+        assert "amq.ops" in names
+        gauge_names = {entry["name"] for entry in doc["gauges"]}
+        assert "runtime.artifacts.cache_hits" in gauge_names
+        assert "[metrics: json export written to" in capsys.readouterr().err
+
+    def test_prometheus_export_by_extension(self, tmp_path, capsys):
+        out = tmp_path / "metrics.prom"
+        assert main(
+            ["fig5-left", "--runs", "1", "--domains", "15",
+             "--jobs", "1", "--metrics-out", str(out)]
+        ) == 0
+        text = out.read_text()
+        assert "# TYPE tls_handshake_runs_total counter" in text
+        assert "[metrics: prometheus export written to" in capsys.readouterr().err

@@ -87,11 +87,33 @@ class TestSummaries:
         assert s.median == 2.5
         assert s.minimum == 1.0
         assert s.maximum == 4.0
-        assert s.stdev == pytest.approx(1.118, abs=1e-3)
+        # Sample stdev: sqrt(sum((v-2.5)^2) / 3) = sqrt(5/3).
+        assert s.stdev == pytest.approx(math.sqrt(5.0 / 3.0))
 
     def test_summarize_empty(self):
         assert summarize([]).count == 0
         assert math.isnan(summarize([]).mean)
+
+    def test_summarize_single_sample_has_zero_stdev(self):
+        s = summarize([3.25])
+        assert s.count == 1
+        assert s.mean == 3.25
+        assert s.median == 3.25
+        assert s.minimum == 3.25
+        assert s.maximum == 3.25
+        assert s.stdev == 0.0
+
+    def test_summarize_two_samples_uses_bessel_correction(self):
+        s = summarize([1.0, 3.0])
+        assert s.count == 2
+        assert s.mean == 2.0
+        # /(n-1) = /1: variance 2.0, not the population 1.0.
+        assert s.stdev == pytest.approx(math.sqrt(2.0))
+
+    def test_percentile_two_samples_interpolates(self):
+        assert percentile([1.0, 3.0], 0.5) == pytest.approx(2.0)
+        assert percentile([1.0, 3.0], 0.0) == 1.0
+        assert percentile([1.0, 3.0], 1.0) == 3.0
 
     def test_collector_labels_and_summary(self):
         c = LatencyCollector()

@@ -1,0 +1,121 @@
+"""Module-level repro.obs API: enable/disable, spans, scoped capture."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+class TestEnableDisable:
+    def test_disabled_by_default(self):
+        assert not obs.enabled()
+        assert obs.registry() is None
+
+    def test_enable_is_idempotent(self):
+        reg = obs.enable()
+        reg.inc("x")
+        assert obs.enable() is reg
+        assert obs.registry().counter("x") == 1
+
+    def test_disable_drops_registry(self):
+        obs.enable().inc("x")
+        obs.disable()
+        assert obs.registry() is None
+        assert obs.snapshot() == {}
+
+    def test_reset_clears_but_keeps_enabled(self):
+        obs.enable().inc("x")
+        obs.reset()
+        assert obs.enabled()
+        assert obs.registry().counter("x") == 0
+
+
+class TestConveniences:
+    def test_noops_when_disabled(self):
+        obs.inc("x")
+        obs.set_gauge("g", 1.0)
+        obs.observe("h", 1.0)
+        obs.merge({"counters": {("x", ()): 5}})
+        assert obs.registry() is None
+
+    def test_record_when_enabled(self):
+        reg = obs.enable()
+        obs.inc("x", 2)
+        obs.set_gauge("g", 1.5)
+        obs.observe("h", 0.25)
+        assert reg.counter("x") == 2
+        assert reg.gauge("g") == 1.5
+        assert reg.histogram("h").state()[0] == 1
+
+    def test_merge_when_enabled(self):
+        reg = obs.enable()
+        obs.merge({"counters": {("x", ()): 5}})
+        assert reg.counter("x") == 5
+
+
+class TestSpans:
+    def test_disabled_span_is_shared_noop(self):
+        a, b = obs.span("s"), obs.span("t")
+        assert a is b  # one shared object: zero allocation when disabled
+        with a:
+            pass
+        assert obs.registry() is None
+
+    def test_enabled_span_records_seconds_histogram(self):
+        reg = obs.enable()
+        with obs.span("phase", (("k", "v"),)):
+            pass
+        hist = reg.histogram("phase.seconds", (("k", "v"),))
+        count, total, minimum, maximum, _ = hist.state()
+        assert count == 1
+        assert 0.0 <= minimum <= maximum
+        assert total >= 0.0
+
+    def test_span_records_on_exception(self):
+        reg = obs.enable()
+        with pytest.raises(ValueError):
+            with obs.span("failing"):
+                raise ValueError("boom")
+        assert reg.histogram("failing.seconds").state()[0] == 1
+
+
+class TestScoped:
+    def test_isolates_from_enabled_registry(self):
+        outer = obs.enable()
+        outer.inc("before")
+        with obs.scoped() as scope:
+            obs.inc("inner")
+            assert obs.registry() is scope
+        assert obs.registry() is outer
+        assert outer.counter("inner") == 0
+        assert scope.counter("inner") == 1
+        assert scope.counter("before") == 0
+
+    def test_works_when_disabled(self):
+        assert not obs.enabled()
+        with obs.scoped() as scope:
+            obs.inc("inner")
+        assert obs.registry() is None
+        assert scope.counter("inner") == 1
+
+    def test_restores_on_exception(self):
+        outer = obs.enable()
+        with pytest.raises(RuntimeError):
+            with obs.scoped():
+                raise RuntimeError
+        assert obs.registry() is outer
+
+    def test_nested_scopes(self):
+        with obs.scoped() as a:
+            obs.inc("a")
+            with obs.scoped() as b:
+                obs.inc("b")
+            obs.inc("a")
+        assert a.counter("a") == 2 and a.counter("b") == 0
+        assert b.counter("b") == 1

@@ -1,0 +1,148 @@
+"""Unit tests for the metrics registry primitives."""
+
+import pytest
+
+from repro.obs.registry import RESERVOIR_CAP, Histogram, MetricsRegistry
+
+
+class TestCounters:
+    def test_accumulate(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.inc("a", 4)
+        assert reg.counter("a") == 5
+
+    def test_labels_are_distinct_series(self):
+        reg = MetricsRegistry()
+        reg.inc("ops", 1, (("backend", "cuckoo"),))
+        reg.inc("ops", 2, (("backend", "xor"),))
+        reg.inc("ops", 3)
+        assert reg.counter("ops", (("backend", "cuckoo"),)) == 1
+        assert reg.counter("ops", (("backend", "xor"),)) == 2
+        assert reg.counter("ops") == 3
+
+    def test_counters_with_name(self):
+        reg = MetricsRegistry()
+        reg.inc("ops", 1, (("op", "insert"),))
+        reg.inc("ops", 2, (("op", "contains"),))
+        reg.inc("other")
+        assert reg.counters_with_name("ops") == {
+            (("op", "insert"),): 1,
+            (("op", "contains"),): 2,
+        }
+
+    def test_unknown_counter_reads_zero(self):
+        assert MetricsRegistry().counter("nope") == 0
+
+
+class TestGauges:
+    def test_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("g", 1.5)
+        reg.set_gauge("g", 2.5)
+        assert reg.gauge("g") == 2.5
+
+
+class TestHistograms:
+    def test_observe_tracks_count_total_min_max(self):
+        reg = MetricsRegistry()
+        for v in (3.0, 1.0, 2.0):
+            reg.observe("h", v)
+        count, total, minimum, maximum, samples = reg.histogram("h").state()
+        assert count == 3
+        assert total == pytest.approx(6.0)
+        assert (minimum, maximum) == (1.0, 3.0)
+        assert samples == [3.0, 1.0, 2.0]
+
+    def test_reservoir_is_bounded_and_deterministic(self):
+        h = Histogram()
+        for i in range(RESERVOIR_CAP + 100):
+            h.observe(float(i))
+        count, total, minimum, maximum, samples = h.state()
+        assert count == RESERVOIR_CAP + 100
+        assert len(samples) == RESERVOIR_CAP
+        # First-N reservoir: deterministic, keeps the leading samples.
+        assert samples == [float(i) for i in range(RESERVOIR_CAP)]
+        assert maximum == float(RESERVOIR_CAP + 99)
+
+
+class TestSnapshotMerge:
+    def test_counters_add(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("x", 2)
+        b.inc("x", 3)
+        b.inc("y", 1, (("k", "v"),))
+        a.merge(b.snapshot())
+        assert a.counter("x") == 5
+        assert a.counter("y", (("k", "v"),)) == 1
+
+    def test_gauges_overwrite(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.set_gauge("g", 1.0)
+        b.set_gauge("g", 9.0)
+        a.merge(b.snapshot())
+        assert a.gauge("g") == 9.0
+
+    def test_histograms_append_in_order(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.observe("h", 1.0)
+        b.observe("h", 2.0)
+        b.observe("h", 0.5)
+        a.merge(b.snapshot())
+        count, total, minimum, maximum, samples = a.histogram("h").state()
+        assert count == 3
+        assert total == pytest.approx(3.5)
+        assert (minimum, maximum) == (0.5, 2.0)
+        assert samples == [1.0, 2.0, 0.5]
+
+    def test_merge_is_not_affected_by_later_source_mutation(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.inc("x")
+        snap = b.snapshot()
+        b.inc("x", 100)
+        a.merge(snap)
+        assert a.counter("x") == 1
+
+    def test_merge_order_independence_for_counters(self):
+        parts = []
+        for value in (1, 2, 3):
+            reg = MetricsRegistry()
+            reg.inc("x", value)
+            parts.append(reg.snapshot())
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        for snap in parts:
+            forward.merge(snap)
+        for snap in reversed(parts):
+            backward.merge(snap)
+        assert forward.counter("x") == backward.counter("x") == 6
+
+    def test_clear_and_len(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.set_gauge("b", 1.0)
+        reg.observe("c", 1.0)
+        assert len(reg) == 3
+        reg.clear()
+        assert len(reg) == 0
+        assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestEventCount:
+    def test_every_recording_call_counts_once(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.inc("a", 50)  # value-weighted inc is still one event
+        reg.set_gauge("g", 1.0)
+        reg.observe("h", 1.0)
+        assert reg.events == 4
+
+    def test_events_are_process_local(self):
+        # Not in snapshots, not added by merge, reset by clear.
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.inc("x")
+        snap = b.snapshot()
+        assert "events" not in snap
+        a.merge(snap)
+        assert a.events == 0
+        b.clear()
+        assert b.events == 0

@@ -1,0 +1,216 @@
+"""Typed false-positive retry routing and per-attempt accounting.
+
+``run_handshake`` must route its single retry on the typed
+``RetryCause`` the failing stage recorded — never by matching substrings
+of the failure reason — and every attempt's suppression accounting
+(bytes *and* count) must describe the attempt as the server executed it.
+"""
+
+import pytest
+
+from repro import obs
+from repro.pki import build_hierarchy
+from repro.tls import ClientConfig, HandshakeOutcome, ServerConfig, run_handshake
+from repro.tls.session import RetryCause
+
+
+@pytest.fixture(scope="module")
+def world():
+    h = build_hierarchy("dilithium2", total_icas=10, num_roots=1, seed=977)
+    return h, h.trust_store(), {c.subject: c for c in h.ica_certificates()}
+
+
+@pytest.fixture
+def metrics():
+    obs.disable()
+    reg = obs.enable()
+    yield reg
+    obs.disable()
+
+
+def suppress_all(payload, chain):
+    return set(chain.ica_fingerprints())
+
+
+def server_fp_configs(world, at_time=50):
+    """A guaranteed server-side suppression false positive: the server
+    suppresses the whole path while the client's ICA cache is empty."""
+    h, store, _ = world
+    cred = h.issue_credential("fp.example", h.paths_by_depth(2)[0])
+    client = ClientConfig(
+        store,
+        hostname="fp.example",
+        at_time=at_time,
+        ica_filter_payload=b"x",
+        issuer_lookup=lambda name: None,
+    )
+    server = ServerConfig(credential=cred, suppression_handler=suppress_all)
+    return client, server, cred
+
+
+class TestServerFpPath:
+    def test_retry_without_extension_recovers(self, world, metrics):
+        client, server, _ = server_fp_configs(world)
+        trace = run_handshake(client, server)
+        assert trace.outcome is HandshakeOutcome.COMPLETED_AFTER_RETRY
+        assert len(trace.attempts) == 2
+        first, second = trace.attempts
+        assert first.retry_cause is RetryCause.SERVER_SUPPRESSION_FP
+        assert first.used_suppression_extension
+        assert not second.used_suppression_extension
+        assert second.retry_cause is None
+        assert metrics.counter(
+            "tls.handshake.retries", (("cause", "server-fp"),)
+        ) == 1
+        assert metrics.counter("tls.handshake.attempts") == 2
+        assert metrics.counter(
+            "tls.handshake.outcomes", (("outcome", "completed-after-retry"),)
+        ) == 1
+
+    def test_failed_attempt_accounting_is_consistent(self, world):
+        """Regression: the failed suppression attempt used to report
+        ``suppressed_ica_count == 0`` next to nonzero
+        ``ica_bytes_suppressed``. Both must describe what the server sent."""
+        client, server, cred = server_fp_configs(world)
+        trace = run_handshake(client, server)
+        first = trace.attempts[0]
+        assert not first.succeeded
+        assert first.ica_bytes_suppressed == cred.chain.ica_bytes() > 0
+        assert first.suppressed_ica_count == cred.chain.num_icas > 0
+        assert first.ica_bytes_sent == 0
+        # A zero count may never accompany nonzero suppressed bytes.
+        assert (first.suppressed_ica_count == 0) == (
+            first.ica_bytes_suppressed == 0
+        )
+        # Aggregates still exclude the attempt that did not complete.
+        assert trace.ica_bytes_suppressed == 0
+        assert trace.suppressed_ica_count == 0
+        # The retry transmitted the full chain.
+        assert trace.attempts[1].ica_bytes_sent == cred.chain.ica_bytes()
+
+
+class TestClientAuthFpPath:
+    @pytest.fixture(scope="class")
+    def pkis(self):
+        server_pki = build_hierarchy(
+            "dilithium2", total_icas=12, num_roots=2, seed=71
+        )
+        client_pki = build_hierarchy(
+            "falcon-512", total_icas=8, num_roots=1, seed=72
+        )
+        return server_pki, client_pki
+
+    def mtls_fp_configs(self, pkis):
+        """mTLS where the client over-suppresses its own chain against a
+        server that cannot complete it (empty client-ICA cache)."""
+        server_pki, client_pki = pkis
+        server_cred = server_pki.issue_credential(
+            "api.example", server_pki.paths_by_depth(2)[0]
+        )
+        client_cred = client_pki.issue_credential(
+            "device-7.fleet", client_pki.paths_by_depth(2)[0]
+        )
+        server = ServerConfig(
+            credential=server_cred,
+            request_client_certificate=True,
+            client_trust_store=client_pki.trust_store(),
+            client_issuer_lookup=lambda name: None,
+            ica_filter_payload=b"advertised",
+            at_time=50,
+        )
+        cache = {c.subject: c for c in server_pki.ica_certificates()}
+        client = ClientConfig(
+            trust_store=server_pki.trust_store(),
+            hostname="api.example",
+            at_time=50,
+            issuer_lookup=cache.get,
+            credential=client_cred,
+            own_suppression_handler=suppress_all,
+        )
+        return client, server
+
+    def test_retry_without_own_suppression_recovers(self, pkis, metrics):
+        client, server = self.mtls_fp_configs(pkis)
+        trace = run_handshake(client, server)
+        assert trace.outcome is HandshakeOutcome.COMPLETED_AFTER_RETRY
+        first, second = trace.attempts
+        assert first.retry_cause is RetryCause.CLIENT_AUTH_FP
+        assert first.failure_reason.startswith("client-auth:")
+        assert first.client_auth_suppressed_count > 0
+        assert second.client_auth_suppressed_count == 0
+        assert metrics.counter(
+            "tls.handshake.retries", (("cause", "client-auth-fp"),)
+        ) == 1
+        assert metrics.counter("tls.handshake.attempts") == 2
+
+    def test_cause_survives_without_metrics(self, pkis):
+        client, server = self.mtls_fp_configs(pkis)
+        trace = run_handshake(client, server)
+        assert trace.outcome is HandshakeOutcome.COMPLETED_AFTER_RETRY
+        assert trace.attempts[0].retry_cause is RetryCause.CLIENT_AUTH_FP
+
+
+class TestRetryAlsoFails:
+    def test_failed_retry_reports_both_attempts(self, world, metrics):
+        """First attempt: path incomplete (typed server-fp). Retry sends
+        the full chain, which then fails *validation* (certificates long
+        expired) — the handshake ends FAILED after exactly two attempts."""
+        client, server, _ = server_fp_configs(world, at_time=10**9)
+        trace = run_handshake(client, server)
+        assert trace.outcome is HandshakeOutcome.FAILED
+        assert len(trace.attempts) == 2
+        assert trace.attempts[0].retry_cause is RetryCause.SERVER_SUPPRESSION_FP
+        assert not trace.attempts[1].succeeded
+        assert trace.attempts[1].retry_cause is None
+        assert metrics.counter(
+            "tls.handshake.outcomes", (("outcome", "failed"),)
+        ) == 1
+        assert metrics.counter(
+            "tls.handshake.retries", (("cause", "server-fp"),)
+        ) == 1
+        assert metrics.counter("tls.handshake.attempts") == 2
+
+
+class TestNoStringMatching:
+    def test_reason_mentioning_phrase_does_not_trigger_retry(self, world, metrics):
+        """Regression for the substring-routing bug: a hostname-mismatch
+        failure whose reason merely *mentions* "cannot complete path"
+        (the subject name contains it) must not be treated as a
+        suppression false positive."""
+        h, store, cache = world
+        cred = h.issue_credential(
+            "cannot complete path.example", h.paths_by_depth(2)[0]
+        )
+        client = ClientConfig(
+            store,
+            hostname="other.example",
+            at_time=50,
+            ica_filter_payload=b"x",
+            issuer_lookup=cache.get,
+        )
+        trace = run_handshake(client, ServerConfig(credential=cred))
+        assert "cannot complete path" in trace.final_attempt.failure_reason
+        assert trace.outcome is HandshakeOutcome.FAILED
+        assert len(trace.attempts) == 1  # the old router retried here
+        assert trace.attempts[0].retry_cause is None
+        assert metrics.counter("tls.handshake.retries", (("cause", "server-fp"),)) == 0
+        assert metrics.counter(
+            "tls.handshake.outcomes", (("outcome", "failed"),)
+        ) == 1
+
+    def test_validation_failure_on_complete_chain_does_not_retry(self, world):
+        """A chain that reassembles but fails validation is not a
+        suppression artifact, even with the extension advertised."""
+        h, store, cache = world
+        cred = h.issue_credential("expired.example", h.paths_by_depth(2)[0])
+        client = ClientConfig(
+            store,
+            hostname="expired.example",
+            at_time=10**9,  # far beyond every validity window
+            ica_filter_payload=b"x",
+            issuer_lookup=cache.get,
+        )
+        trace = run_handshake(client, ServerConfig(credential=cred))
+        assert trace.outcome is HandshakeOutcome.FAILED
+        assert len(trace.attempts) == 1
+        assert trace.attempts[0].retry_cause is None

@@ -50,7 +50,10 @@ class TestAttemptTrace:
 
 class TestHandshakeTraceAggregates:
     def test_false_positive_pays_for_both_attempts(self):
-        failed = make_attempt(succeeded=False, suppressed_ica_count=0,
+        # Per-attempt fields describe the attempt as executed: the failed
+        # suppression attempt reports the (nonzero) count matching its
+        # suppressed bytes; exclusion of failures happens in aggregation.
+        failed = make_attempt(succeeded=False, suppressed_ica_count=3,
                               ica_bytes_suppressed=12_000, ica_bytes_sent=0)
         retry = make_attempt(used_suppression_extension=False,
                              ica_bytes_sent=12_000, ica_bytes_suppressed=0,
