@@ -1,3 +1,4 @@
+#!/usr/bin/env python
 """Figure 3-center — filter insert/query throughput.
 
 The paper measures C implementations handling millions of ops per second;
@@ -6,10 +7,81 @@ ordering and the adequacy argument (even Python sustains far more lookups
 per second than a busy server's handshake rate). The companion batch
 benchmark shows the vectorized ``contains_batch``/``insert_batch`` API
 recovering an order of magnitude of that gap at Tranco-scale batch sizes.
+
+Run as a script to emit ``BENCH_fig3.json``, the machine-readable
+scalar/batch/bulk-build throughput report for the array-native storage
+engine::
+
+    python benchmarks/bench_fig3_throughput.py                 # 2^16 items
+    python benchmarks/bench_fig3_throughput.py --num-items 8192
+
+The JSON embeds two kinds of comparison:
+
+* **internal ratios** (batch and bulk-build vs this build's own scalar
+  loop) — machine-independent, asserted on every run, and the CI
+  regression gate;
+* **vs-main speedups** against ``PRE_ENGINE_BASELINE``, the four-mode
+  throughput of the list-backed engine at commit f35f628 measured on the
+  dev machine that generated the checked-in report. The scalar loop is
+  within noise of that engine's scalar path on the same machine (the
+  scalar algorithms are unchanged), so the internal ratios track the
+  vs-main speedups wherever the baseline numbers cannot be reproduced.
+  ``--enforce-vs-main`` additionally asserts the acceptance gates
+  (>= 5x bulk build, >= 3x batch query for cuckoo and vacuum) against
+  the embedded baseline — meaningful only on comparable hardware.
+
+Exit status is non-zero when an assertion fails, so CI can run it as-is.
 """
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Dict, List, Optional
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.amq import HAVE_NUMPY
 from repro.experiments import fig3
+
+#: Four-mode throughput (ops/s) of the list-backed storage engine at
+#: commit f35f628 ("current main" for this change), measured on the dev
+#: machine with the same workload the CLI below runs: 2^16 32-byte items,
+#: fpp 1e-3, load factor 0.9, seed 7, query mix of 32768 absent + 32768
+#: present probes. Machine-specific — comparisons against these numbers
+#: are only meaningful on comparable hardware.
+PRE_ENGINE_BASELINE: Dict[str, Dict[str, float]] = {
+    "cuckoo": {
+        "scalar_build_ops_per_s": 107_085.0,
+        "batch_build_ops_per_s": 442_384.0,
+        "scalar_query_ops_per_s": 110_635.0,
+        "batch_query_ops_per_s": 786_278.0,
+    },
+    "vacuum": {
+        "scalar_build_ops_per_s": 94_812.0,
+        "batch_build_ops_per_s": 314_510.0,
+        "scalar_query_ops_per_s": 97_542.0,
+        "batch_query_ops_per_s": 823_866.0,
+    },
+}
+
+#: Machine-independent CI floors: the vectorized paths must beat this
+#: build's own scalar loop by these factors for the paper's two headline
+#: structures. Set well under the measured ratios (build ~7-11x, query
+#: ~40x) to absorb shared-runner noise while still catching any
+#: regression to per-item placement.
+MIN_INTERNAL_BUILD_SPEEDUP = 3.0
+MIN_INTERNAL_QUERY_SPEEDUP = 4.0
+GATED_KINDS = ("cuckoo", "vacuum")
+
+#: The ISSUE acceptance gates, enforced with ``--enforce-vs-main``
+#: against ``PRE_ENGINE_BASELINE`` (bulk build vs the scalar insert loop
+#: every session construction used to pay; batch query vs main's own
+#: batch query path).
+MIN_VS_MAIN_BULK_BUILD_SPEEDUP = 5.0
+MIN_VS_MAIN_BATCH_QUERY_SPEEDUP = 3.0
 
 
 def test_fig3_center_throughput(benchmark, scale):
@@ -50,3 +122,169 @@ def test_fig3_batch_vs_scalar_throughput(benchmark, scale):
             assert r.query_speedup >= 2.0, (
                 f"{kind} contains_batch only {r.query_speedup:.2f}x scalar"
             )
+
+
+def test_fig3_bulk_build_throughput(benchmark, scale):
+    num_items = max(scale["ops"], 10_000)
+    results = benchmark.pedantic(
+        fig3.bulk_build_throughput,
+        kwargs={"num_items": num_items},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(fig3.format_bulk_build_throughput(results))
+    for r in results:
+        assert r.bulk_build_speedup > 0.8, (r.kind, r.bulk_build_speedup)
+    if HAVE_NUMPY:
+        by_kind = {r.kind: r for r in results}
+        for kind in GATED_KINDS:
+            r = by_kind[kind]
+            assert r.bulk_build_speedup >= 2.0, (
+                f"{kind} bulk build only {r.bulk_build_speedup:.2f}x scalar"
+            )
+            assert r.batch_query_speedup >= 3.0, (
+                f"{kind} contains_batch only {r.batch_query_speedup:.2f}x scalar"
+            )
+
+
+# ---------------------------------------------------------------------------
+# BENCH_fig3.json CLI
+# ---------------------------------------------------------------------------
+
+
+def run_benchmark(
+    num_items: int, output: Optional[str], enforce_vs_main: bool
+) -> Dict[str, Any]:
+    print(
+        f"fig3 throughput: {num_items} items x {len(fig3.BATCH_KINDS)} "
+        f"structures (fpp {fig3.PAPER_FPP:g}, lf {fig3.PAPER_LOAD_FACTOR})"
+    )
+    results = fig3.bulk_build_throughput(num_items=num_items)
+    print(fig3.format_bulk_build_throughput(results))
+    by_kind = {r.kind: r for r in results}
+
+    engines: Dict[str, Any] = {}
+    for r in results:
+        engines[r.kind] = {
+            "scalar_build_ops_per_s": round(r.scalar_build_ops_per_s),
+            "batch_build_ops_per_s": round(r.batch_build_ops_per_s),
+            "bulk_build_ops_per_s": round(r.bulk_build_ops_per_s),
+            "scalar_query_ops_per_s": round(r.scalar_query_ops_per_s),
+            "batch_query_ops_per_s": round(r.batch_query_ops_per_s),
+            "internal_speedup": {
+                "batch_build_vs_scalar": round(r.batch_build_speedup, 2),
+                "bulk_build_vs_scalar": round(r.bulk_build_speedup, 2),
+                "batch_query_vs_scalar": round(r.batch_query_speedup, 2),
+            },
+        }
+
+    vs_main: Dict[str, Any] = {}
+    gates: Dict[str, Any] = {}
+    for kind in GATED_KINDS:
+        r = by_kind[kind]
+        base = PRE_ENGINE_BASELINE[kind]
+        bulk_vs_scalar = r.bulk_build_ops_per_s / base["scalar_build_ops_per_s"]
+        bulk_vs_batch = r.bulk_build_ops_per_s / base["batch_build_ops_per_s"]
+        query_vs_batch = r.batch_query_ops_per_s / base["batch_query_ops_per_s"]
+        query_vs_scalar = r.batch_query_ops_per_s / base["scalar_query_ops_per_s"]
+        vs_main[kind] = {
+            "bulk_build_vs_main_scalar_build": round(bulk_vs_scalar, 2),
+            "bulk_build_vs_main_batch_build": round(bulk_vs_batch, 2),
+            "batch_query_vs_main_batch_query": round(query_vs_batch, 2),
+            "batch_query_vs_main_scalar_query": round(query_vs_scalar, 2),
+        }
+        gates[kind] = {
+            "bulk_build_speedup_vs_main_scalar_build_ge_5x": bulk_vs_scalar
+            >= MIN_VS_MAIN_BULK_BUILD_SPEEDUP,
+            "batch_query_speedup_vs_main_batch_query_ge_3x": query_vs_batch
+            >= MIN_VS_MAIN_BATCH_QUERY_SPEEDUP,
+            "internal_build_speedup_ge_3x": r.bulk_build_speedup
+            >= MIN_INTERNAL_BUILD_SPEEDUP,
+            "internal_query_speedup_ge_4x": r.batch_query_speedup
+            >= MIN_INTERNAL_QUERY_SPEEDUP,
+        }
+
+    report = {
+        "benchmark": "fig3_throughput",
+        "scale": {
+            "num_items": num_items,
+            "fpp": fig3.PAPER_FPP,
+            "load_factor": fig3.PAPER_LOAD_FACTOR,
+            "seed": 7,
+            "item_bytes": 32,
+            "query_mix": "half absent, half present probes",
+        },
+        "have_numpy": HAVE_NUMPY,
+        "engines": engines,
+        "pre_engine_baseline": {
+            "commit": "f35f628",
+            "note": (
+                "list-backed engine measured on the machine that generated "
+                "this report; vs-main speedups are only meaningful on "
+                "comparable hardware — CI enforces the internal ratios"
+            ),
+            **PRE_ENGINE_BASELINE,
+        },
+        "speedup_vs_main": vs_main,
+        "gates": gates,
+    }
+    if output:
+        with open(output, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"  wrote {output}")
+
+    # -- assertions ----------------------------------------------------------
+    if HAVE_NUMPY:
+        for kind in GATED_KINDS:
+            r = by_kind[kind]
+            assert r.bulk_build_speedup >= MIN_INTERNAL_BUILD_SPEEDUP, (
+                f"{kind} bulk build {r.bulk_build_speedup:.2f}x scalar "
+                f"< {MIN_INTERNAL_BUILD_SPEEDUP}x floor"
+            )
+            assert r.batch_query_speedup >= MIN_INTERNAL_QUERY_SPEEDUP, (
+                f"{kind} batch query {r.batch_query_speedup:.2f}x scalar "
+                f"< {MIN_INTERNAL_QUERY_SPEEDUP}x floor"
+            )
+    if enforce_vs_main:
+        for kind in GATED_KINDS:
+            g = gates[kind]
+            assert g["bulk_build_speedup_vs_main_scalar_build_ge_5x"], (
+                f"{kind} bulk build vs main scalar build "
+                f"{vs_main[kind]['bulk_build_vs_main_scalar_build']}x < "
+                f"{MIN_VS_MAIN_BULK_BUILD_SPEEDUP}x gate"
+            )
+            assert g["batch_query_speedup_vs_main_batch_query_ge_3x"], (
+                f"{kind} batch query vs main batch query "
+                f"{vs_main[kind]['batch_query_vs_main_batch_query']}x < "
+                f"{MIN_VS_MAIN_BATCH_QUERY_SPEEDUP}x gate"
+            )
+    print("  all assertions passed")
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--num-items", type=int, default=1 << 16,
+        help="items per structure (acceptance scale: 2^16)",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_fig3.json",
+        help="report path ('' to skip writing)",
+    )
+    parser.add_argument(
+        "--enforce-vs-main", action="store_true",
+        help=(
+            "also assert the >=5x bulk-build / >=3x batch-query gates "
+            "against the embedded main baseline (dev-machine only)"
+        ),
+    )
+    args = parser.parse_args(argv)
+    run_benchmark(args.num_items, args.output or None, args.enforce_vs_main)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -150,6 +150,39 @@ class AMQFilter(ABC):
     def from_bytes(cls, params: FilterParams, payload: bytes) -> "AMQFilter":
         """Reconstruct a filter from ``to_bytes`` output."""
 
+    @classmethod
+    def expected_payload_bytes(cls, params: FilterParams) -> int:
+        """Exact payload size (bytes) a filter built with ``params``
+        serializes to — the geometry check
+        :func:`repro.amq.serialization.deserialize_filter` runs before
+        handing a payload to :meth:`from_bytes`. The default derives it
+        from a freshly-built (empty) filter; backends whose payload
+        carries extra header fields override it.
+        """
+        return cls(params).size_in_bytes()
+
+    @classmethod
+    def build_from_fingerprints(
+        cls, params: FilterParams, items: Sequence[bytes]
+    ) -> "AMQFilter":
+        """Bulk-build a filter of this type holding exactly ``items``.
+
+        This is the one construction path every producer (filter plans,
+        manager rebuilds, the session-sim client) funnels through: it
+        constructs the empty structure and feeds the whole working set to
+        the vectorized ``insert_batch`` kernels in a single call, timed
+        under the ``amq.build`` span so build-path wins are visible in
+        metrics exports. Semantics are identical to a scalar insert loop
+        (same table bytes, same overflow behaviour).
+        """
+        with obs.span("amq.build", (("backend", cls.name),)):
+            filt = cls(params)
+            if items:
+                filt.insert_batch(
+                    items if isinstance(items, (list, tuple)) else list(items)
+                )
+            return filt
+
     # -- shared behaviour ---------------------------------------------------
 
     @property

@@ -17,7 +17,7 @@ from repro.amq.base import AMQFilter, FilterParams
 from repro.amq.hashing import (
     VECTOR_MIN_BATCH,
     double_hashes,
-    hash64_np,
+    double_hashes_np,
     np,
 )
 from repro.errors import FilterFullError, FilterSerializationError
@@ -43,6 +43,12 @@ class BloomFilter(AMQFilter):
         super().__init__(params)
         self._bits, self._k = _optimal_geometry(params.capacity, params.fpp)
         self._array = bytearray((self._bits + 7) // 8)
+        self._refresh_view()
+
+    def _refresh_view(self) -> None:
+        # Persistent writable uint8 view over the backing bytearray; batch
+        # kernels index it directly with zero per-call materialization.
+        self._buf = None if np is None else np.frombuffer(self._array, dtype=np.uint8)
 
     # -- bit helpers ---------------------------------------------------------
 
@@ -78,13 +84,10 @@ class BloomFilter(AMQFilter):
     def _batch_positions(self, items: Sequence[bytes]):
         """(k, len(items)) matrix of bit positions, one row per hash —
         identical values to k runs of :func:`double_hashes` per item."""
-        u64 = np.uint64
-        seed = self._params.seed
-        h1 = hash64_np(items, seed)
-        h2 = hash64_np(items, seed + 0x51ED) | u64(1)
-        bits = u64(self._bits)
+        bits = np.uint64(self._bits)
         return [
-            ((h1 + u64(i) * h2 + u64(i * i)) % bits) for i in range(self._k)
+            h % bits
+            for h in double_hashes_np(items, self._k, self._params.seed)
         ]
 
     def _insert_batch(self, items: Sequence[bytes]) -> None:
@@ -93,7 +96,7 @@ class BloomFilter(AMQFilter):
         allowed = self.capacity - self._count
         accepted = items[:allowed] if allowed < len(items) else items
         if accepted:
-            buf = np.frombuffer(self._array, dtype=np.uint8)
+            buf = self._buf
             for pos in self._batch_positions(accepted):
                 masks = np.uint8(1) << (pos & np.uint64(7)).astype(np.uint8)
                 np.bitwise_or.at(buf, (pos >> np.uint64(3)).astype(np.intp), masks)
@@ -107,7 +110,7 @@ class BloomFilter(AMQFilter):
     def _contains_batch(self, items: Sequence[bytes]) -> List[bool]:
         if np is None or len(items) < VECTOR_MIN_BATCH:
             return super()._contains_batch(items)
-        buf = np.frombuffer(self._array, dtype=np.uint8)
+        buf = self._buf
         hit = np.ones(len(items), dtype=bool)
         for pos in self._batch_positions(items):
             bits = (buf[(pos >> np.uint64(3)).astype(np.intp)]
@@ -140,6 +143,11 @@ class BloomFilter(AMQFilter):
         return bytes(self._array)
 
     @classmethod
+    def expected_payload_bytes(cls, params: FilterParams) -> int:
+        bits, _ = _optimal_geometry(params.capacity, params.fpp)
+        return (bits + 7) // 8
+
+    @classmethod
     def from_bytes(cls, params: FilterParams, payload: bytes) -> "BloomFilter":
         filt = cls(params)
         if len(payload) != len(filt._array):
@@ -149,6 +157,7 @@ class BloomFilter(AMQFilter):
                 f"fpp={params.fpp}"
             )
         filt._array = bytearray(payload)
+        filt._refresh_view()
         # Item count is not recoverable from the bit array; estimate it from
         # the fill ratio (standard Bloom cardinality estimator).
         ones = sum(bin(b).count("1") for b in filt._array)
@@ -173,6 +182,10 @@ class CountingBloomFilter(AMQFilter):
         self._cells, self._k = _optimal_geometry(params.capacity, params.fpp)
         # Two 4-bit counters per byte.
         self._array = bytearray((self._cells + 1) // 2)
+        self._refresh_view()
+
+    def _refresh_view(self) -> None:
+        self._buf = None if np is None else np.frombuffer(self._array, dtype=np.uint8)
 
     def _positions(self, item: bytes):
         for h in double_hashes(item, self._k, self._params.seed):
@@ -208,13 +221,10 @@ class CountingBloomFilter(AMQFilter):
     # -- batch overrides ------------------------------------------------------
 
     def _batch_positions(self, items: Sequence[bytes]):
-        u64 = np.uint64
-        seed = self._params.seed
-        h1 = hash64_np(items, seed)
-        h2 = hash64_np(items, seed + 0x51ED) | u64(1)
-        cells = u64(self._cells)
+        cells = np.uint64(self._cells)
         return [
-            ((h1 + u64(i) * h2 + u64(i * i)) % cells) for i in range(self._k)
+            h % cells
+            for h in double_hashes_np(items, self._k, self._params.seed)
         ]
 
     def _insert_batch(self, items: Sequence[bytes]) -> None:
@@ -226,7 +236,7 @@ class CountingBloomFilter(AMQFilter):
             # Unpack nibble counters, accumulate, saturate, repack. A
             # sequence of saturating +1 increments from v is exactly
             # min(v + n, MAX) — the clip reproduces scalar semantics.
-            buf = np.frombuffer(self._array, dtype=np.uint8)
+            buf = self._buf
             counters = np.empty(2 * len(buf), dtype=np.uint32)
             counters[0::2] = buf & 0xF
             counters[1::2] = buf >> 4
@@ -244,7 +254,7 @@ class CountingBloomFilter(AMQFilter):
     def _contains_batch(self, items: Sequence[bytes]) -> List[bool]:
         if np is None or len(items) < VECTOR_MIN_BATCH:
             return super()._contains_batch(items)
-        buf = np.frombuffer(self._array, dtype=np.uint8)
+        buf = self._buf
         hit = np.ones(len(items), dtype=bool)
         for pos in self._batch_positions(items):
             idx = pos.astype(np.intp)
@@ -286,6 +296,11 @@ class CountingBloomFilter(AMQFilter):
         return self._count.to_bytes(4, "big") + bytes(self._array)
 
     @classmethod
+    def expected_payload_bytes(cls, params: FilterParams) -> int:
+        cells, _ = _optimal_geometry(params.capacity, params.fpp)
+        return 4 + (cells + 1) // 2
+
+    @classmethod
     def from_bytes(
         cls, params: FilterParams, payload: bytes
     ) -> "CountingBloomFilter":
@@ -293,6 +308,11 @@ class CountingBloomFilter(AMQFilter):
             raise FilterSerializationError("counting bloom payload too short")
         filt = cls(params)
         count = int.from_bytes(payload[:4], "big")
+        if count > params.capacity:
+            raise FilterSerializationError(
+                f"counting bloom stored count {count} exceeds capacity "
+                f"{params.capacity}"
+            )
         body = payload[4:]
         if len(body) != len(filt._array):
             raise FilterSerializationError(
@@ -300,5 +320,6 @@ class CountingBloomFilter(AMQFilter):
                 f"{len(filt._array)}"
             )
         filt._array = bytearray(body)
+        filt._refresh_view()
         filt._count = count
         return filt

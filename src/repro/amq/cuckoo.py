@@ -16,335 +16,41 @@ Design points, following the original paper:
 * Deletion removes one matching fingerprint from either candidate bucket —
   safe as long as the item was actually inserted, which is exactly the
   ICA-cache usage pattern of the paper.
+
+Storage, batch kernels, and serialization live in the shared array-native
+engine (:class:`repro.amq.bucketstore.BucketTableFilter`); this module
+contributes only the power-of-two geometry and the XOR partner map.
 """
 
 from __future__ import annotations
 
-import random
-from typing import List, Sequence
-
-from repro.amq import semisort
-from repro.amq.base import AMQFilter, FilterParams
-from repro.amq.hashing import (
-    VECTOR_MIN_BATCH,
-    fingerprint,
-    fingerprint_np,
-    hash64,
-    hash64_np,
-    hash_int,
-    hash_int_np,
-    np,
+from repro.amq.base import FilterParams
+from repro.amq.bucketstore import (
+    DEFAULT_BUCKET_SIZE,
+    DEFAULT_MAX_KICKS,
+    BucketTableFilter,
 )
-from repro.amq.sizing import cuckoo_geometry, fingerprint_bits_for_fpp
-from repro.errors import FilterFullError, FilterSerializationError
+from repro.amq.hashing import hash_int_np, np
+from repro.amq.sizing import cuckoo_geometry
 
-DEFAULT_BUCKET_SIZE = 4
-DEFAULT_MAX_KICKS = 500
+__all__ = ["CuckooFilter", "DEFAULT_BUCKET_SIZE", "DEFAULT_MAX_KICKS"]
 
 
-class CuckooFilter(AMQFilter):
+class CuckooFilter(BucketTableFilter):
     """Partial-key cuckoo hash table over fingerprints."""
 
     name = "cuckoo"
-    supports_deletion = True
+    _RNG_SALT = 0xC0C0
 
-    def __init__(
-        self,
-        params: FilterParams,
-        bucket_size: int = DEFAULT_BUCKET_SIZE,
-        max_kicks: int = DEFAULT_MAX_KICKS,
-        semi_sort: bool = True,
-    ) -> None:
-        super().__init__(params)
-        self._bucket_size = bucket_size
-        self._max_kicks = max_kicks
-        self._fp_bits = fingerprint_bits_for_fpp(params.fpp, bucket_size)
-        self._semi_sort = (
-            semi_sort
-            and bucket_size == semisort.BUCKET_SIZE
-            and self._fp_bits >= semisort.MIN_FP_BITS
-        )
-        self._num_buckets = cuckoo_geometry(
-            params.capacity, params.load_factor, bucket_size
-        )
-        # Flat table: 0 marks an empty slot (fingerprints are never 0).
-        self._table = [0] * (self._num_buckets * bucket_size)
-        self._rng = random.Random(params.seed ^ 0xC0C0)
-
-    # -- index helpers --------------------------------------------------------
-
-    @property
-    def bucket_size(self) -> int:
-        return self._bucket_size
-
-    @property
-    def num_buckets(self) -> int:
-        return self._num_buckets
-
-    @property
-    def fingerprint_bits(self) -> int:
-        return self._fp_bits
-
-    def _fingerprint(self, item: bytes) -> int:
-        return fingerprint(item, self._fp_bits, self._params.seed)
-
-    def _index1(self, item: bytes) -> int:
-        return hash64(item, self._params.seed) % self._num_buckets
+    def _geometry(self, params: FilterParams) -> int:
+        return cuckoo_geometry(params.capacity, params.load_factor, self._bucket_size)
 
     def _alt_index(self, index: int, fp: int) -> int:
         # hash the fingerprint (not the raw value) so sparse fingerprints
         # still spread over the whole table.
-        return (index ^ hash_int(fp, self._params.seed)) % self._num_buckets
+        return (index ^ self._fp_hash(fp)) % self._num_buckets
 
-    def _bucket_slice(self, index: int) -> "tuple[int, int]":
-        start = index * self._bucket_size
-        return start, start + self._bucket_size
-
-    def _bucket_insert(self, index: int, fp: int) -> bool:
-        start, end = self._bucket_slice(index)
-        for slot in range(start, end):
-            if self._table[slot] == 0:
-                self._table[slot] = fp
-                return True
-        return False
-
-    def _bucket_contains(self, index: int, fp: int) -> bool:
-        start, end = self._bucket_slice(index)
-        return fp in self._table[start:end]
-
-    def _bucket_delete(self, index: int, fp: int) -> bool:
-        start, end = self._bucket_slice(index)
-        for slot in range(start, end):
-            if self._table[slot] == fp:
-                self._table[slot] = 0
-                return True
-        return False
-
-    # -- AMQFilter interface --------------------------------------------------
-
-    def _insert(self, item: bytes) -> None:
-        fp = self._fingerprint(item)
-        i1 = self._index1(item)
-        i2 = self._alt_index(i1, fp)
-        self._insert_fp(fp, i1, i2)
-
-    def _insert_fp(self, fp: int, i1: int, i2: int) -> None:
-        """Place a precomputed fingerprint (shared by insert/insert_batch
-        so both paths drive the eviction rng identically)."""
-        if self._bucket_insert(i1, fp) or self._bucket_insert(i2, fp):
-            self._count += 1
-            return
-        self._kick(fp, i1, i2)
-
-    def _kick(self, fp: int, i1: int, i2: int) -> None:
-        # Evict: pick one of the two candidate buckets and relocate.
-        index = self._rng.choice((i1, i2))
-        path: List[int] = []
-        for _ in range(self._max_kicks):
-            start, _ = self._bucket_slice(index)
-            victim_slot = start + self._rng.randrange(self._bucket_size)
-            path.append(victim_slot)
-            fp, self._table[victim_slot] = self._table[victim_slot], fp
-            index = self._alt_index(index, fp)
-            if self._bucket_insert(index, fp):
-                self._count += 1
-                return
-        # Transactional failure: every kick step was a swap, so replaying
-        # the swaps in reverse restores the table exactly — a failed
-        # insert stores nothing and loses nothing (previously a stored
-        # copy of some *other* item was silently dropped here, which the
-        # stateful suite caught as a false negative).
-        for slot in reversed(path):
-            fp, self._table[slot] = self._table[slot], fp
-        raise FilterFullError(
-            f"cuckoo filter insert failed after {self._max_kicks} kicks "
-            f"(load factor {self.load_factor():.3f})"
+    def _alt_index_np(self, index, fp):
+        return (index ^ hash_int_np(fp, self._params.seed)) % np.uint64(
+            self._num_buckets
         )
-
-    # -- batch overrides -------------------------------------------------------
-
-    def _batch_candidates(self, items: Sequence[bytes]):
-        """Vectorized (fingerprint, bucket1, bucket2) triples — identical
-        values to the scalar ``_fingerprint``/``_index1``/``_alt_index``."""
-        seed = self._params.seed
-        nb = np.uint64(self._num_buckets)
-        i1 = hash64_np(items, seed) % nb
-        fps = fingerprint_np(items, self._fp_bits, seed)
-        i2 = (i1 ^ hash_int_np(fps, seed)) % nb
-        return fps, i1, i2
-
-    def _insert_batch(self, items: Sequence[bytes]) -> None:
-        if np is None or len(items) < VECTOR_MIN_BATCH:
-            return super()._insert_batch(items)
-        fps, i1s, i2s = self._batch_candidates(items)
-        table = self._table
-        bucket_size = self._bucket_size
-        for index in range(len(items)):
-            fp = int(fps[index])
-            b1 = int(i1s[index])
-            b2 = int(i2s[index])
-            placed = False
-            for b in (b1, b2):
-                start = b * bucket_size
-                for slot in range(start, start + bucket_size):
-                    if table[slot] == 0:
-                        table[slot] = fp
-                        placed = True
-                        break
-                if placed:
-                    break
-            if placed:
-                self._count += 1
-                continue
-            try:
-                self._kick(fp, b1, b2)
-            except FilterFullError as exc:
-                exc.inserted_count = index
-                raise
-
-    def _contains_batch(self, items: Sequence[bytes]) -> List[bool]:
-        if np is None or len(items) < VECTOR_MIN_BATCH:
-            return super()._contains_batch(items)
-        fps, i1, i2 = self._batch_candidates(items)
-        buckets = np.array(self._table, dtype=np.uint64).reshape(
-            self._num_buckets, self._bucket_size
-        )
-        want = fps[:, None]
-        hit = (buckets[i1.astype(np.intp)] == want).any(axis=1)
-        hit |= (buckets[i2.astype(np.intp)] == want).any(axis=1)
-        return hit.tolist()
-
-    def _delete_batch(self, items: Sequence[bytes]) -> List[bool]:
-        if np is None or len(items) < VECTOR_MIN_BATCH:
-            return super()._delete_batch(items)
-        fps, i1s, i2s = self._batch_candidates(items)
-        table = self._table
-        bucket_size = self._bucket_size
-        out: List[bool] = []
-        for index in range(len(items)):
-            fp = int(fps[index])
-            removed = False
-            for b in (int(i1s[index]), int(i2s[index])):
-                start = b * bucket_size
-                for slot in range(start, start + bucket_size):
-                    if table[slot] == fp:
-                        table[slot] = 0
-                        removed = True
-                        break
-                if removed:
-                    break
-            if removed:
-                self._count -= 1
-            out.append(removed)
-        return out
-
-    def _contains(self, item: bytes) -> bool:
-        fp = self._fingerprint(item)
-        i1 = self._index1(item)
-        if self._bucket_contains(i1, fp):
-            return True
-        return self._bucket_contains(self._alt_index(i1, fp), fp)
-
-    def _delete(self, item: bytes) -> bool:
-        fp = self._fingerprint(item)
-        i1 = self._index1(item)
-        if self._bucket_delete(i1, fp):
-            self._count -= 1
-            return True
-        if self._bucket_delete(self._alt_index(i1, fp), fp):
-            self._count -= 1
-            return True
-        return False
-
-    def slot_count(self) -> int:
-        return self._num_buckets * self._bucket_size
-
-    def effective_fpp(self) -> float:
-        """A negative lookup probes 2 buckets (2b slots); each occupied
-        slot matches with probability 2^-f, so at occupancy alpha the
-        rate is ``1 - (1 - 2^-f)^(2 b alpha)``."""
-        alpha = self.load_factor()
-        per_slot = 2.0 ** -self._fp_bits
-        return 1.0 - (1.0 - per_slot) ** (2 * self._bucket_size * alpha)
-
-    @property
-    def semi_sort(self) -> bool:
-        return self._semi_sort
-
-    def size_in_bytes(self) -> int:
-        if self._semi_sort:
-            return semisort.packed_size_bytes(self._num_buckets, self._fp_bits)
-        total_bits = self.slot_count() * self._fp_bits
-        return (total_bits + 7) // 8
-
-    # -- serialization ---------------------------------------------------------
-
-    def to_bytes(self) -> bytes:
-        """Pack the table: semi-sorted bucket encoding when enabled,
-        otherwise ``fingerprint_bits`` per slot, LSB-first."""
-        if self._semi_sort:
-            return semisort.pack_table(self._table, self._fp_bits)
-        bits = self._fp_bits
-        acc = 0
-        acc_bits = 0
-        out = bytearray()
-        for fp in self._table:
-            acc |= fp << acc_bits
-            acc_bits += bits
-            while acc_bits >= 8:
-                out.append(acc & 0xFF)
-                acc >>= 8
-                acc_bits -= 8
-        if acc_bits:
-            out.append(acc & 0xFF)
-        return bytes(out)
-
-    @classmethod
-    def from_bytes(
-        cls,
-        params: FilterParams,
-        payload: bytes,
-        bucket_size: int = DEFAULT_BUCKET_SIZE,
-        max_kicks: int = DEFAULT_MAX_KICKS,
-        semi_sort: bool = True,
-    ) -> "CuckooFilter":
-        filt = cls(
-            params, bucket_size=bucket_size, max_kicks=max_kicks, semi_sort=semi_sort
-        )
-        expected = filt.size_in_bytes()
-        if len(payload) != expected:
-            raise FilterSerializationError(
-                f"cuckoo payload is {len(payload)} bytes, expected {expected}"
-            )
-        if filt._semi_sort:
-            try:
-                table = semisort.unpack_table(payload, filt._num_buckets, filt._fp_bits)
-            except ValueError as exc:
-                raise FilterSerializationError(str(exc)) from exc
-            filt._table = table
-            filt._count = sum(1 for fp in table if fp)
-            return filt
-        bits = filt._fp_bits
-        mask = (1 << bits) - 1
-        acc = 0
-        acc_bits = 0
-        slot = 0
-        total_slots = filt.slot_count()
-        count = 0
-        for byte in payload:
-            acc |= byte << acc_bits
-            acc_bits += 8
-            while acc_bits >= bits and slot < total_slots:
-                fp = acc & mask
-                filt._table[slot] = fp
-                if fp:
-                    count += 1
-                acc >>= bits
-                acc_bits -= bits
-                slot += 1
-        if slot != total_slots:
-            raise FilterSerializationError(
-                f"cuckoo payload decoded {slot} slots, expected {total_slots}"
-            )
-        filt._count = count
-        return filt

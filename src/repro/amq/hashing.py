@@ -87,16 +87,41 @@ def double_hashes(data: bytes, count: int, seed: int = 0) -> Iterator[int]:
 VECTOR_MIN_BATCH = 32
 
 
+def _fnv1a64_multi_np(
+    items: Sequence[bytes], seeds: Sequence[int], length: int
+) -> "np.ndarray":
+    """Vectorized FNV-1a over same-length items for several seeds at once
+    (uint64, wrapping): shape ``(len(seeds), len(items))``.
+
+    A seed only perturbs the initial state, so every seed shares one byte
+    decode and one pass of the byte recurrence — the decode (join +
+    transpose into byte-major order) is the expensive part at batch
+    scale, and the filters all need two or three seeds per operation
+    (fingerprint + index, or the xor filter's three slot hashes).
+    """
+    u64 = np.uint64
+    n = len(items)
+    buf = np.frombuffer(b"".join(items), dtype=np.uint8)
+    # Byte-major (length, n) C-contiguous: step j of the FNV recurrence
+    # streams one contiguous row instead of a stride-``length`` gather.
+    # The bytes stay uint8 and widen through one reused scratch row per
+    # step — cheaper than materializing the whole matrix as uint64.
+    cols = np.ascontiguousarray(buf.reshape(n, length).T)
+    h = np.empty((len(seeds), n), dtype=u64)
+    for k, seed in enumerate(seeds):
+        h[k] = u64((_FNV_OFFSET ^ (seed * _SM_GAMMA)) & MASK64)
+    prime = u64(_FNV_PRIME)
+    row = np.empty(n, dtype=u64)
+    for j in range(length):
+        np.copyto(row, cols[j], casting="unsafe")
+        np.bitwise_xor(h, row, out=h)
+        np.multiply(h, prime, out=h)
+    return h
+
+
 def _fnv1a64_np(items: Sequence[bytes], seed: int, length: int) -> "np.ndarray":
     """Vectorized FNV-1a over same-length items (uint64, wrapping)."""
-    u64 = np.uint64
-    buf = np.frombuffer(b"".join(items), dtype=np.uint8)
-    cols = buf.reshape(len(items), length).astype(u64)
-    h = np.full(len(items), (_FNV_OFFSET ^ (seed * _SM_GAMMA)) & MASK64, dtype=u64)
-    prime = u64(_FNV_PRIME)
-    for j in range(length):
-        h = (h ^ cols[:, j]) * prime
-    return h
+    return _fnv1a64_multi_np(items, (seed,), length)[0]
 
 
 def splitmix64_np(x: "np.ndarray") -> "np.ndarray":
@@ -108,29 +133,46 @@ def splitmix64_np(x: "np.ndarray") -> "np.ndarray":
     return x ^ (x >> u64(31))
 
 
-def hash64_np(items: Sequence[bytes], seed: int = 0) -> "np.ndarray":
-    """Vectorized :func:`hash64`: one uint64 per item, batch order.
-
-    Mixed-length batches are hashed per length group (the hot paths only
-    ever see uniform 32-byte fingerprints, so the grouping is free there).
+def hash64_multi_np(items: Sequence[bytes], seeds: Sequence[int]) -> "np.ndarray":
+    """Vectorized :func:`hash64` for several seeds over one byte decode:
+    row ``k`` holds ``hash64(item, seeds[k])`` for every item, batch
+    order. Mixed-length batches are hashed per length group (the hot
+    paths only ever see uniform 32-byte fingerprints, so the grouping is
+    free there).
     """
     n = len(items)
     first_len = len(items[0])
-    if all(len(item) == first_len for item in items):
-        return splitmix64_np(_fnv1a64_np(items, seed, first_len))
-    out = np.empty(n, dtype=np.uint64)
+    lens = np.fromiter(map(len, items), dtype=np.intp, count=n)
+    if (lens == first_len).all():
+        return splitmix64_np(_fnv1a64_multi_np(items, seeds, first_len))
+    out = np.empty((len(seeds), n), dtype=np.uint64)
     by_length: "dict[int, list[int]]" = {}
     for idx, item in enumerate(items):
         by_length.setdefault(len(item), []).append(idx)
     for length, idxs in by_length.items():
         group = [items[i] for i in idxs]
-        out[idxs] = splitmix64_np(_fnv1a64_np(group, seed, length))
+        out[:, idxs] = splitmix64_np(_fnv1a64_multi_np(group, seeds, length))
     return out
+
+
+def hash64_np(items: Sequence[bytes], seed: int = 0) -> "np.ndarray":
+    """Vectorized :func:`hash64`: one uint64 per item, batch order."""
+    return hash64_multi_np(items, (seed,))[0]
 
 
 def hash_int_np(values: "np.ndarray", seed: int = 0) -> "np.ndarray":
     """Vectorized :func:`hash_int` over a uint64 array."""
     return splitmix64_np(values ^ np.uint64((seed * _SM_GAMMA) & MASK64))
+
+
+def double_hashes_np(items: Sequence[bytes], count: int, seed: int = 0):
+    """Vectorized :func:`double_hashes`: a list of ``count`` uint64 arrays,
+    array ``i`` holding hash ``g_i`` of every item (bit-identical to the
+    scalar generator, modulo 2^64)."""
+    u64 = np.uint64
+    h1, h2 = hash64_multi_np(items, (seed, seed + 0x51ED))
+    h2 = h2 | u64(1)
+    return [h1 + u64(i) * h2 + u64(i * i) for i in range(count)]
 
 
 def fingerprint_np(items: Sequence[bytes], bits: int, seed: int = 0) -> "np.ndarray":

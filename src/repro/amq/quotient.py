@@ -21,6 +21,13 @@ Deletion rebuilds the affected cluster (the maximal contiguous non-empty
 slot range) from its decoded ``(quotient, remainder)`` cells. Clusters stay
 short at practical load factors, so this keeps the implementation compact
 and verifiably correct, which matters more here than constant-factor speed.
+
+The layout is *history independent*: the table contents are a pure function
+of the stored (quotient, remainder) multiset (each cluster stores its runs
+in quotient order, each run sorted, packed by linear probing). The bulk
+build exploits this: sorting the cells and solving the placement recurrence
+``pos_i = max(q_i, pos_{i-1} + 1)`` with two vectorized max-scans produces
+the exact table an insert loop would, without touching Python per cell.
 """
 
 from __future__ import annotations
@@ -28,6 +35,7 @@ from __future__ import annotations
 from collections import deque
 from typing import List, Sequence, Tuple
 
+from repro.amq import bitpack
 from repro.amq.base import AMQFilter, FilterParams
 from repro.amq.hashing import VECTOR_MIN_BATCH, hash64, hash64_np, np
 from repro.amq.sizing import quotient_geometry, remainder_bits_for_fpp
@@ -45,10 +53,16 @@ class QuotientFilter(AMQFilter):
         self._slots = quotient_geometry(params.capacity, params.load_factor)
         self._q_bits = self._slots.bit_length() - 1
         self._r_bits = remainder_bits_for_fpp(params.fpp)
-        self._occ = [False] * self._slots
-        self._cont = [False] * self._slots
-        self._shift = [False] * self._slots
-        self._rem = [0] * self._slots
+        if np is not None:
+            self._occ = np.zeros(self._slots, dtype=bool)
+            self._cont = np.zeros(self._slots, dtype=bool)
+            self._shift = np.zeros(self._slots, dtype=bool)
+            self._rem = np.zeros(self._slots, dtype=np.uint64)
+        else:
+            self._occ = [False] * self._slots
+            self._cont = [False] * self._slots
+            self._shift = [False] * self._slots
+            self._rem = [0] * self._slots
 
     # -- geometry ---------------------------------------------------------------
 
@@ -122,8 +136,8 @@ class QuotientFilter(AMQFilter):
         self._count += 1
 
     def _insert_qr(self, q: int, rem: int) -> None:
-        was_occupied = self._occ[q]
-        if self._slot_empty(q) and not was_occupied:
+        was_occupied = bool(self._occ[q])
+        if not was_occupied and self._slot_empty(q):
             self._occ[q] = True
             self._rem[q] = rem
             return
@@ -168,8 +182,8 @@ class QuotientFilter(AMQFilter):
                 self._cont[pos] = carry_cont
                 self._shift[pos] = shifted_flag
                 return
-            occ_rem = self._rem[pos]
-            occ_cont = self._cont[pos]
+            occ_rem = int(self._rem[pos])
+            occ_cont = bool(self._cont[pos])
             self._rem[pos] = carry_rem
             self._cont[pos] = carry_cont
             self._shift[pos] = shifted_flag
@@ -198,16 +212,23 @@ class QuotientFilter(AMQFilter):
 
     # -- batch overrides ------------------------------------------------------
 
-    def _qr_batch(self, items: Sequence[bytes]) -> "List[Tuple[int, int]]":
-        """Vectorized :meth:`_qr` — one (quotient, remainder) per item."""
+    def _qr_batch_np(self, items: Sequence[bytes]):
+        """Vectorized :meth:`_qr` — (quotient, remainder) uint64 arrays."""
         h = hash64_np(items, self._params.seed)
         rem = h & np.uint64((1 << self._r_bits) - 1)
         quo = (h >> np.uint64(self._r_bits)) & np.uint64(self._slots - 1)
+        return quo, rem
+
+    def _qr_batch(self, items: Sequence[bytes]) -> "List[Tuple[int, int]]":
+        """Vectorized :meth:`_qr` — one (quotient, remainder) per item."""
+        quo, rem = self._qr_batch_np(items)
         return list(zip(quo.tolist(), rem.tolist()))
 
     def _insert_batch(self, items: Sequence[bytes]) -> None:
         if np is None or len(items) < VECTOR_MIN_BATCH:
             return super()._insert_batch(items)
+        if self._count == 0:
+            return self._bulk_build(items)
         limit = self._slots - 1
         for index, (q, rem) in enumerate(self._qr_batch(items)):
             if self._count >= limit:
@@ -218,9 +239,67 @@ class QuotientFilter(AMQFilter):
             self._insert_qr(q, rem)
             self._count += 1
 
+    def _bulk_build(self, items: Sequence[bytes]) -> None:
+        """Vectorized build into an empty table.
+
+        The layout is history independent, so the cells can be placed in
+        sorted (quotient, remainder) order: the placement recurrence
+        ``pos_i = max(q_i, pos_{i-1} + 1)`` linearizes to a running max of
+        ``q_i - i``, one ``np.maximum.accumulate`` pass. Cells pushed past
+        the last slot wrap to positions ``0..w-1`` (they are consecutive:
+        each is shifted, so each sits one past its predecessor), which in
+        turn displaces the start of the table by ``w`` — a second
+        max-scan pass with floor ``w``. The overflow count must agree
+        between passes; the rare disagreement (wrap interacting with
+        wrap) falls back to the scalar loop.
+        """
+        limit = self._slots - 1
+        allowed = min(len(items), limit)
+        quo, rem = self._qr_batch_np(items)
+        q_all, r_all = quo, rem
+        quo, rem = quo[:allowed], rem[:allowed]
+        order = np.lexsort((rem, quo))
+        q_s = quo[order].astype(np.int64)
+        r_s = rem[order]
+        n = allowed
+        ar = np.arange(n, dtype=np.int64)
+        base = np.maximum.accumulate(q_s - ar)
+        pos = base + ar
+        w = int(np.count_nonzero(pos >= self._slots))
+        if w:
+            pos = np.maximum(base, w) + ar
+            if int(np.count_nonzero(pos >= self._slots)) != w:
+                return self._bulk_build_fallback(q_all, r_all, allowed, len(items))
+        posm = pos % self._slots
+        first_of_run = np.empty(n, dtype=bool)
+        first_of_run[0] = True
+        first_of_run[1:] = q_s[1:] != q_s[:-1]
+        self._occ[q_s] = True
+        self._cont[posm] = ~first_of_run
+        self._shift[posm] = pos != q_s
+        self._rem[posm] = r_s
+        self._count = n
+        if allowed < len(items):
+            raise FilterFullError(
+                f"quotient filter full ({self._count}/{self._slots} slots)",
+                inserted_count=allowed,
+            )
+
+    def _bulk_build_fallback(self, quo, rem, allowed: int, total: int) -> None:
+        for index in range(allowed):
+            self._insert_qr(int(quo[index]), int(rem[index]))
+            self._count += 1
+        if allowed < total:
+            raise FilterFullError(
+                f"quotient filter full ({self._count}/{self._slots} slots)",
+                inserted_count=allowed,
+            )
+
     def _contains_batch(self, items: Sequence[bytes]) -> List[bool]:
         if np is None or len(items) < VECTOR_MIN_BATCH:
             return super()._contains_batch(items)
+        if len(items) >= max(VECTOR_MIN_BATCH, self._slots >> 6):
+            return self._contains_batch_np(items)
         occ = self._occ
         cont = self._cont
         rems = self._rem
@@ -245,6 +324,52 @@ class QuotientFilter(AMQFilter):
                     break
             out.append(hit)
         return out
+
+    def _contains_batch_np(self, items: Sequence[bytes]) -> List[bool]:
+        """Fully vectorized membership: all queries walk their runs in
+        lockstep over a periodically tiled table.
+
+        The table is tiled 4x so no index ever wraps: queries probe their
+        quotient's second copy (``q + slots``), whose cluster start lies
+        within the preceding copy, whose run start lies at most ``slots``
+        cells further right, and whose run extends at most ``slots`` more —
+        all inside the tiling. Per-query state then advances with masked
+        vector steps, one iteration per run cell (runs are short at any
+        practical load factor).
+        """
+        slots = self._slots
+        quo, rem = self._qr_batch_np(items)
+        q = quo.astype(np.intp)
+        occ4 = np.tile(self._occ, 4)
+        cont4 = np.tile(self._cont, 4)
+        shift4 = np.tile(self._shift, 4)
+        rem4 = np.tile(self._rem, 4)
+        qd = q + slots
+        # Cluster start: nearest non-shifted slot at or left of qd.
+        idx2 = np.arange(2 * slots, dtype=np.int64)
+        cs_all = np.maximum.accumulate(np.where(shift4[: 2 * slots], -1, idx2))
+        cs = cs_all[qd]
+        # q's run is the k-th of its cluster, k = occupied canonicals in
+        # (cs, qd]; run heads are non-continuation non-empty cells.
+        occ_cum = np.cumsum(occ4)
+        k = occ_cum[qd] - occ_cum[cs]
+        nonempty4 = occ4 | cont4 | shift4
+        heads4 = ~cont4 & nonempty4
+        head_pos = np.flatnonzero(heads4)
+        head_cum = np.cumsum(heads4)
+        active = occ4[qd]
+        head_index = np.where(active, head_cum[cs] - 1 + k, 0)
+        pos = head_pos[head_index]
+        hits = np.zeros(len(items), dtype=bool)
+        while active.any():
+            stored = rem4[pos]
+            eq = stored == rem
+            hits |= active & eq
+            active = active & ~eq & (stored < rem)
+            nxt = pos + 1
+            active = active & cont4[nxt]
+            pos = np.where(active, nxt, pos)
+        return hits.tolist()
 
     def count_of(self, item: bytes) -> int:
         """Number of stored occurrences of ``item``'s remainder in its run
@@ -295,7 +420,7 @@ class QuotientFilter(AMQFilter):
                 pending.append(pos)
             if not self._cont[pos]:
                 cur_q = pending.popleft()
-            cells.append((cur_q, self._rem[pos]))
+            cells.append((cur_q, int(self._rem[pos])))
             pos = (pos + 1) % self._slots
             if pos == cs:
                 break  # table fully cycled (pathological, guarded anyway)
@@ -312,36 +437,26 @@ class QuotientFilter(AMQFilter):
     # -- serialization -------------------------------------------------------------
 
     @staticmethod
-    def _pack_bits(flags: "list[bool]") -> bytes:
-        out = bytearray(len(flags) // 8)
-        for i, flag in enumerate(flags):
-            if flag:
-                out[i >> 3] |= 1 << (i & 7)
-        return bytes(out)
+    def _pack_bits(flags) -> bytes:
+        return bitpack.pack_flags(flags)
 
     @staticmethod
-    def _unpack_bits(data: bytes, count: int) -> "list[bool]":
-        return [bool(data[i >> 3] & (1 << (i & 7))) for i in range(count)]
+    def _unpack_bits(data: bytes, count: int):
+        return bitpack.unpack_flags(data, count)
 
     def to_bytes(self) -> bytes:
-        bitmap_len = self._slots // 8
         out = bytearray()
-        out += self._pack_bits(self._occ)
-        out += self._pack_bits(self._cont)
-        out += self._pack_bits(self._shift)
-        acc = 0
-        acc_bits = 0
-        for rem in self._rem:
-            acc |= rem << acc_bits
-            acc_bits += self._r_bits
-            while acc_bits >= 8:
-                out.append(acc & 0xFF)
-                acc >>= 8
-                acc_bits -= 8
-        if acc_bits:
-            out.append(acc & 0xFF)
-        assert len(out) >= 3 * bitmap_len
+        out += bitpack.pack_flags(self._occ)
+        out += bitpack.pack_flags(self._cont)
+        out += bitpack.pack_flags(self._shift)
+        out += bitpack.pack_uniform(self._rem, self._r_bits)
         return bytes(out)
+
+    @classmethod
+    def expected_payload_bytes(cls, params: FilterParams) -> int:
+        slots = quotient_geometry(params.capacity, params.load_factor)
+        r_bits = remainder_bits_for_fpp(params.fpp)
+        return 3 * (slots // 8) + (slots * r_bits + 7) // 8
 
     @classmethod
     def from_bytes(cls, params: FilterParams, payload: bytes) -> "QuotientFilter":
@@ -353,28 +468,29 @@ class QuotientFilter(AMQFilter):
             raise FilterSerializationError(
                 f"quotient payload is {len(payload)} bytes, expected {expected}"
             )
-        filt._occ = cls._unpack_bits(payload[:bitmap_len], filt._slots)
-        filt._cont = cls._unpack_bits(
-            payload[bitmap_len : 2 * bitmap_len], filt._slots
-        )
-        filt._shift = cls._unpack_bits(
+        occ = bitpack.unpack_flags(payload[:bitmap_len], filt._slots)
+        cont = bitpack.unpack_flags(payload[bitmap_len : 2 * bitmap_len], filt._slots)
+        shift = bitpack.unpack_flags(
             payload[2 * bitmap_len : 3 * bitmap_len], filt._slots
         )
-        mask = (1 << filt._r_bits) - 1
-        acc = 0
-        acc_bits = 0
-        slot = 0
-        for byte in payload[3 * bitmap_len :]:
-            acc |= byte << acc_bits
-            acc_bits += 8
-            while acc_bits >= filt._r_bits and slot < filt._slots:
-                filt._rem[slot] = acc & mask
-                acc >>= filt._r_bits
-                acc_bits -= filt._r_bits
-                slot += 1
-        if slot != filt._slots:
-            raise FilterSerializationError(
-                f"quotient payload decoded {slot} slots, expected {filt._slots}"
+        try:
+            rem = bitpack.unpack_uniform(
+                payload[3 * bitmap_len :], filt._slots, filt._r_bits
             )
-        filt._count = sum(1 for p in range(filt._slots) if not filt._slot_empty(p))
+        except ValueError as exc:
+            raise FilterSerializationError(str(exc)) from exc
+        if np is not None:
+            filt._occ[:] = occ
+            filt._cont[:] = cont
+            filt._shift[:] = shift
+            filt._rem[:] = rem
+            filt._count = int(np.count_nonzero(occ | cont | shift))
+        else:
+            filt._occ = occ
+            filt._cont = cont
+            filt._shift = shift
+            filt._rem = rem
+            filt._count = sum(
+                1 for p in range(filt._slots) if not filt._slot_empty(p)
+            )
         return filt

@@ -18,6 +18,9 @@ from __future__ import annotations
 from itertools import combinations_with_replacement
 from typing import List, Sequence
 
+from repro.amq import bitpack
+from repro.amq.hashing import np
+
 BUCKET_SIZE = 4
 INDEX_BITS = 12
 #: Minimum fingerprint width for the encoding (needs >= 0 high bits and
@@ -30,6 +33,29 @@ _TUPLES: "list[tuple[int, int, int, int]]" = sorted(
 _TUPLE_TO_INDEX = {t: i for i, t in enumerate(_TUPLES)}
 
 assert len(_TUPLES) == 3876  # fits in 12 bits
+
+# Lazily-built numpy companions of the tuple tables: _NP_TUPLES maps a
+# multiset index to its four sorted nibbles; _NP_RANK maps the 16-bit
+# nibble concatenation (n0<<12 | n1<<8 | n2<<4 | n3) of a *sorted* tuple
+# back to its index.
+_NP_TUPLES = None
+_NP_RANK = None
+
+
+def _np_tables():
+    global _NP_TUPLES, _NP_RANK
+    if _NP_TUPLES is None:
+        _NP_TUPLES = np.array(_TUPLES, dtype=np.uint64)
+        keys = (
+            (_NP_TUPLES[:, 0] << np.uint64(12))
+            | (_NP_TUPLES[:, 1] << np.uint64(8))
+            | (_NP_TUPLES[:, 2] << np.uint64(4))
+            | _NP_TUPLES[:, 3]
+        )
+        rank = np.zeros(1 << 16, dtype=np.uint64)
+        rank[keys.astype(np.intp)] = np.arange(len(_TUPLES), dtype=np.uint64)
+        _NP_RANK = rank
+    return _NP_TUPLES, _NP_RANK
 
 
 def encoded_bucket_bits(fp_bits: int) -> int:
@@ -61,9 +87,45 @@ def decode_bucket(index: int, highs: Sequence[int], fp_bits: int) -> List[int]:
     return [(high << 4) | nib for nib, high in zip(nibbles, highs)]
 
 
-def pack_table(table: Sequence[int], fp_bits: int) -> bytes:
-    """Semi-sort-encode a flat slot table (len divisible by 4)."""
+def pack_table(table, fp_bits: int) -> bytes:
+    """Semi-sort-encode a flat slot table (len divisible by 4).
+
+    Accepts a Python sequence or a uint64 array; the vectorized path
+    (sort the (nibble, high) pairs per bucket as composite keys, look the
+    sorted nibbles up in a 64 K rank table, pack the five fields as
+    interleaved records) emits the same bytes as the scalar
+    ``encode_bucket`` loop.
+    """
     high_bits = fp_bits - 4
+    # The composite sort key stores the high part in 32 bits, so very wide
+    # fingerprints (tiny fpp) use the scalar emit loop instead.
+    if (
+        np is not None
+        and isinstance(table, np.ndarray)
+        and high_bits <= bitpack.MAX_FIELD_BITS
+    ):
+        u64 = np.uint64
+        t = np.ascontiguousarray(table, dtype=u64).reshape(-1, BUCKET_SIZE)
+        # Composite sort key: lexicographic (low nibble, high part), as
+        # in ``sorted((fp & 0xF, fp >> 4) for fp in bucket)``.
+        key = ((t & u64(0xF)) << u64(32)) | (t >> u64(4))
+        key = np.sort(key, axis=1)
+        lows = key >> u64(32)
+        highs = key & u64(0xFFFFFFFF)
+        nibble_key = (
+            (lows[:, 0] << u64(12))
+            | (lows[:, 1] << u64(8))
+            | (lows[:, 2] << u64(4))
+            | lows[:, 3]
+        )
+        _, rank = _np_tables()
+        index = rank[nibble_key.astype(np.intp)]
+        return bitpack.pack_records(
+            [(index, INDEX_BITS)]
+            + [(np.ascontiguousarray(highs[:, j]), high_bits) for j in range(4)]
+        )
+    if np is not None and isinstance(table, np.ndarray):
+        table = [int(fp) for fp in table]
     acc = 0
     acc_bits = 0
     out = bytearray()
@@ -88,8 +150,35 @@ def pack_table(table: Sequence[int], fp_bits: int) -> bytes:
 
 
 def unpack_table(data: bytes, num_buckets: int, fp_bits: int) -> List[int]:
-    """Inverse of :func:`pack_table`."""
+    """Inverse of :func:`pack_table` (always returns a list of ints; use
+    :func:`unpack_table_array` on the array-native path)."""
+    table = unpack_table_array(data, num_buckets, fp_bits)
+    if np is not None and isinstance(table, np.ndarray):
+        return [int(fp) for fp in table]
+    return table
+
+
+def unpack_table_array(data: bytes, num_buckets: int, fp_bits: int):
+    """Decode a semi-sorted payload into a flat slot table (uint64 array
+    when numpy is available, else a list)."""
     high_bits = fp_bits - 4
+    if np is not None and high_bits <= bitpack.MAX_FIELD_BITS:
+        if len(data) < packed_size_bytes(num_buckets, fp_bits):
+            raise ValueError("semi-sorted payload truncated")
+        fields = bitpack.unpack_records(
+            data, num_buckets, [INDEX_BITS] + [high_bits] * BUCKET_SIZE
+        )
+        index = fields[0]
+        if index.size and int(index.max()) >= len(_TUPLES):
+            raise ValueError(
+                f"semi-sort index {int(index.max())} out of range"
+            )
+        tuples, _ = _np_tables()
+        nibbles = tuples[index.astype(np.intp)]  # (num_buckets, 4)
+        table = np.empty(num_buckets * BUCKET_SIZE, dtype=np.uint64)
+        for j in range(BUCKET_SIZE):
+            table[j::BUCKET_SIZE] = (fields[1 + j] << np.uint64(4)) | nibbles[:, j]
+        return table
     acc = 0
     acc_bits = 0
     pos = 0

@@ -36,7 +36,7 @@ from repro.amq.cuckoo import CuckooFilter
 from repro.amq.quotient import QuotientFilter
 from repro.amq.vacuum import VacuumFilter
 from repro.amq.xor import XorFilter
-from repro.errors import FilterSerializationError
+from repro.errors import ConfigurationError, FilterSerializationError
 
 _MAGIC = b"\xa3\x01"
 _HEADER = struct.Struct(">2sBIHBIH")
@@ -150,12 +150,27 @@ def deserialize_filter(data: bytes) -> AMQFilter:
         raise FilterSerializationError(
             f"filter payload is {len(payload)} bytes, header declares {payload_len}"
         )
-    params = FilterParams(
-        capacity=capacity,
-        fpp=dequantize_fpp(fpp_enc),
-        load_factor=dequantize_load_factor(lf_enc),
-        seed=seed,
-    )
+    try:
+        params = FilterParams(
+            capacity=capacity,
+            fpp=dequantize_fpp(fpp_enc),
+            load_factor=dequantize_load_factor(lf_enc),
+            seed=seed,
+        )
+    except ConfigurationError as exc:
+        raise FilterSerializationError(
+            f"wire image carries invalid filter params: {exc}"
+        ) from exc
+    # The header's payload_len only proves the image is self-consistent; a
+    # truncated-but-self-consistent image must also match the geometry the
+    # decoded params imply, or from_bytes would build a mis-sized filter.
+    expected = cls.expected_payload_bytes(params)
+    if payload_len != expected:
+        raise FilterSerializationError(
+            f"{cls.name} payload of {payload_len} bytes does not match the "
+            f"geometry derived from its parameters ({expected} bytes expected "
+            f"for capacity={params.capacity})"
+        )
     return cls.from_bytes(params, payload)
 
 

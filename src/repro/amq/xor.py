@@ -16,13 +16,19 @@ dirty; any query or serialization rebuilds first. ``supports_deletion``
 is False — a deletion is a rebuild, exactly the cost the paper cites for
 static structures, and exactly what :class:`~repro.core.manager.
 FilterManager` meters when this filter is plugged into the pipeline.
+
+The table is a preallocated ``uint64`` array; construction vectorizes
+the per-item hashing but keeps the peel loop scalar on purpose — the
+LIFO peel order determines the final slot values, and with them the wire
+image, so it is pinned exactly as the original implementation wrote it.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
+from repro.amq import bitpack
 from repro.amq.base import AMQFilter, FilterParams
 from repro.amq.hashing import (
     VECTOR_MIN_BATCH,
@@ -59,7 +65,10 @@ class XorFilter(AMQFilter):
         super().__init__(params)
         self._fp_bits = xor_fingerprint_bits(params.fpp)
         self._slots = xor_slot_count(params.capacity)
-        self._table: List[int] = [0] * self._slots
+        if np is not None:
+            self._table = np.zeros(self._slots, dtype=np.uint64)
+        else:
+            self._table = [0] * self._slots
         self._items: List[bytes] = []
         self._dirty = False
         self._construction_seed = 0
@@ -92,6 +101,20 @@ class XorFilter(AMQFilter):
         fp = splitmix64(base ^ 0xF0F0) & ((1 << self._fp_bits) - 1)
         return h0, h1, h2, fp
 
+    def _hash_triples(self, items: Sequence[bytes], construction_seed: int):
+        """:meth:`_hashes` for every item — vectorized when it pays off,
+        always producing the identical (h0, h1, h2, fp) tuples."""
+        if np is None or len(items) < VECTOR_MIN_BATCH:
+            return [self._hashes(item, construction_seed) for item in items]
+        u64 = np.uint64
+        base = hash64_np(items, self._params.seed ^ (construction_seed * 0x9E37))
+        third = u64(self._slots // 3)
+        h0 = base % third
+        h1 = third + splitmix64_np(base ^ u64(0xA5A5)) % third
+        h2 = u64(2) * third + splitmix64_np(base ^ u64(0x5A5A)) % third
+        fp = splitmix64_np(base ^ u64(0xF0F0)) & u64((1 << self._fp_bits) - 1)
+        return list(zip(h0.tolist(), h1.tolist(), h2.tolist(), fp.tolist()))
+
     # -- construction ------------------------------------------------------------
 
     def _rebuild(self) -> None:
@@ -113,10 +136,8 @@ class XorFilter(AMQFilter):
         # slot -> xor of incident item indices, and degree counts.
         xor_of_items = [0] * slots
         degree = [0] * slots
-        triples = []
-        for idx, item in enumerate(self._build_items):
-            h0, h1, h2, fp = self._hashes(item, construction_seed)
-            triples.append((h0, h1, h2, fp))
+        triples = self._hash_triples(self._build_items, construction_seed)
+        for idx, (h0, h1, h2, _fp) in enumerate(triples):
             for h in (h0, h1, h2):
                 xor_of_items[h] ^= idx
                 degree[h] += 1
@@ -136,12 +157,18 @@ class XorFilter(AMQFilter):
                     queue.append(h)
         if len(stack) != len(self._build_items):
             return False  # 2-core remained; retry with another seed
-        # Assign in reverse peel order.
+        # Assign in reverse peel order. The order is load-bearing (each
+        # slot value depends on the three it XORs with), so this loop
+        # stays scalar over a plain list and lands in the persistent
+        # array in one copy.
         table = [0] * slots
         for slot, idx in reversed(stack):
             h0, h1, h2, fp = triples[idx]
             table[slot] = fp ^ table[h0] ^ table[h1] ^ table[h2] ^ table[slot]
-        self._table = table
+        if np is not None:
+            self._table[:] = table
+        else:
+            self._table = table
         return True
 
     # -- AMQFilter interface ---------------------------------------------------------
@@ -159,7 +186,9 @@ class XorFilter(AMQFilter):
         if self._dirty:
             self._rebuild()
         h0, h1, h2, fp = self._hashes(item, self._construction_seed)
-        return (self._table[h0] ^ self._table[h1] ^ self._table[h2]) == fp
+        return int(self._table[h0]) ^ int(self._table[h1]) ^ int(
+            self._table[h2]
+        ) == fp
 
     def _delete(self, item: bytes) -> bool:
         raise self._deletion_unsupported()
@@ -195,7 +224,7 @@ class XorFilter(AMQFilter):
         h1 = third + splitmix64_np(base ^ u64(0xA5A5)) % third
         h2 = u64(2) * third + splitmix64_np(base ^ u64(0x5A5A)) % third
         fp = splitmix64_np(base ^ u64(0xF0F0)) & u64((1 << self._fp_bits) - 1)
-        table = np.array(self._table, dtype=u64)
+        table = self._table
         hit = (
             table[h0.astype(np.intp)]
             ^ table[h1.astype(np.intp)]
@@ -214,20 +243,13 @@ class XorFilter(AMQFilter):
         header = self._construction_seed.to_bytes(1, "big") + self._count.to_bytes(
             4, "big"
         )
-        bits = self._fp_bits
-        acc = 0
-        acc_bits = 0
-        out = bytearray(header)
-        for fp in self._table:
-            acc |= fp << acc_bits
-            acc_bits += bits
-            while acc_bits >= 8:
-                out.append(acc & 0xFF)
-                acc >>= 8
-                acc_bits -= 8
-        if acc_bits:
-            out.append(acc & 0xFF)
-        return bytes(out)
+        return header + bitpack.pack_uniform(self._table, self._fp_bits)
+
+    @classmethod
+    def expected_payload_bytes(cls, params: FilterParams) -> int:
+        slots = xor_slot_count(params.capacity)
+        fp_bits = xor_fingerprint_bits(params.fpp)
+        return 5 + (slots * fp_bits + 7) // 8
 
     @classmethod
     def from_bytes(cls, params: FilterParams, payload: bytes) -> "XorFilter":
@@ -237,25 +259,27 @@ class XorFilter(AMQFilter):
             raise FilterSerializationError(
                 f"xor payload is {len(payload)} bytes, expected {expected}"
             )
-        filt._construction_seed = payload[0]
-        filt._count = int.from_bytes(payload[1:5], "big")
-        bits = filt._fp_bits
-        mask = (1 << bits) - 1
-        acc = 0
-        acc_bits = 0
-        slot = 0
-        for byte in payload[5:]:
-            acc |= byte << acc_bits
-            acc_bits += 8
-            while acc_bits >= bits and slot < filt._slots:
-                filt._table[slot] = acc & mask
-                acc >>= bits
-                acc_bits -= bits
-                slot += 1
-        if slot != filt._slots:
+        construction_seed = payload[0]
+        if construction_seed >= _MAX_CONSTRUCTION_ATTEMPTS:
             raise FilterSerializationError(
-                f"xor payload decoded {slot} slots, expected {filt._slots}"
+                f"xor construction seed {construction_seed} out of range "
+                f"(< {_MAX_CONSTRUCTION_ATTEMPTS})"
             )
+        count = int.from_bytes(payload[1:5], "big")
+        if count > params.capacity:
+            raise FilterSerializationError(
+                f"xor stored count {count} exceeds capacity {params.capacity}"
+            )
+        filt._construction_seed = construction_seed
+        filt._count = count
+        try:
+            table = bitpack.unpack_uniform(payload[5:], filt._slots, filt._fp_bits)
+        except ValueError as exc:
+            raise FilterSerializationError(str(exc)) from exc
+        if np is not None:
+            filt._table[:] = table
+        else:
+            filt._table = list(table)
         filt._dirty = False
         # Items are not transported; a deserialized filter is query-only
         # in the sense that any insert triggers a from-scratch rebuild of

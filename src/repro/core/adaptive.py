@@ -126,9 +126,7 @@ class AdaptiveSuppressor:
             )
         )
         cls = filter_class_for_name(self.filter_kind)
-        filt = cls(params)
-        filt.insert_all(history.fingerprints)
-        return filt
+        return cls.build_from_fingerprints(params, history.fingerprints)
 
     def client_config(
         self,

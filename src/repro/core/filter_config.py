@@ -113,8 +113,7 @@ class FilterPlan:
         if cached is not None:
             return deserialize_filter(cached)
         cls = filter_class_for_name(self.filter_kind)
-        filt = cls(self.params)
-        filt.insert_all(items)
+        filt = cls.build_from_fingerprints(self.params, items)
         artifacts.FILTER_BUILDS.put(key, serialize_filter(filt))
         return filt
 

@@ -81,22 +81,26 @@ class FilterManager:
         self.rebuilds += 1
         self.version += 1
         obs.inc("core.filter_manager.rebuilds")
-        needed = max(len(self._cache), 1)
-        new_capacity = capacity or max(
-            self._plan.params.capacity, int(needed * 1.25) + 8
-        )
-        params = canonical_params(
-            FilterParams(
-                capacity=new_capacity,
-                fpp=self._plan.params.fpp,
-                load_factor=self._plan.params.load_factor,
-                seed=self._plan.params.seed,
+        with obs.span(
+            "core.filter_manager.rebuild",
+            (("backend", self._plan.filter_kind),),
+        ):
+            needed = max(len(self._cache), 1)
+            new_capacity = capacity or max(
+                self._plan.params.capacity, int(needed * 1.25) + 8
             )
-        )
-        cls = filter_class_for_name(self._plan.filter_kind)
-        rebuilt = cls(params)
-        rebuilt.insert_batch(self._cache.fingerprints())
-        self._filter = rebuilt
+            params = canonical_params(
+                FilterParams(
+                    capacity=new_capacity,
+                    fpp=self._plan.params.fpp,
+                    load_factor=self._plan.params.load_factor,
+                    seed=self._plan.params.seed,
+                )
+            )
+            cls = filter_class_for_name(self._plan.filter_kind)
+            self._filter = cls.build_from_fingerprints(
+                params, self._cache.fingerprints()
+            )
 
     def force_rebuild(self) -> None:
         """Rebuild at the planned capacity (e.g. after bulk expiry, to

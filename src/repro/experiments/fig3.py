@@ -256,6 +256,132 @@ def batch_throughput(
     return results
 
 
+@dataclass(frozen=True)
+class BulkBuildThroughputResult:
+    """Scalar loop vs batch insert vs ``build_from_fingerprints`` for one
+    structure, plus the query throughput of the finished filter."""
+
+    kind: str
+    num_items: int
+    scalar_build_ops_per_s: float
+    batch_build_ops_per_s: float
+    bulk_build_ops_per_s: float
+    scalar_query_ops_per_s: float
+    batch_query_ops_per_s: float
+
+    @property
+    def batch_build_speedup(self) -> float:
+        return self.batch_build_ops_per_s / self.scalar_build_ops_per_s
+
+    @property
+    def bulk_build_speedup(self) -> float:
+        return self.bulk_build_ops_per_s / self.scalar_build_ops_per_s
+
+    @property
+    def batch_query_speedup(self) -> float:
+        return self.batch_query_ops_per_s / self.scalar_query_ops_per_s
+
+
+def bulk_build_throughput(
+    kinds: Sequence[str] = BATCH_KINDS,
+    num_items: int = 1 << 16,
+    seed: int = 7,
+) -> List[BulkBuildThroughputResult]:
+    """Build-path throughput at 2^16 scale: the scalar insert loop every
+    session construction used to pay, the in-place ``insert_batch``
+    kernels, and the full ``build_from_fingerprints`` producer path
+    (construction + batch insert, as the filter plans and manager
+    rebuilds run it). A single ``contains`` inside each timed build
+    window forces the xor filter's deferred peel construction so its
+    build cost is not hidden in the first query; for the other backends
+    the extra probe is noise. Queries run against the bulk-built filter
+    over the usual half-absent/half-present probe mix.
+    """
+    import random
+
+    rng = random.Random(seed)
+    items = [rng.getrandbits(256).to_bytes(32, "big") for _ in range(num_items)]
+    probes = [rng.getrandbits(256).to_bytes(32, "big") for _ in range(num_items)]
+    mix = probes[: num_items // 2] + items[: num_items // 2]
+    results = []
+    for kind in kinds:
+        cls = filter_class_for_name(kind)
+        params = canonical_params(
+            FilterParams(
+                capacity=num_items, fpp=PAPER_FPP, load_factor=PAPER_LOAD_FACTOR,
+                seed=seed,
+            )
+        )
+        t0 = time.perf_counter()
+        scalar_filt = cls(params)
+        for item in items:
+            scalar_filt.insert(item)
+        scalar_filt.contains(items[0])
+        t_scalar_build = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        batch_filt = cls(params)
+        batch_filt.insert_batch(items)
+        batch_filt.contains(items[0])
+        t_batch_build = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        bulk_filt = cls.build_from_fingerprints(params, items)
+        bulk_filt.contains(items[0])
+        t_bulk_build = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        for probe in mix:
+            bulk_filt.contains(probe)
+        t_scalar_query = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        bulk_filt.contains_batch(mix)
+        t_batch_query = time.perf_counter() - t0
+        results.append(
+            BulkBuildThroughputResult(
+                kind=kind,
+                num_items=num_items,
+                scalar_build_ops_per_s=num_items / t_scalar_build,
+                batch_build_ops_per_s=num_items / t_batch_build,
+                bulk_build_ops_per_s=num_items / t_bulk_build,
+                scalar_query_ops_per_s=len(mix) / t_scalar_query,
+                batch_query_ops_per_s=len(mix) / t_batch_query,
+            )
+        )
+    return results
+
+
+def format_bulk_build_throughput(
+    results: Sequence[BulkBuildThroughputResult],
+) -> str:
+    rows = [
+        [
+            r.kind,
+            f"{r.scalar_build_ops_per_s:,.0f}",
+            f"{r.batch_build_ops_per_s:,.0f}",
+            f"{r.bulk_build_ops_per_s:,.0f}",
+            f"{r.bulk_build_speedup:.1f}x",
+            f"{r.batch_query_ops_per_s:,.0f}",
+            f"{r.batch_query_speedup:.1f}x",
+        ]
+        for r in results
+    ]
+    n = results[0].num_items if results else 0
+    return format_table(
+        [
+            "structure",
+            "scalar build/s",
+            "insert_batch/s",
+            "bulk build/s",
+            "build speedup",
+            "contains_batch/s",
+            "query speedup",
+        ],
+        rows,
+        title=f"Fig. 3-center companion — bulk-build path ({n:,} items)",
+    )
+
+
 def format_batch_throughput(results: Sequence[BatchThroughputResult]) -> str:
     rows = [
         [

@@ -1,0 +1,133 @@
+"""Differential suite: array-native engine vs the frozen list-backed
+reference models (``tests/amq/_reference.py``).
+
+The reference models are verbatim copies of the pre-rewrite scalar
+implementations; the production engine must match them on every
+observable — membership answers, stored counts, overflow behaviour
+(including ``inserted_count`` prefix semantics and post-failure state),
+deletion flags, and the serialized payload bytes. Hypothesis drives
+randomized workloads through both and compares everything.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.amq import FilterParams, canonical_params
+from repro.amq.serialization import FILTER_REGISTRY
+from repro.errors import FilterFullError
+
+from tests.amq._reference import REFERENCE_MODELS
+
+PRODUCTION_MODELS = {cls.name: cls for cls in FILTER_REGISTRY.values()}
+BACKENDS = sorted(PRODUCTION_MODELS)
+
+items_strategy = st.lists(
+    st.binary(min_size=4, max_size=40), min_size=1, max_size=150, unique=True
+)
+
+params_strategy = st.builds(
+    lambda cap, fpp_exp, lf, seed: canonical_params(
+        FilterParams(
+            capacity=cap, fpp=10.0**-fpp_exp, load_factor=lf, seed=seed
+        )
+    ),
+    cap=st.integers(min_value=40, max_value=400),
+    fpp_exp=st.integers(min_value=2, max_value=4),
+    lf=st.sampled_from([0.7, 0.85, 0.95]),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+
+relaxed = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.differing_executors],
+)
+
+
+def _insert_both(prod, ref, items):
+    """Batch-insert into production, scalar-loop into the reference;
+    overflow must strike at the same item with the same prefix count."""
+    prod_exc = ref_exc = None
+    try:
+        prod.insert_batch(items)
+    except FilterFullError as exc:
+        prod_exc = exc
+    try:
+        ref.insert_batch(items)
+    except FilterFullError as exc:
+        ref_exc = exc
+    assert (prod_exc is None) == (ref_exc is None)
+    if prod_exc is not None:
+        assert prod_exc.inserted_count == ref_exc.inserted_count
+    return prod_exc is None
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@relaxed
+@given(items=items_strategy, params=params_strategy)
+def test_insert_contains_and_payload_match_reference(backend, items, params):
+    prod = PRODUCTION_MODELS[backend](params)
+    ref = REFERENCE_MODELS[backend](params)
+    _insert_both(prod, ref, items)
+    assert len(prod) == len(ref)
+    probes = items + [b"absent-" + item for item in items[:40]]
+    assert prod.contains_batch(probes) == ref.contains_batch(probes)
+    assert [prod.contains(p) for p in probes] == [
+        ref.contains(p) for p in probes
+    ]
+    assert prod.to_bytes() == ref.to_bytes()
+
+
+@pytest.mark.parametrize(
+    "backend", [b for b in BACKENDS if PRODUCTION_MODELS[b].supports_deletion]
+)
+@relaxed
+@given(items=items_strategy, params=params_strategy)
+def test_delete_matches_reference(backend, items, params):
+    prod = PRODUCTION_MODELS[backend](params)
+    ref = REFERENCE_MODELS[backend](params)
+    if not _insert_both(prod, ref, items):
+        return  # overflow path already compared
+    victims = items[::2] + [b"never-" + item for item in items[:20]]
+    assert prod.delete_batch(victims) == ref.delete_batch(victims)
+    assert len(prod) == len(ref)
+    survivors = items[1::2]
+    assert prod.contains_batch(survivors) == ref.contains_batch(survivors)
+    assert prod.to_bytes() == ref.to_bytes()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@relaxed
+@given(items=items_strategy, params=params_strategy)
+def test_incremental_then_batch_matches_reference(backend, items, params):
+    """Interleave scalar inserts with a batch tail — exercises the
+    non-empty-table batch paths (no bulk-build shortcut)."""
+    prod = PRODUCTION_MODELS[backend](params)
+    ref = REFERENCE_MODELS[backend](params)
+    head, tail = items[: len(items) // 3], items[len(items) // 3 :]
+    if not _insert_both(prod, ref, head):
+        return
+    if not _insert_both(prod, ref, tail):
+        return
+    assert len(prod) == len(ref)
+    assert prod.contains_batch(items) == ref.contains_batch(items)
+    assert prod.to_bytes() == ref.to_bytes()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_large_batch_matches_reference(backend):
+    """Deterministic large workload well past every vectorization gate."""
+    params = canonical_params(
+        FilterParams(capacity=3000, fpp=1e-3, load_factor=0.9, seed=1234)
+    )
+    items = [b"bulk-item-%06d" % i for i in range(2700)]
+    prod = PRODUCTION_MODELS[backend](params)
+    ref = REFERENCE_MODELS[backend](params)
+    _insert_both(prod, ref, items)
+    assert len(prod) == len(ref)
+    probes = items[::3] + [b"missing-%06d" % i for i in range(1000)]
+    assert prod.contains_batch(probes) == ref.contains_batch(probes)
+    assert prod.to_bytes() == ref.to_bytes()

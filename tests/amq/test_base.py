@@ -2,8 +2,17 @@
 
 import pytest
 
-from repro.amq import BloomFilter, CuckooFilter, FilterParams
+from repro import obs
+from repro.amq import (
+    FILTER_REGISTRY,
+    BloomFilter,
+    CuckooFilter,
+    FilterParams,
+    canonical_params,
+    filter_class_for_name,
+)
 from repro.errors import ConfigurationError
+from tests.conftest import make_items
 
 
 class TestFilterParams:
@@ -76,3 +85,49 @@ class TestSharedBehaviour:
         f.insert(b"x")
         with pytest.raises(Exception):
             f.delete(b"x")
+
+
+ALL_KINDS = sorted(cls.name for cls in FILTER_REGISTRY.values())
+
+
+class TestBuildFromFingerprints:
+    """The bulk-build producer path every construction site funnels
+    through (filter plans, manager rebuilds, targeted builds)."""
+
+    @pytest.mark.parametrize("name", ALL_KINDS)
+    def test_matches_scalar_built_filter(self, rng, name):
+        cls = filter_class_for_name(name)
+        params = canonical_params(
+            FilterParams(capacity=128, fpp=1e-3, load_factor=0.9, seed=3)
+        )
+        items = make_items(rng, 100)
+        bulk = cls.build_from_fingerprints(params, items)
+        scalar = cls(params)
+        for item in items:
+            scalar.insert(item)
+        assert bulk.to_bytes() == scalar.to_bytes()
+        assert len(bulk) == len(scalar)
+        assert all(bulk.contains_batch(items))
+
+    def test_accepts_set_input(self, rng, paper_params):
+        # AdaptiveSuppressor hands over a Set[bytes] history.
+        items = set(make_items(rng, 50))
+        filt = CuckooFilter.build_from_fingerprints(paper_params, items)
+        assert len(filt) == 50
+        assert all(filt.contains(item) for item in items)
+
+    def test_empty_items_builds_empty_filter(self, paper_params):
+        filt = CuckooFilter.build_from_fingerprints(paper_params, [])
+        assert len(filt) == 0
+
+    @pytest.mark.parametrize("name", ["cuckoo", "bloom"])
+    def test_records_build_span_histogram(self, rng, name):
+        cls = filter_class_for_name(name)
+        params = canonical_params(
+            FilterParams(capacity=64, fpp=1e-3, load_factor=0.9)
+        )
+        with obs.scoped() as reg:
+            cls.build_from_fingerprints(params, make_items(rng, 40))
+        hist = reg.histogram("amq.build.seconds", (("backend", name),))
+        assert hist is not None and hist.count == 1
+        assert hist.total >= 0.0

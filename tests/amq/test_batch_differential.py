@@ -231,3 +231,26 @@ def test_duplicate_multiplicity_matches_scalar(cls):
         # Earlier deletions in a batch are visible to later ones: exactly
         # five of six succeed, in order.
         assert batch_filt.delete_batch([item] * 6) == [True] * 5 + [False]
+
+
+@pytest.mark.parametrize(
+    "cls", [FILTER_REGISTRY[3], FILTER_REGISTRY[4]], ids=["cuckoo", "vacuum"]
+)
+def test_sparse_batch_over_large_table_matches_scalar(cls):
+    """A just-above-threshold batch into a table with thousands of
+    buckets drives the sort-based duplicate detection (a bincount over
+    the whole table would dominate) — same bytes as the scalar loop."""
+    params = canonical_params(
+        FilterParams(capacity=16384, fpp=1e-3, load_factor=0.9, seed=4)
+    )
+    batch_filt, scalar_filt = cls(params), cls(params)
+    rng = random.Random(0x5BA5)
+    items = [
+        rng.getrandbits(192).to_bytes(24, "big")
+        for _ in range(VECTOR_MIN_BATCH + 8)
+    ]
+    batch_filt.insert_batch(items)
+    for item in items:
+        scalar_filt.insert(item)
+    assert batch_filt.to_bytes() == scalar_filt.to_bytes()
+    assert all(batch_filt.contains_batch(items))

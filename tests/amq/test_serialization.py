@@ -158,3 +158,56 @@ class TestRejection:
         wire = serialize_filter(CuckooFilter(paper_params))
         with pytest.raises(FilterSerializationError):
             deserialize_filter(wire[:-4])
+
+    @staticmethod
+    def _with_payload_len(wire: bytes, payload: bytes) -> bytes:
+        """Swap in ``payload`` and fix the header's length field, producing
+        a *self-consistent* image (header length matches the bytes present)
+        that only the params-derived geometry check can reject."""
+        header = bytearray(wire[: serialized_overhead_bytes()])
+        header[14:16] = len(payload).to_bytes(2, "big")
+        return bytes(header) + payload
+
+    @pytest.mark.parametrize("name", sorted(cls.name for cls in FILTER_REGISTRY.values()))
+    def test_self_consistent_truncation_rejected(self, rng, name):
+        # A peer that trusts the header's payload_len alone would build a
+        # mis-sized table from this image; the decoded params pin the
+        # true geometry.
+        cls = filter_class_for_name(name)
+        params = canonical_params(FilterParams(capacity=64, fpp=1e-3, load_factor=0.9))
+        filt = cls(params)
+        filt.insert_all(make_items(rng, 32))
+        wire = serialize_filter(filt)
+        payload = wire[serialized_overhead_bytes():]
+        truncated = self._with_payload_len(wire, payload[:-1])
+        with pytest.raises(FilterSerializationError, match="geometry"):
+            deserialize_filter(truncated)
+
+    def test_self_consistent_padding_rejected(self, paper_params):
+        wire = serialize_filter(CuckooFilter(paper_params))
+        payload = wire[serialized_overhead_bytes():]
+        padded = self._with_payload_len(wire, payload + b"\x00\x00")
+        with pytest.raises(FilterSerializationError, match="geometry"):
+            deserialize_filter(padded)
+
+    def test_empty_payload_with_zeroed_length_rejected(self, paper_params):
+        wire = serialize_filter(CuckooFilter(paper_params))
+        stripped = self._with_payload_len(wire, b"")
+        with pytest.raises(FilterSerializationError, match="geometry"):
+            deserialize_filter(stripped)
+
+    def test_invalid_decoded_capacity_rejected(self, paper_params):
+        # capacity=0 fails FilterParams validation; the wire layer must
+        # surface that as a serialization error, not a config error.
+        wire = bytearray(serialize_filter(CuckooFilter(paper_params)))
+        wire[3:7] = (0).to_bytes(4, "big")
+        with pytest.raises(FilterSerializationError, match="invalid filter params"):
+            deserialize_filter(bytes(wire))
+
+    def test_geometry_error_names_expectation(self, paper_params):
+        wire = serialize_filter(CuckooFilter(paper_params))
+        payload = wire[serialized_overhead_bytes():]
+        expected = len(payload)
+        bad = self._with_payload_len(wire, payload[: expected // 2])
+        with pytest.raises(FilterSerializationError, match=str(expected)):
+            deserialize_filter(bad)

@@ -122,3 +122,19 @@ class TestRebuilds:
         mgr.force_rebuild()
         assert mgr.filter.params.capacity == mgr.plan.params.capacity
         assert mgr.consistent_with_cache()
+
+    def test_rebuild_records_span_histogram(self, icas):
+        # The rebuild duration must land in the metrics export (the
+        # fig5 metered arm's --metrics-out) as a labeled histogram.
+        from repro import obs
+
+        cache, mgr = make_manager(icas, preloaded=20)
+        with obs.scoped() as reg:
+            mgr.force_rebuild()
+        hist = reg.histogram(
+            "core.filter_manager.rebuild.seconds", (("backend", "cuckoo"),)
+        )
+        assert hist is not None and hist.count == 1
+        # The nested bulk-build span records under the same registry.
+        build = reg.histogram("amq.build.seconds", (("backend", "cuckoo"),))
+        assert build is not None and build.count == 1
