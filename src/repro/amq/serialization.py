@@ -98,14 +98,18 @@ def canonical_params(params: FilterParams) -> FilterParams:
     """Round ``params`` through the wire quantizers.
 
     Filters built from canonical params survive serialize/deserialize with
-    identical geometry, because both endpoints derive fingerprint and table
-    sizes from the exact same (quantized) fpp and load factor.
+    identical geometry *and* identical hashing: both endpoints derive
+    fingerprint and table sizes from the exact same (quantized) fpp and
+    load factor, and the hash seed is folded into the wire format's 32-bit
+    field. A seed wider than 32 bits would otherwise survive locally but
+    arrive truncated at the peer, turning every stored item into a false
+    negative on the remote side.
     """
     return FilterParams(
         capacity=params.capacity,
         fpp=dequantize_fpp(quantize_fpp(params.fpp)),
         load_factor=dequantize_load_factor(quantize_load_factor(params.load_factor)),
-        seed=params.seed,
+        seed=params.seed & 0xFFFFFFFF,
     )
 
 
@@ -118,13 +122,21 @@ def serialize_filter(filt: AMQFilter) -> bytes:
             "maximum of 65535"
         )
     params = filt.params
+    if params.seed != params.seed & 0xFFFFFFFF:
+        # Refuse rather than truncate: the peer would rebuild the filter
+        # with a different hash seed and lose every stored item. Callers
+        # that plan through canonical_params never hit this.
+        raise FilterSerializationError(
+            f"filter hash seed {params.seed} does not fit the wire format's "
+            "32-bit seed field; build the filter from canonical_params"
+        )
     header = _HEADER.pack(
         _MAGIC,
         filter_type_id(filt),
         params.capacity,
         quantize_fpp(params.fpp),
         quantize_load_factor(params.load_factor),
-        params.seed & 0xFFFFFFFF,
+        params.seed,
         len(payload),
     )
     return header + payload

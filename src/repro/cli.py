@@ -179,6 +179,31 @@ def _run_report(args) -> None:
     )
 
 
+def _run_churn(args) -> None:
+    from repro.experiments.churn import (
+        ChurnConfig,
+        ChurnExperimentConfig,
+        churn_json_doc,
+        format_churn,
+        run_churn_experiment,
+    )
+
+    config = ChurnExperimentConfig(
+        trials=args.runs,
+        base=ChurnConfig(steps=args.steps),
+    )
+    results = run_churn_experiment(config, jobs=args.jobs)
+    print(format_churn(results))
+    if args.json_out:
+        import json
+
+        doc = churn_json_doc(config, results)
+        with open(args.json_out, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"[churn: JSON written to {args.json_out}]", file=sys.stderr)
+
+
 def _run_estimator(args) -> None:
     from repro.experiments.estimator_model import (
         expected_duration_table,
@@ -200,6 +225,7 @@ ARTIFACTS: Dict[str, Callable] = {
     "ablation-initcwnd": _run_ablation_initcwnd,
     "ablation-filters": _run_ablation_filters,
     "baselines": _run_baselines,
+    "churn": _run_churn,
     "compression": _run_compression,
     "mixed-chains": _run_mixed_chains,
     "nonweb": _run_nonweb,
@@ -247,6 +273,17 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "worker processes for the session-driven artifacts "
             "(0 = all cores, 1 = serial; results are identical either way)"
+        ),
+    )
+    parser.add_argument(
+        "--steps", type=int, default=12,
+        help="time steps for the churn experiment's lifecycle engine",
+    )
+    parser.add_argument(
+        "--json-out", metavar="PATH", default=None,
+        help=(
+            "write the churn experiment's machine-readable sweep "
+            "(repro.churn/v1 JSON) to PATH"
         ),
     )
     parser.add_argument(

@@ -79,6 +79,9 @@ class AdaptiveSuppressor:
         self.seed = seed
         self._peers: Dict[str, PeerHistory] = {}
         self._payloads: Dict[str, bytes] = {}
+        # Track cache evictions (expiry/revocation sweeps) so targeted
+        # filters stop advertising ICAs the client no longer holds.
+        universal.cache.subscribe(on_remove_batch=self._on_cache_removals)
 
     # -- observation -------------------------------------------------------------
 
@@ -94,6 +97,13 @@ class AdaptiveSuppressor:
 
     def history_for(self, peer: str) -> Optional[PeerHistory]:
         return self._peers.get(peer)
+
+    def _on_cache_removals(self, certs) -> None:
+        dropped = {cert.fingerprint() for cert in certs}
+        for peer, history in self._peers.items():
+            if history.fingerprints & dropped:
+                history.fingerprints -= dropped
+                self._payloads.pop(peer, None)
 
     # -- advertisement --------------------------------------------------------------
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional, Type
 
+from repro import obs
 from repro.amq import (
     AMQFilter,
     FilterParams,
@@ -110,12 +111,22 @@ class FilterPlan:
             digest.digest(),
         )
         cached = artifacts.FILTER_BUILDS.get(key)
-        if cached is not None:
-            return deserialize_filter(cached)
-        cls = filter_class_for_name(self.filter_kind)
-        filt = cls.build_from_fingerprints(self.params, items)
-        artifacts.FILTER_BUILDS.put(key, serialize_filter(filt))
-        return filt
+        if cached is None:
+            cls = filter_class_for_name(self.filter_kind)
+            # Capture the build's metric deltas so cache hits can replay
+            # them: amq.* counters stay a pure function of build() calls,
+            # not of which process happened to populate this cache first.
+            with obs.scoped() as scope:
+                filt = cls.build_from_fingerprints(self.params, items)
+            cached = (serialize_filter(filt), scope.snapshot())
+            artifacts.FILTER_BUILDS.put(key, cached)
+        image, build_metrics = cached
+        obs.merge(build_metrics)
+        # Rehydrate on the cold path too: a freshly built cuckoo filter has
+        # consumed eviction-rng draws that a rehydrated copy has not, so
+        # returning the original would make the first build of a given key
+        # behave differently from every later one.
+        return deserialize_filter(image)
 
 
 def plan_filter(

@@ -1,0 +1,213 @@
+"""Churn experiment: filter-staleness degradation curves.
+
+Sweeps the churn engine's ``payload_refresh_every`` knob (how stale a
+client's advertised filter payload may grow relative to its live cache)
+and reports how the FP-retry rate, suppression rate and bytes-on-wire
+respond. Each (staleness level, trial) cell is one full
+:func:`~repro.webmodel.churn.run_churn` — a pure function of its
+``ChurnConfig`` — so cells shard across worker processes with results
+element-wise identical to the serial path, and the JSON document is
+byte-identical for any ``--jobs`` value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.errors import SimulationError
+from repro.runtime.parallel import (
+    derive_seed,
+    parallel_map,
+    resolve_jobs,
+    run_metered,
+)
+from repro.webmodel.churn import ChurnConfig, run_churn
+
+
+@dataclass(frozen=True)
+class ChurnExperimentConfig:
+    """The staleness sweep: levels are ``payload_refresh_every`` values."""
+
+    staleness_levels: Tuple[int, ...] = (1, 2, 4, 8)
+    trials: int = 2
+    base: ChurnConfig = ChurnConfig()
+
+
+@dataclass(frozen=True)
+class ChurnCellResult:
+    """Compact summary of one (staleness level, trial) churn run."""
+
+    level: int
+    trial: int
+    handshakes: int
+    completed: int
+    fp_retries: int
+    fallbacks: int
+    failures: int
+    stale_advertised: int
+    icas_encountered: int
+    icas_suppressed: int
+    wire_bytes: int
+    events: int
+    fp_retry_curve: Tuple[float, ...]
+
+    @property
+    def fp_retry_rate(self) -> float:
+        total = self.handshakes
+        return (self.fp_retries + self.fallbacks) / total if total else 0.0
+
+    @property
+    def suppression_rate(self) -> float:
+        if not self.icas_encountered:
+            return 0.0
+        return self.icas_suppressed / self.icas_encountered
+
+    @property
+    def stale_rate(self) -> float:
+        total = self.handshakes
+        return self.stale_advertised / total if total else 0.0
+
+
+def _cell_config(config: ChurnExperimentConfig, level: int, trial: int) -> ChurnConfig:
+    # Trials reseed the ecosystem; levels deliberately do NOT, so each
+    # trial's curve isolates payload staleness against one event stream.
+    return replace(
+        config.base,
+        payload_refresh_every=level,
+        seed=derive_seed("churn.trial", config.base.seed, trial),
+    )
+
+
+def _run_cell(cell: Tuple[int, int, ChurnConfig]) -> ChurnCellResult:
+    level, trial, cfg = cell
+    result = run_churn(cfg)
+    return ChurnCellResult(
+        level=level,
+        trial=trial,
+        handshakes=result.handshakes,
+        completed=result.completed,
+        fp_retries=result.fp_retries,
+        fallbacks=result.fallbacks,
+        failures=result.failures,
+        stale_advertised=sum(s.stale_advertised for s in result.steps),
+        icas_encountered=sum(s.icas_encountered for s in result.steps),
+        icas_suppressed=sum(s.icas_suppressed for s in result.steps),
+        wire_bytes=result.total_wire_bytes,
+        events=len(result.events),
+        fp_retry_curve=tuple(result.fp_retry_curve()),
+    )
+
+
+def run_churn_experiment(
+    config: ChurnExperimentConfig = ChurnExperimentConfig(),
+    jobs: Optional[int] = 1,
+) -> List[ChurnCellResult]:
+    """Run the sweep; results ordered by (level, trial) for any ``jobs``."""
+    if config.trials < 1:
+        raise SimulationError(f"trials must be >= 1, got {config.trials}")
+    cells = [
+        (level, trial, _cell_config(config, level, trial))
+        for level in config.staleness_levels
+        for trial in range(config.trials)
+    ]
+    jobs = resolve_jobs(jobs)
+    metered = obs.enabled()
+    if jobs <= 1 or len(cells) <= 1:
+        if not metered:
+            return [_run_cell(cell) for cell in cells]
+        results = []
+        for cell in cells:
+            result, snap = run_metered(_run_cell, cell)
+            obs.merge(snap)
+            results.append(result)
+        return results
+    return parallel_map(_run_cell, cells, jobs=jobs, metered=metered)
+
+
+# -- reporting -------------------------------------------------------------------
+
+
+def _by_level(
+    results: List[ChurnCellResult],
+) -> "Dict[int, List[ChurnCellResult]]":
+    grouped: Dict[int, List[ChurnCellResult]] = {}
+    for r in results:
+        grouped.setdefault(r.level, []).append(r)
+    return grouped
+
+
+def format_churn(results: List[ChurnCellResult]) -> str:
+    """Staleness table: one row per payload-refresh interval."""
+    lines = [
+        "Filter staleness vs false-positive retries (PKI lifecycle churn)",
+        f"{'refresh every':>14} {'handshakes':>11} {'stale %':>8} "
+        f"{'FP-retry %':>11} {'suppressed %':>13} {'wire KiB':>9} {'failed':>7}",
+    ]
+    for level, cells in sorted(_by_level(results).items()):
+        handshakes = sum(c.handshakes for c in cells)
+        stale = sum(c.stale_advertised for c in cells)
+        retries = sum(c.fp_retries + c.fallbacks for c in cells)
+        encountered = sum(c.icas_encountered for c in cells)
+        suppressed = sum(c.icas_suppressed for c in cells)
+        wire = sum(c.wire_bytes for c in cells)
+        failed = sum(c.failures for c in cells)
+        lines.append(
+            f"{level:>14d} {handshakes:>11d} "
+            f"{100.0 * stale / handshakes:>8.1f} "
+            f"{100.0 * retries / handshakes:>11.2f} "
+            f"{100.0 * suppressed / max(1, encountered):>13.1f} "
+            f"{wire / 1024:>9.1f} {failed:>7d}"
+        )
+    return "\n".join(lines)
+
+
+def churn_json_doc(
+    config: ChurnExperimentConfig, results: List[ChurnCellResult]
+) -> dict:
+    """The machine-readable sweep: per-cell summaries plus per-level
+    staleness-vs-FP-retry curves (step-indexed, averaged over trials)."""
+    curves = {}
+    for level, cells in sorted(_by_level(results).items()):
+        steps = len(cells[0].fp_retry_curve)
+        per_step = [
+            sum(c.fp_retry_curve[i] for c in cells) / len(cells)
+            for i in range(steps)
+        ]
+        total = sum(c.handshakes for c in cells)
+        curves[str(level)] = {
+            "fp_retry_rate": (
+                sum(c.fp_retries + c.fallbacks for c in cells) / total
+                if total
+                else 0.0
+            ),
+            "per_step_fp_retry_rate": per_step,
+        }
+    return {
+        "schema": "repro.churn/v1",
+        "staleness_levels": list(config.staleness_levels),
+        "trials": config.trials,
+        "steps": config.base.steps,
+        "seed": config.base.seed,
+        "filter_kind": config.base.filter_kind,
+        "cells": [
+            {
+                "level": c.level,
+                "trial": c.trial,
+                "handshakes": c.handshakes,
+                "completed": c.completed,
+                "fp_retries": c.fp_retries,
+                "fallbacks": c.fallbacks,
+                "failures": c.failures,
+                "stale_advertised": c.stale_advertised,
+                "fp_retry_rate": c.fp_retry_rate,
+                "suppression_rate": c.suppression_rate,
+                "wire_bytes": c.wire_bytes,
+                "events": c.events,
+                "fp_retry_curve": list(c.fp_retry_curve),
+            }
+            for c in results
+        ],
+        "curves": curves,
+    }

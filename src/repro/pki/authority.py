@@ -113,6 +113,34 @@ class CertificateAuthority:
         )
         return CertificateAuthority(name, keypair, certificate, sub_builder)
 
+    def cross_sign(
+        self,
+        subordinate: "CertificateAuthority",
+        not_before: Optional[int] = None,
+        not_after: Optional[int] = None,
+        serial: Optional[int] = None,
+    ) -> Certificate:
+        """Cross-sign an existing CA: issue a certificate for its *same*
+        subject name and key pair under this CA.
+
+        The result is a distinct certificate (different issuer, serial and
+        fingerprint) for an identical subject/key — the Web PKI's
+        re-anchoring pattern (e.g. a new root bootstrapping trust through
+        an established one). Because the key is shared, either variant
+        completes a valid verification path for everything the subordinate
+        has issued.
+        """
+        return self._builder.build(
+            subject=subordinate.name,
+            issuer=self.name,
+            subject_key=subordinate.keypair,
+            signer_key=self.keypair,
+            serial=self._take_serial() if serial is None else serial,
+            is_ca=True,
+            not_before=self.certificate.not_before if not_before is None else not_before,
+            not_after=self.certificate.not_after if not_after is None else not_after,
+        )
+
     def issue_leaf(
         self,
         subject: str,

@@ -23,6 +23,9 @@ from repro.tls.server import ServerConfig, ServerFlightResult, TLSServer
 class HandshakeOutcome(enum.Enum):
     COMPLETED = "completed"
     COMPLETED_AFTER_RETRY = "completed-after-retry"
+    #: mTLS double false positive: the retry hit the *other* cause and a
+    #: final fully-plain attempt completed the handshake.
+    COMPLETED_AFTER_FALLBACK = "completed-after-fallback"
     FAILED = "failed"
 
 
@@ -106,7 +109,10 @@ class HandshakeTrace:
     def false_positive(self) -> bool:
         """True when a suppression attempt failed and the plain retry
         succeeded — the observable signature of a filter false positive."""
-        return self.outcome is HandshakeOutcome.COMPLETED_AFTER_RETRY
+        return self.outcome in (
+            HandshakeOutcome.COMPLETED_AFTER_RETRY,
+            HandshakeOutcome.COMPLETED_AFTER_FALLBACK,
+        )
 
     # -- aggregates over every attempt (a false positive pays for both) --------
 
@@ -207,9 +213,14 @@ def _finish(trace: HandshakeTrace) -> HandshakeTrace:
         reg.inc("tls.handshake.runs")
         reg.inc("tls.handshake.attempts", len(trace.attempts))
         reg.inc("tls.handshake.outcomes", 1, _OUTCOME_LABELS[trace.outcome])
-        cause = trace.attempts[0].retry_cause
-        if len(trace.attempts) > 1 and cause is not None:
-            reg.inc("tls.handshake.retries", 1, _RETRY_LABELS[cause])
+        # One retry per non-final attempt that carried a typed cause, so
+        # the closure invariant attempts == runs + retries holds for the
+        # three-attempt fallback path as well as the single retry.
+        for attempt in trace.attempts[:-1]:
+            if attempt.retry_cause is not None:
+                reg.inc(
+                    "tls.handshake.retries", 1, _RETRY_LABELS[attempt.retry_cause]
+                )
     return trace
 
 
@@ -257,4 +268,33 @@ def run_handshake(
                 HandshakeOutcome.COMPLETED_AFTER_RETRY, [first, second]
             )
         )
+
+    # mTLS double false positive: the retry disabled only the feature the
+    # first attempt's cause named, and the second attempt then tripped the
+    # *other* cause (e.g. server-suppression FP first, client-auth FP on
+    # the retry). One final, fully-plain attempt — both features off — is
+    # still bounded and recovers what a terminal failure would waste.
+    other_feature_on = (
+        plain_config.ica_filter_payload is not None
+        if second.retry_cause is RetryCause.SERVER_SUPPRESSION_FP
+        else plain_config.own_suppression_handler is not None
+    )
+    if (
+        second.retry_cause is not None
+        and second.retry_cause is not first.retry_cause
+        and other_feature_on
+    ):
+        fallback_config = replace(
+            plain_config,
+            ica_filter_payload=None,
+            own_suppression_handler=None,
+            seed=plain_config.seed + 1,
+        )
+        third = _run_attempt(fallback_config, server_config)
+        attempts = [first, second, third]
+        if third.succeeded:
+            return _finish(
+                HandshakeTrace(HandshakeOutcome.COMPLETED_AFTER_FALLBACK, attempts)
+            )
+        return _finish(HandshakeTrace(HandshakeOutcome.FAILED, attempts))
     return _finish(HandshakeTrace(HandshakeOutcome.FAILED, [first, second]))

@@ -27,6 +27,13 @@ from repro.webmodel.session_sim import (
     SessionResult,
     BrowsingSessionSimulator,
 )
+from repro.webmodel.churn import (
+    ChurnConfig,
+    ChurnEngine,
+    ChurnResult,
+    StepMetrics,
+    run_churn,
+)
 from repro.webmodel.nonweb import (
     ScenarioConfig,
     ScenarioResult,
@@ -52,6 +59,11 @@ __all__ = [
     "SessionConfig",
     "SessionResult",
     "BrowsingSessionSimulator",
+    "ChurnConfig",
+    "ChurnEngine",
+    "ChurnResult",
+    "StepMetrics",
+    "run_churn",
     "ScenarioConfig",
     "ScenarioResult",
     "simulate_scenario",

@@ -1,0 +1,616 @@
+"""PKI-lifecycle churn engine.
+
+The paper's §4.2 dynamic-updates assumption ("the filter supports dynamic
+updates") is trivially true for a static ICA population; the Web PKI is
+not static. This module evolves a synthetic CA ecosystem step by step —
+new ICA issuance, expiry, CRL-driven revocation, cross-signing (distinct
+certificates for one subject/key), and preload-list drift — and drives a
+fleet of clients (each an :class:`~repro.core.cache.ICACache` +
+:class:`~repro.core.manager.FilterManager`) through real handshakes
+against servers whose chains reference both fresh and stale ICAs.
+
+The load-bearing knob is **advertised-payload staleness**: a client's
+*filter* tracks its cache exactly (the manager's contract), but the
+serialized payload it attaches to ClientHellos is only re-captured every
+``payload_refresh_every`` steps, the way a real client amortizes filter
+serialization across connections. A revoked ICA therefore lingers in the
+advertised payload after cache + filter dropped it; a server still serving
+that ICA (rotation lags revocation by ``rotation_lag_steps``) suppresses
+it, the client cannot complete the path, and the handshake pays the
+paper's false-positive retry. The engine measures how suppression rate,
+FP-retry rate and bytes-on-wire degrade as that staleness grows.
+
+Everything is a pure function of :class:`ChurnConfig`: all randomness is
+drawn from :func:`~repro.runtime.parallel.derive_seed` streams, so one
+config yields one event stream and one metrics series, bit-for-bit, in
+any process.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro import obs
+from repro.core.cache import ICACache
+from repro.core.extension import build_extension_payload
+from repro.core.filter_config import plan_filter
+from repro.core.manager import FilterManager
+from repro.core.suppression import ServerSuppressor
+from repro.errors import SimulationError
+from repro.pki.authority import (
+    CA_VALIDITY,
+    CertificateAuthority,
+    ServerCredential,
+)
+from repro.pki.certificate import Certificate
+from repro.pki.chain import CertificateChain
+from repro.pki.keys import KeyPair
+from repro.pki.revocation import RevocationList
+from repro.pki.store import TrustStore
+from repro.runtime.parallel import derive_seed
+from repro.tls.client import ClientConfig
+from repro.tls.server import ServerConfig
+from repro.tls.session import HandshakeOutcome, run_handshake
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """Parameters of one churn run (defaults: a ~3-week, one-day-step
+    ecosystem small enough for CI but busy enough that every lifecycle
+    event class fires)."""
+
+    steps: int = 24
+    step_seconds: int = 86_400
+    num_roots: int = 2
+    initial_icas: int = 10
+    num_sites: int = 12
+    num_clients: int = 4
+    handshakes_per_step: int = 8
+    #: Expected new ICAs per step (fractional part drawn Bernoulli).
+    issuance_rate: float = 0.4
+    #: Expected revocations per step.
+    revocation_rate: float = 0.5
+    #: Expected cross-sign events per step.
+    cross_sign_rate: float = 0.25
+    #: ICA validity in steps; initial ICAs get staggered expiries so the
+    #: sweep fires repeatedly instead of once.
+    ica_validity_steps: int = 16
+    #: Steps a site keeps serving a chain whose ICA was just revoked
+    #: (certificate rotation lags CRL publication in the wild).
+    rotation_lag_steps: int = 2
+    #: Steps between preload-list refreshes (clients bulk-learn the
+    #: current live population — the CCADB drift model).
+    preload_refresh_every: int = 4
+    #: Steps between a client re-capturing its *advertised* payload from
+    #: the live filter. 1 = always fresh; larger = staler.
+    payload_refresh_every: int = 1
+    filter_kind: str = "cuckoo"
+    fpp: float = 1e-3
+    load_factor: float = 0.9
+    kem_name: str = "x25519"
+    algorithm: str = "ecdsa-p256"
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class StepMetrics:
+    """Everything one step did to the ecosystem and what it cost."""
+
+    step: int
+    icas_issued: int
+    icas_cross_signed: int
+    icas_revoked: int
+    icas_expired_swept: int
+    preload_added: int
+    payload_refreshes: int
+    site_rotations: int
+    handshakes: int
+    completed: int
+    fp_retries: int
+    fallbacks: int
+    failures: int
+    #: Handshakes whose advertised payload no longer matched the cache.
+    stale_advertised: int
+    icas_encountered: int
+    icas_suppressed: int
+    wire_bytes: int
+
+
+@dataclass
+class ChurnResult:
+    """One churn run: the per-step series plus the recorded event stream
+    (the determinism contract: same config → same events, same series)."""
+
+    config: ChurnConfig
+    steps: List[StepMetrics]
+    events: List[Tuple[int, str, str]]
+
+    @property
+    def handshakes(self) -> int:
+        return sum(s.handshakes for s in self.steps)
+
+    @property
+    def completed(self) -> int:
+        return sum(s.completed for s in self.steps)
+
+    @property
+    def fp_retries(self) -> int:
+        return sum(s.fp_retries for s in self.steps)
+
+    @property
+    def fallbacks(self) -> int:
+        return sum(s.fallbacks for s in self.steps)
+
+    @property
+    def failures(self) -> int:
+        return sum(s.failures for s in self.steps)
+
+    @property
+    def fp_retry_rate(self) -> float:
+        total = self.handshakes
+        return (self.fp_retries + self.fallbacks) / total if total else 0.0
+
+    @property
+    def suppression_rate(self) -> float:
+        encountered = sum(s.icas_encountered for s in self.steps)
+        if not encountered:
+            return 0.0
+        return sum(s.icas_suppressed for s in self.steps) / encountered
+
+    @property
+    def stale_advertised_rate(self) -> float:
+        total = self.handshakes
+        return sum(s.stale_advertised for s in self.steps) / total if total else 0.0
+
+    @property
+    def total_wire_bytes(self) -> int:
+        return sum(s.wire_bytes for s in self.steps)
+
+    def fp_retry_curve(self) -> List[float]:
+        """Per-step FP-retry rate — the staleness-degradation series the
+        churn experiment plots."""
+        return [
+            (s.fp_retries + s.fallbacks) / s.handshakes if s.handshakes else 0.0
+            for s in self.steps
+        ]
+
+
+@dataclass
+class _ICARecord:
+    """One intermediate CA and every certificate ever carrying its
+    subject/key: the original plus later cross-signs."""
+
+    authority: CertificateAuthority
+    #: (ica certificate, anchoring root certificate), oldest first.
+    variants: List[Tuple[Certificate, Certificate]]
+    expire_step: int
+    revoked: bool = False
+
+    def live_variant(
+        self, step: int, crl: RevocationList, at_time: int
+    ) -> Optional[Tuple[Certificate, Certificate]]:
+        """Newest variant that is unrevoked and valid — what a rotating
+        site would deploy."""
+        for cert, root in reversed(self.variants):
+            if not crl.is_revoked(cert) and cert.valid_at(at_time):
+                return cert, root
+        return None
+
+
+@dataclass
+class _Site:
+    hostname: str
+    record_index: int
+    ica_cert: Certificate
+    root_cert: Certificate
+    credential: ServerCredential
+    #: Step at which this site swaps off its current (revoked) chain.
+    rotate_at: Optional[int] = None
+
+
+class _ChurnClient:
+    """One client: live cache + managed filter, stale advertised payload."""
+
+    def __init__(
+        self, index: int, config: ChurnConfig, initial: List[Certificate]
+    ) -> None:
+        self.index = index
+        self.cache = ICACache()
+        self.cache.add_many(initial)
+        plan = plan_filter(
+            num_icas=max(1, len(self.cache)),
+            filter_kind=config.filter_kind,
+            fpp=config.fpp,
+            load_factor=config.load_factor,
+            budget_bytes=None,
+            seed=config.seed,
+            headroom=2.0,
+        )
+        self.manager = FilterManager(self.cache, plan)
+        self.advertised_payload: bytes = b""
+        self.advertised_fps: frozenset = frozenset()
+        self.refresh_payload()
+
+    def refresh_payload(self) -> None:
+        self.advertised_payload = build_extension_payload(self.manager.filter)
+        self.advertised_fps = frozenset(self.cache.fingerprints())
+
+    def payload_is_stale(self) -> bool:
+        return self.advertised_fps != frozenset(self.cache.fingerprints())
+
+
+class ChurnEngine:
+    """Deterministic, time-stepped PKI lifecycle simulation."""
+
+    def __init__(self, config: ChurnConfig = ChurnConfig()) -> None:
+        if config.steps < 1:
+            raise SimulationError(f"steps must be >= 1, got {config.steps}")
+        if config.num_roots < 1:
+            raise SimulationError(
+                f"num_roots must be >= 1, got {config.num_roots}"
+            )
+        if config.initial_icas < 2:
+            raise SimulationError(
+                f"initial_icas must be >= 2, got {config.initial_icas}"
+            )
+        if config.payload_refresh_every < 1:
+            raise SimulationError(
+                f"payload_refresh_every must be >= 1, got "
+                f"{config.payload_refresh_every}"
+            )
+        self.config = config
+        self.events: List[Tuple[int, str, str]] = []
+        self._issued = 0
+        horizon = (config.steps + 2) * config.step_seconds
+        self.roots = [
+            CertificateAuthority.create_root(
+                f"Churn Root R{i}",
+                config.algorithm,
+                seed=derive_seed("churn.root", config.seed, i),
+                not_before=0,
+                not_after=max(CA_VALIDITY, horizon),
+            )
+            for i in range(config.num_roots)
+        ]
+        self.trust_store = TrustStore([r.certificate for r in self.roots])
+        self.crl = RevocationList()
+        self.records: List[_ICARecord] = []
+        for i in range(config.initial_icas):
+            # Staggered expiries: the sweep fires across the horizon, not
+            # in one burst at step ``ica_validity_steps``.
+            stagger = i % max(1, config.ica_validity_steps // 2)
+            self._issue_ica(step=0, expire_step=config.ica_validity_steps + stagger)
+        self.server_suppressor = ServerSuppressor()
+        self.sites: List[_Site] = []
+        rng = random.Random(derive_seed("churn.sites", config.seed))
+        for i in range(config.num_sites):
+            self.sites.append(self._make_site(f"site{i}.churn.example", 0, rng))
+        initial_certs = [
+            cert for record in self.records for cert, _ in record.variants
+        ]
+        self.clients = [
+            _ChurnClient(i, config, initial_certs)
+            for i in range(config.num_clients)
+        ]
+
+    # -- ecosystem mutation ------------------------------------------------------
+
+    def _issue_ica(self, step: int, expire_step: Optional[int] = None) -> _ICARecord:
+        cfg = self.config
+        i = self._issued
+        self._issued += 1
+        root = self.roots[i % cfg.num_roots]
+        expire = expire_step if expire_step is not None else step + cfg.ica_validity_steps
+        authority = root.create_subordinate(
+            f"Churn ICA I{i}",
+            seed=derive_seed("churn.ica", cfg.seed, i),
+            not_before=step * cfg.step_seconds,
+            not_after=expire * cfg.step_seconds,
+        )
+        record = _ICARecord(
+            authority=authority,
+            variants=[(authority.certificate, root.certificate)],
+            expire_step=expire,
+        )
+        self.records.append(record)
+        self.events.append((step, "issue", authority.name))
+        return record
+
+    def _cross_sign(self, step: int, rng: random.Random) -> bool:
+        cfg = self.config
+        if cfg.num_roots < 2:
+            return False
+        at_time = step * cfg.step_seconds
+        candidates = [
+            (i, r)
+            for i, r in enumerate(self.records)
+            if r.live_variant(step, self.crl, at_time) is not None
+            and r.expire_step > step + 1
+        ]
+        if not candidates:
+            return False
+        index, record = candidates[rng.randrange(len(candidates))]
+        current_root = record.variants[-1][1]
+        other_roots = [
+            r for r in self.roots if r.certificate.subject != current_root.subject
+        ]
+        signer = other_roots[rng.randrange(len(other_roots))]
+        cert = signer.cross_sign(
+            record.authority,
+            not_before=at_time,
+            not_after=record.expire_step * cfg.step_seconds,
+        )
+        record.variants.append((cert, signer.certificate))
+        self.events.append(
+            (step, "cross-sign", f"{record.authority.name} by {signer.name}")
+        )
+        return True
+
+    def _revoke(self, step: int, rng: random.Random) -> bool:
+        at_time = step * self.config.step_seconds
+        servable = [
+            i
+            for i, r in enumerate(self.records)
+            if r.live_variant(step, self.crl, at_time) is not None
+            and r.expire_step > step + 1
+        ]
+        if len(servable) <= 2:  # keep the ecosystem servable
+            return False
+        index = servable[rng.randrange(len(servable))]
+        record = self.records[index]
+        cert, _ = record.live_variant(step, self.crl, at_time)
+        self.crl.revoke(cert, at_time=at_time)
+        record.revoked = record.live_variant(step, self.crl, at_time) is None
+        self.events.append((step, "revoke", cert.subject))
+        # Sites serving the revoked certificate rotate only after the lag.
+        for site in self.sites:
+            if (
+                site.ica_cert.fingerprint() == cert.fingerprint()
+                and site.rotate_at is None
+            ):
+                site.rotate_at = step + self.config.rotation_lag_steps
+        return True
+
+    def _make_site(self, hostname: str, step: int, rng: random.Random) -> _Site:
+        cfg = self.config
+        at_time = step * cfg.step_seconds
+        servable = [
+            (i, r.live_variant(step, self.crl, at_time))
+            for i, r in enumerate(self.records)
+            if r.live_variant(step, self.crl, at_time) is not None
+            and r.expire_step > step + 1
+        ]
+        if not servable:
+            # Renewal issuance: when revocations plus expiries have drained
+            # the servable pool, the CA ecosystem mints a replacement ICA
+            # rather than leaving the site unservable.
+            record = self._issue_ica(step)
+            servable = [(len(self.records) - 1, record.variants[-1])]
+        index, variant = servable[rng.randrange(len(servable))]
+        ica_cert, root_cert = variant
+        record = self.records[index]
+        keypair = KeyPair(
+            record.authority.certificate.public_key.algorithm,
+            derive_seed("churn.leaf", cfg.seed, hostname, step),
+        )
+        leaf = record.authority.issue_leaf_with_key(
+            hostname, keypair, not_before=at_time
+        )
+        chain = CertificateChain(
+            leaf=leaf, intermediates=(ica_cert,), root=root_cert
+        )
+        return _Site(
+            hostname=hostname,
+            record_index=index,
+            ica_cert=ica_cert,
+            root_cert=root_cert,
+            credential=ServerCredential(chain=chain, keypair=keypair),
+        )
+
+    def _rotate_due_sites(self, step: int, rng: random.Random) -> int:
+        rotations = 0
+        at_time = step * self.config.step_seconds
+        for i, site in enumerate(self.sites):
+            record = self.records[site.record_index]
+            lag_due = site.rotate_at is not None and step >= site.rotate_at
+            # Renew-before-expiry: an expired ICA in the chain would fail
+            # even the plain retry, so sites rotate one step ahead.
+            expiring = record.expire_step <= step + 1
+            invalid = not site.ica_cert.valid_at(at_time)
+            if lag_due or expiring or invalid:
+                self.sites[i] = self._make_site(site.hostname, step, rng)
+                rotations += 1
+                self.events.append((step, "rotate", site.hostname))
+        return rotations
+
+    # -- per-step work -------------------------------------------------------------
+
+    def _draw_count(self, rate: float, rng: random.Random) -> int:
+        count = int(rate)
+        if rng.random() < rate - count:
+            count += 1
+        return count
+
+    def _live_certificates(self, step: int) -> List[Certificate]:
+        at_time = step * self.config.step_seconds
+        live = []
+        for record in self.records:
+            for cert, _ in record.variants:
+                if not self.crl.is_revoked(cert) and cert.valid_at(at_time):
+                    live.append(cert)
+        return live
+
+    def _learn(self, client: _ChurnClient, chain: CertificateChain) -> None:
+        # A client that evicted an ICA for revocation must not re-learn it
+        # from the wire while the serving site lags its rotation.
+        fresh = [
+            cert
+            for cert in chain.intermediates
+            if not self.crl.is_revoked(cert) and cert not in client.cache
+        ]
+        if fresh:
+            client.cache.add_many(fresh)
+
+    def run_step(self, step: int) -> StepMetrics:
+        cfg = self.config
+        at_time = step * cfg.step_seconds
+        rng = random.Random(derive_seed("churn.events", cfg.seed, step))
+
+        issued = sum(
+            1
+            for _ in range(self._draw_count(cfg.issuance_rate, rng))
+            if self._issue_ica(step)
+        )
+        cross_signed = sum(
+            1
+            for _ in range(self._draw_count(cfg.cross_sign_rate, rng))
+            if self._cross_sign(step, rng)
+        )
+        revoked = sum(
+            1
+            for _ in range(self._draw_count(cfg.revocation_rate, rng))
+            if self._revoke(step, rng)
+        )
+        rotations = self._rotate_due_sites(step, rng)
+
+        expired_swept = 0
+        for client in self.clients:
+            expired_swept += client.cache.sweep_expired(at_time)
+            client.cache.apply_revocations(self.crl)
+
+        preload_added = 0
+        if step and step % cfg.preload_refresh_every == 0:
+            live = self._live_certificates(step)
+            for client in self.clients:
+                preload_added += client.cache.add_many(
+                    [cert for cert in live if cert not in client.cache]
+                )
+            self.events.append((step, "preload-refresh", f"added={preload_added}"))
+
+        payload_refreshes = 0
+        for client in self.clients:
+            if (step + client.index) % cfg.payload_refresh_every == 0:
+                client.refresh_payload()
+                payload_refreshes += 1
+
+        (
+            handshakes,
+            completed,
+            fp_retries,
+            fallbacks,
+            failures,
+            stale_advertised,
+            encountered,
+            suppressed,
+            wire_bytes,
+        ) = self._run_handshakes(step)
+
+        metrics = StepMetrics(
+            step=step,
+            icas_issued=issued,
+            icas_cross_signed=cross_signed,
+            icas_revoked=revoked,
+            icas_expired_swept=expired_swept,
+            preload_added=preload_added,
+            payload_refreshes=payload_refreshes,
+            site_rotations=rotations,
+            handshakes=handshakes,
+            completed=completed,
+            fp_retries=fp_retries,
+            fallbacks=fallbacks,
+            failures=failures,
+            stale_advertised=stale_advertised,
+            icas_encountered=encountered,
+            icas_suppressed=suppressed,
+            wire_bytes=wire_bytes,
+        )
+        self._record_obs(metrics)
+        return metrics
+
+    def _run_handshakes(self, step: int):
+        cfg = self.config
+        at_time = step * cfg.step_seconds
+        handshakes = completed = fp_retries = fallbacks = failures = 0
+        stale_advertised = encountered = suppressed = wire_bytes = 0
+        for h in range(cfg.handshakes_per_step):
+            rng = random.Random(derive_seed("churn.handshake", cfg.seed, step, h))
+            client = self.clients[rng.randrange(len(self.clients))]
+            site = self.sites[rng.randrange(len(self.sites))]
+            client_config = ClientConfig(
+                trust_store=self.trust_store,
+                kem_name=cfg.kem_name,
+                hostname=site.hostname,
+                at_time=at_time,
+                ica_filter_payload=client.advertised_payload,
+                issuer_lookup=client.cache.lookup_issuer,
+                seed=derive_seed("churn.client", cfg.seed, step, h),
+            )
+            server_config = ServerConfig(
+                credential=site.credential,
+                suppression_handler=self.server_suppressor,
+                seed=derive_seed("churn.server", cfg.seed, step, h),
+            )
+            trace = run_handshake(client_config, server_config)
+            handshakes += 1
+            if client.payload_is_stale():
+                stale_advertised += 1
+            chain = site.credential.chain
+            encountered += chain.num_icas
+            suppressed += trace.attempts[0].suppressed_ica_count
+            wire_bytes += trace.total_wire_bytes
+            if trace.outcome is HandshakeOutcome.COMPLETED_AFTER_RETRY:
+                fp_retries += 1
+            elif trace.outcome is HandshakeOutcome.COMPLETED_AFTER_FALLBACK:
+                fallbacks += 1
+            if trace.succeeded:
+                completed += 1
+                self._learn(client, chain)
+            else:
+                failures += 1
+        return (
+            handshakes,
+            completed,
+            fp_retries,
+            fallbacks,
+            failures,
+            stale_advertised,
+            encountered,
+            suppressed,
+            wire_bytes,
+        )
+
+    def _record_obs(self, m: StepMetrics) -> None:
+        reg = obs.registry()
+        if reg is None:
+            return
+        reg.inc("webmodel.churn.steps")
+        reg.inc("webmodel.churn.icas_issued", m.icas_issued)
+        reg.inc("webmodel.churn.cross_signs", m.icas_cross_signed)
+        reg.inc("webmodel.churn.icas_revoked", m.icas_revoked)
+        reg.inc("webmodel.churn.icas_expired", m.icas_expired_swept)
+        reg.inc("webmodel.churn.preload_added", m.preload_added)
+        reg.inc("webmodel.churn.payload_refreshes", m.payload_refreshes)
+        reg.inc("webmodel.churn.site_rotations", m.site_rotations)
+        reg.inc("webmodel.churn.handshakes", m.handshakes)
+        reg.inc("webmodel.churn.stale_retries", m.fp_retries)
+        reg.inc("webmodel.churn.fallbacks", m.fallbacks)
+        reg.inc("webmodel.churn.failures", m.failures)
+        reg.inc("webmodel.churn.icas_encountered", m.icas_encountered)
+        reg.inc("webmodel.churn.icas_suppressed", m.icas_suppressed)
+
+    def run(self) -> ChurnResult:
+        steps = []
+        with obs.span(
+            "webmodel.churn.run", (("filter", self.config.filter_kind),)
+        ):
+            for step in range(self.config.steps):
+                steps.append(self.run_step(step))
+        return ChurnResult(config=self.config, steps=steps, events=self.events)
+
+
+def run_churn(config: ChurnConfig = ChurnConfig()) -> ChurnResult:
+    """Build a fresh engine and run it (one call = one pure function of
+    ``config``; the churn experiment's parallel cells use this)."""
+    return ChurnEngine(config).run()

@@ -211,3 +211,42 @@ class TestRejection:
         bad = self._with_payload_len(wire, payload[: expected // 2])
         with pytest.raises(FilterSerializationError, match=str(expected)):
             deserialize_filter(bad)
+
+
+class TestSeedWidth:
+    """Regression: the wire header's seed field is 32 bits, and
+    ``serialize_filter`` used to truncate wider seeds silently — the peer
+    then rebuilt the filter with a *different* hash function and every
+    stored item became a false negative on the remote side."""
+
+    WIDE_SEED = 2343948629979923722  # a real derive_seed() output
+
+    def test_serialize_refuses_lossy_seed(self):
+        params = FilterParams(
+            capacity=64, fpp=1e-3, load_factor=0.9, seed=self.WIDE_SEED
+        )
+        with pytest.raises(FilterSerializationError, match="seed"):
+            serialize_filter(CuckooFilter(params))
+
+    def test_canonical_params_fold_seed_into_wire_width(self):
+        params = canonical_params(
+            FilterParams(
+                capacity=64, fpp=1e-3, load_factor=0.9, seed=self.WIDE_SEED
+            )
+        )
+        assert params.seed == self.WIDE_SEED & 0xFFFFFFFF
+        assert canonical_params(params) == params
+
+    def test_canonical_wide_seed_roundtrips_membership(self):
+        params = canonical_params(
+            FilterParams(
+                capacity=64, fpp=1e-3, load_factor=0.9, seed=self.WIDE_SEED
+            )
+        )
+        filt = CuckooFilter(params)
+        items = make_items(__import__("random").Random(5), 40)
+        for item in items:
+            filt.insert(item)
+        restored = deserialize_filter(serialize_filter(filt))
+        assert restored.params.seed == params.seed
+        assert all(restored.contains(item) for item in items)

@@ -94,3 +94,71 @@ class TestPlanFilter:
     def test_invalid_headroom(self):
         with pytest.raises(ConfigurationError):
             plan_filter(10, headroom=0.5)
+
+
+class TestMemoizedBuilds:
+    """``FilterPlan.build`` memoizes serialized images in a per-process
+    cache; regression coverage for the two ways that used to leak."""
+
+    WIDE_SEED = 2343948629979923722
+
+    def test_wide_seed_is_canonicalized_at_plan_time(self):
+        plan = plan_filter(10, budget_bytes=None, seed=self.WIDE_SEED)
+        assert plan.params.seed == self.WIDE_SEED & 0xFFFFFFFF
+
+    def test_cold_and_warm_builds_identical(self):
+        """The first build of a key must equal every later one — including
+        hash behaviour, table bytes and eviction-rng state."""
+        from repro.runtime import artifacts
+
+        items = [bytes([i]) * 32 for i in range(10)]
+        plan = plan_filter(10, budget_bytes=None, seed=self.WIDE_SEED,
+                           headroom=2.0)
+        artifacts.FILTER_BUILDS.clear()
+        cold = plan.build(items)
+        warm = plan.build(items)
+        assert cold.params == warm.params
+        assert cold.to_bytes() == warm.to_bytes()
+        assert all(cold.contains(i) for i in items)
+        assert all(warm.contains(i) for i in items)
+        assert cold.delete(items[0]) and warm.delete(items[0])
+
+    def test_builds_are_independent_copies(self):
+        items = [bytes([i]) * 32 for i in range(6)]
+        plan = plan_filter(6, budget_bytes=None, seed=3, headroom=2.0)
+        a = plan.build(items)
+        b = plan.build(items)
+        assert a is not b
+        a.delete(items[0])
+        assert b.contains(items[0])
+
+    def test_cache_hits_replay_build_metrics(self):
+        """amq.* counters must be a pure function of build() calls, not of
+        which process warmed the cache first (the serial-vs-parallel
+        metrics contract)."""
+        from repro import obs
+        from repro.runtime import artifacts
+
+        items = [bytes([200 + i]) * 32 for i in range(8)]
+        plan = plan_filter(8, budget_bytes=None, seed=41, headroom=2.0)
+        artifacts.FILTER_BUILDS.clear()
+        obs.disable()
+        try:
+            with obs.scoped() as cold_scope:
+                plan.build(items)
+            with obs.scoped() as warm_scope:
+                plan.build(items)
+            cold = {
+                k: v
+                for k, v in cold_scope.snapshot()["counters"].items()
+                if not k[0].startswith("runtime.artifacts.")
+            }
+            warm = {
+                k: v
+                for k, v in warm_scope.snapshot()["counters"].items()
+                if not k[0].startswith("runtime.artifacts.")
+            }
+            assert cold == warm
+            assert any(k[0] == "amq.ops" for k in cold)
+        finally:
+            obs.disable()

@@ -1,0 +1,136 @@
+"""The churn staleness sweep: parallel equality, reporting, JSON doc."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.errors import SimulationError
+from repro.experiments.churn import (
+    ChurnCellResult,
+    ChurnExperimentConfig,
+    _cell_config,
+    churn_json_doc,
+    format_churn,
+    run_churn_experiment,
+)
+from repro.webmodel.churn import ChurnConfig
+
+_SMALL = ChurnExperimentConfig(
+    staleness_levels=(1, 4),
+    trials=2,
+    base=ChurnConfig(steps=6, num_sites=6, num_clients=2, handshakes_per_step=4),
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_churn_experiment(_SMALL, jobs=1)
+
+
+class TestParallelEquality:
+    def test_jobs_two_matches_serial(self, results):
+        parallel = run_churn_experiment(_SMALL, jobs=2)
+        assert parallel == results
+
+    def test_metered_serial_matches_metered_parallel(self):
+        obs.disable()
+        try:
+            obs.enable()
+            serial = run_churn_experiment(_SMALL, jobs=1)
+            serial_counters = {
+                k: v
+                for k, v in obs.snapshot()["counters"].items()
+                if not k[0].startswith("runtime.artifacts.")
+            }
+            obs.disable()
+            obs.enable()
+            parallel = run_churn_experiment(_SMALL, jobs=2)
+            parallel_counters = {
+                k: v
+                for k, v in obs.snapshot()["counters"].items()
+                if not k[0].startswith("runtime.artifacts.")
+            }
+            assert parallel == serial
+            assert parallel_counters == serial_counters
+        finally:
+            obs.disable()
+
+    def test_json_doc_is_jobs_invariant(self, results):
+        parallel = run_churn_experiment(_SMALL, jobs=2)
+        serial_doc = json.dumps(churn_json_doc(_SMALL, results), sort_keys=True)
+        parallel_doc = json.dumps(churn_json_doc(_SMALL, parallel), sort_keys=True)
+        assert serial_doc == parallel_doc
+
+
+class TestSweepShape:
+    def test_cells_ordered_by_level_then_trial(self, results):
+        assert [(c.level, c.trial) for c in results] == [
+            (level, trial)
+            for level in _SMALL.staleness_levels
+            for trial in range(_SMALL.trials)
+        ]
+
+    def test_trials_reseed_but_levels_share_the_event_stream(self):
+        base = _SMALL.base
+        assert (
+            _cell_config(_SMALL, 1, 0).seed == _cell_config(_SMALL, 4, 0).seed
+        )
+        assert _cell_config(_SMALL, 1, 0).seed != _cell_config(_SMALL, 1, 1).seed
+        assert _cell_config(_SMALL, 4, 1).payload_refresh_every == 4
+        assert _cell_config(_SMALL, 4, 1).steps == base.steps
+
+    def test_staleness_degrades_fp_retry_rate(self, results):
+        by_level = {}
+        for c in results:
+            by_level.setdefault(c.level, []).append(c)
+        rate = {
+            level: sum(c.fp_retries + c.fallbacks for c in cells)
+            / sum(c.handshakes for c in cells)
+            for level, cells in by_level.items()
+        }
+        assert rate[4] > rate[1]
+
+    def test_rejects_zero_trials(self):
+        with pytest.raises(SimulationError):
+            run_churn_experiment(
+                ChurnExperimentConfig(trials=0, base=_SMALL.base)
+            )
+
+
+class TestReporting:
+    def test_format_has_one_row_per_level(self, results):
+        text = format_churn(results)
+        lines = text.splitlines()
+        assert "FP-retry %" in lines[1]
+        assert len(lines) == 2 + len(_SMALL.staleness_levels)
+
+    def test_json_doc_schema_and_curves(self, results):
+        doc = churn_json_doc(_SMALL, results)
+        assert doc["schema"] == "repro.churn/v1"
+        assert doc["staleness_levels"] == list(_SMALL.staleness_levels)
+        assert len(doc["cells"]) == len(results)
+        for level in _SMALL.staleness_levels:
+            curve = doc["curves"][str(level)]
+            assert len(curve["per_step_fp_retry_rate"]) == _SMALL.base.steps
+            assert 0.0 <= curve["fp_retry_rate"] <= 1.0
+
+    def test_cell_rate_properties(self):
+        cell = ChurnCellResult(
+            level=1,
+            trial=0,
+            handshakes=10,
+            completed=9,
+            fp_retries=2,
+            fallbacks=1,
+            failures=1,
+            stale_advertised=5,
+            icas_encountered=8,
+            icas_suppressed=6,
+            wire_bytes=100,
+            events=3,
+            fp_retry_curve=(0.0, 0.5),
+        )
+        assert cell.fp_retry_rate == pytest.approx(0.3)
+        assert cell.suppression_rate == pytest.approx(0.75)
+        assert cell.stale_rate == pytest.approx(0.5)

@@ -64,6 +64,35 @@ class TestExecution:
         assert main(["fig5-left", "--runs", "1", "--domains", "15"]) == 0
         assert "reduction" in capsys.readouterr().out
 
+    def test_churn_with_json_out(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "churn.json"
+        assert main(
+            ["churn", "--steps", "4", "--runs", "1", "--json-out", str(out_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Filter staleness vs false-positive retries" in out
+        assert "refresh every" in out
+        doc = json.loads(out_path.read_text())
+        assert doc["schema"] == "repro.churn/v1"
+        assert doc["steps"] == 4
+        assert doc["trials"] == 1
+        assert len(doc["cells"]) == len(doc["staleness_levels"])
+
+    def test_churn_json_out_is_jobs_invariant(self, tmp_path, capsys):
+        serial, parallel = tmp_path / "serial.json", tmp_path / "parallel.json"
+        assert main(
+            ["churn", "--steps", "4", "--runs", "2",
+             "--jobs", "1", "--json-out", str(serial)]
+        ) == 0
+        assert main(
+            ["churn", "--steps", "4", "--runs", "2",
+             "--jobs", "2", "--json-out", str(parallel)]
+        ) == 0
+        capsys.readouterr()
+        assert serial.read_bytes() == parallel.read_bytes()
+
 
 class TestReport:
     def test_report_generates_all_sections(self, capsys):

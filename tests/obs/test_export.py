@@ -21,9 +21,17 @@ def sample_snapshot():
     reg.inc("tls.handshake.runs", 7)
     reg.inc("amq.ops", 42, (("backend", "cuckoo"), ("op", "insert")))
     reg.inc("runtime.artifacts.hits", 3, (("cache", "staples"),))
+    reg.inc("webmodel.churn.steps", 24)
+    reg.inc("webmodel.churn.handshakes", 192)
+    reg.inc("webmodel.churn.icas_revoked", 9)
+    reg.inc("webmodel.churn.stale_retries", 4)
+    reg.inc("webmodel.churn.fallbacks", 1)
     reg.set_gauge("experiments.fig5.mean_reduction", 0.73)
     reg.observe("tls.server.flight.seconds", 0.5)
     reg.observe("tls.server.flight.seconds", 1.5)
+    reg.observe(
+        "webmodel.churn.run.seconds", 2.25, (("filter", "cuckoo"),)
+    )
     return reg.snapshot()
 
 
@@ -42,10 +50,16 @@ class TestJsonExport:
                 "value": 0.73,
             }
         ]
-        (hist,) = doc["histograms"]
-        assert hist["count"] == 2
-        assert hist["sum"] == pytest.approx(2.0)
-        assert (hist["min"], hist["max"]) == (0.5, 1.5)
+        flight, churn = (
+            h
+            for h in doc["histograms"]
+            if h["name"]
+            in ("tls.server.flight.seconds", "webmodel.churn.run.seconds")
+        )
+        assert flight["count"] == 2
+        assert flight["sum"] == pytest.approx(2.0)
+        assert (flight["min"], flight["max"]) == (0.5, 1.5)
+        assert churn["labels"] == {"filter": "cuckoo"}
 
     def test_equal_registries_export_byte_identical_text(self, sample_snapshot):
         # The serial-vs-parallel CI check diffs files, so text must be stable.
@@ -88,6 +102,14 @@ class TestDeterministicCounters:
         flat = deterministic_counters(sample_snapshot)
         assert "tls.handshake.runs{}" in flat
         assert not any(k.startswith("runtime.artifacts.") for k in flat)
+
+    def test_churn_counters_are_deterministic_series(self, sample_snapshot):
+        # The churn-smoke CI job compares these across --jobs values, so
+        # they must be in the deterministic set, not filtered out.
+        flat = deterministic_counters(sample_snapshot)
+        assert flat["webmodel.churn.steps{}"] == 24
+        assert flat["webmodel.churn.handshakes{}"] == 192
+        assert flat["webmodel.churn.stale_retries{}"] == 4
 
     def test_accepts_snapshot_and_doc_equally(self, sample_snapshot):
         from_snapshot = deterministic_counters(sample_snapshot)

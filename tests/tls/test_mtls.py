@@ -233,3 +233,78 @@ class TestTraceAccounting:
         attempt = trace.attempts[0]
         assert attempt.client_auth_ica_bytes_sent == 0
         assert attempt.client_auth_suppressed_count == 0
+
+
+class TestDoubleFalsePositive:
+    """Regression: when the retry for a server-suppression FP then tripped
+    a *client-auth* FP (or vice versa), ``run_handshake`` used to fail
+    terminally even though one more attempt with both features disabled
+    was guaranteed to avoid either filter. The bounded third attempt must
+    recover under its own outcome label."""
+
+    def double_fp_configs(self, world):
+        """Attempt 1: client advertises a filter + has no ICA cache while
+        the server suppresses everything -> SERVER_SUPPRESSION_FP.
+        Attempt 2 (extension off): the client suppresses its own chain
+        against the server's advertised filter while the server has no
+        client-ICA cache -> CLIENT_AUTH_FP. Attempt 3 (everything off)
+        completes."""
+        cc, sc, _, _ = mtls_configs(world, server_knows_client_icas=False)
+
+        def suppress_all(payload, chain):
+            return set(chain.ica_fingerprints())
+
+        cc.own_suppression_handler = suppress_all
+        cc.ica_filter_payload = b"advertised"
+        cc.issuer_lookup = lambda name: None
+        sc.suppression_handler = suppress_all
+        return cc, sc
+
+    def test_fallback_completes_with_three_attempts(self, world):
+        cc, sc = self.double_fp_configs(world)
+        trace = run_handshake(cc, sc)
+        assert trace.outcome is HandshakeOutcome.COMPLETED_AFTER_FALLBACK
+        assert trace.succeeded
+        assert trace.false_positive
+        assert len(trace.attempts) == 3
+        first, second, third = trace.attempts
+        assert first.retry_cause is not None
+        assert second.retry_cause is not None
+        assert second.retry_cause is not first.retry_cause
+        assert third.retry_cause is None
+        assert third.succeeded
+
+    def test_fallback_attempt_disables_both_features(self, world):
+        cc, sc = self.double_fp_configs(world)
+        trace = run_handshake(cc, sc)
+        third = trace.attempts[-1]
+        assert not third.used_suppression_extension
+        assert third.client_auth_suppressed_count == 0
+
+    def test_fallback_metrics_accounting(self, world):
+        from repro import obs
+
+        obs.disable()
+        reg = obs.enable()
+        try:
+            cc, sc = self.double_fp_configs(world)
+            run_handshake(cc, sc)
+            assert reg.counter("tls.handshake.attempts") == 3
+            assert reg.counter("tls.handshake.runs") == 1
+            # One typed retry per non-final attempt: attempts == runs + retries.
+            assert (
+                reg.counter("tls.handshake.retries", (("cause", "server-fp"),))
+                + reg.counter(
+                    "tls.handshake.retries", (("cause", "client-auth-fp"),)
+                )
+                == 2
+            )
+            assert (
+                reg.counter(
+                    "tls.handshake.outcomes",
+                    (("outcome", "completed-after-fallback"),),
+                )
+                == 1
+            )
+        finally:
+            obs.disable()
