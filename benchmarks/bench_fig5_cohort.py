@@ -1,0 +1,228 @@
+#!/usr/bin/env python
+"""Throughput benchmark for the columnar cohort engine (Fig. 5 at scale).
+
+Three arms, emitting ``BENCH_fig5_cohort.json``:
+
+* ``equivalence`` — a small high-fpp cohort on the reduced shared PKI
+  (the same ``tests/_fixtures.py`` population the differential suite
+  uses), run through **both** engines; the results must be equal, with
+  real false-positive retries so the divergent replay path is covered;
+* ``scalar``      — a small cohort through the scalar reference (real
+  per-handshake TLS machines) on the default population, to price one
+  scalar handshake;
+* ``columnar``    — a large cohort (100K users, 1M under ``REPRO_FULL=1``;
+  ~10 destination draws each) through the columnar engine, serial and
+  ``--jobs N``, which must agree exactly.
+
+The headline assertion is the ROADMAP's scale claim: the columnar
+engine's per-handshake cost must undercut the scalar machine's by at
+least ``MIN_COHORT_SPEEDUP`` (both measured on the same prebuilt
+population, timers covering engine construction + run).
+
+Usage::
+
+    python benchmarks/bench_fig5_cohort.py             # reduced scale
+    REPRO_FULL=1 python benchmarks/bench_fig5_cohort.py --jobs 4
+
+Exit status is non-zero when an assertion fails, so CI can run it as-is.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+
+from tests._fixtures import (  # noqa: E402
+    POPULATION_SEED,
+    full_scale,
+    reduced_population_config,
+    shared_population,
+)
+
+from repro.webmodel.cohort import CohortConfig, run_cohort  # noqa: E402
+from repro.webmodel.cohort_reference import run_cohort_reference  # noqa: E402
+from repro.webmodel.population import PopulationConfig  # noqa: E402
+
+#: Columnar per-handshake cost must undercut the scalar machine's by at
+#: least this factor (measured ~1000x on a dev box; the floor leaves an
+#: order of magnitude of margin for shared-runner noise).
+MIN_COHORT_SPEEDUP = 50.0
+
+#: The large arm must actually be large, or the per-handshake figure is
+#: dominated by constant engine setup and means nothing.
+MIN_COLUMNAR_USERS = 100_000
+
+
+def _time(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def _equivalence_arm() -> Dict[str, Any]:
+    population = shared_population(reduced_population_config())
+    config = CohortConfig(
+        num_users=40,
+        handshakes_per_user=6,
+        hot_top_n=40,
+        fpp=0.25,
+        payload_refresh_every=2,
+        seed=1,
+        population=reduced_population_config(),
+    )
+    columnar = run_cohort(config, jobs=1, population=population)
+    scalar = run_cohort_reference(config, population=population)
+    equal = columnar == scalar
+    print(
+        f"  equivalence (40 users, fpp=0.25): equal={equal}, "
+        f"retries={columnar.stats.retries}, "
+        f"divergent={columnar.stats.divergent_users}"
+    )
+    return {
+        "equal": equal,
+        "retries": columnar.stats.retries,
+        "divergent_users": columnar.stats.divergent_users,
+    }
+
+
+def run_benchmark(
+    users: int, scalar_users: int, jobs: int, output: Optional[str]
+) -> Dict[str, Any]:
+    cpus = os.cpu_count() or 1
+    print(
+        f"fig5 cohort engine: {users} users columnar vs "
+        f"{scalar_users} users scalar, jobs={jobs}, cpus={cpus}"
+    )
+
+    equivalence = _equivalence_arm()
+
+    # Both timing arms share one prebuilt default population; the timers
+    # cover engine construction + run, not the population build.
+    population = shared_population(PopulationConfig(seed=POPULATION_SEED))
+
+    scalar_config = CohortConfig(
+        num_users=scalar_users, seed=1, population=population.config
+    )
+    t_scalar, r_scalar = _time(
+        lambda: run_cohort_reference(scalar_config, population=population)
+    )
+    scalar_hs = r_scalar.stats.handshakes + r_scalar.stats.retries
+    scalar_us = t_scalar / scalar_hs * 1e6
+    print(
+        f"  scalar   ({scalar_users} users): {t_scalar:7.2f}s"
+        f"  {scalar_hs} handshakes  {scalar_us:9.1f}us/handshake"
+    )
+
+    columnar_config = CohortConfig(
+        num_users=users, seed=1, population=population.config
+    )
+    t_col, r_col = _time(
+        lambda: run_cohort(columnar_config, jobs=1, population=population)
+    )
+    col_hs = r_col.stats.handshakes + r_col.stats.retries
+    col_us = t_col / col_hs * 1e6
+    print(
+        f"  columnar ({users} users, jobs=1): {t_col:7.2f}s"
+        f"  {col_hs} handshakes  {col_us:9.3f}us/handshake"
+    )
+    t_par, r_par = _time(
+        lambda: run_cohort(columnar_config, jobs=jobs, population=population)
+    )
+    print(
+        f"  columnar ({users} users, jobs={jobs}): {t_par:7.2f}s"
+        f"  -> {t_col / t_par:.2f}x vs serial"
+    )
+
+    speedup = scalar_us / col_us
+    print(f"  per-handshake speedup: {speedup:.0f}x (floor {MIN_COHORT_SPEEDUP:.0f}x)")
+
+    report = {
+        "benchmark": "fig5_cohort",
+        "scale": {
+            "columnar_users": users,
+            "scalar_users": scalar_users,
+            "handshakes_per_user": columnar_config.handshakes_per_user,
+        },
+        "cpu_count": cpus,
+        "jobs": jobs,
+        "seconds": {
+            "scalar_reference": round(t_scalar, 3),
+            "columnar_jobs1": round(t_col, 3),
+            f"columnar_jobs{jobs}": round(t_par, 3),
+        },
+        "handshakes": {
+            "scalar_reference": scalar_hs,
+            "columnar": col_hs,
+        },
+        "per_handshake_us": {
+            "scalar_reference": round(scalar_us, 2),
+            "columnar_jobs1": round(col_us, 4),
+        },
+        "per_handshake_speedup": round(speedup, 1),
+        "cohort_stats": {
+            "known_ica_rate": round(r_col.stats.known_ica_rate, 4),
+            "ica_reduction_ratio": round(r_col.stats.ica_reduction_ratio, 4),
+            "false_positive_rate": round(r_col.stats.false_positive_rate, 6),
+            "session_reuse": r_col.stats.session_reuse,
+        },
+        "equivalence_smoke": equivalence,
+        "results_equal": {"parallel_vs_serial": r_par == r_col},
+        "notes": (
+            "per-handshake figures price engine construction + run on a "
+            "prebuilt population; the scalar arm runs real per-handshake "
+            "TLS machines, the columnar arm the vectorized cohort engine"
+        ),
+    }
+    if output:
+        with open(output, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"  wrote {output}")
+
+    assert equivalence["equal"], "columnar engine diverged from scalar reference"
+    assert equivalence["retries"] > 0, "equivalence smoke exercised no retries"
+    assert r_par == r_col, "parallel cohort diverged from serial"
+    assert users >= MIN_COLUMNAR_USERS, (
+        f"columnar arm ran only {users} users < {MIN_COLUMNAR_USERS} floor "
+        f"(per-handshake figure would be setup-dominated)"
+    )
+    assert speedup >= MIN_COHORT_SPEEDUP, (
+        f"per-handshake speedup {speedup:.1f}x < {MIN_COHORT_SPEEDUP}x floor"
+    )
+    print("  all assertions passed")
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    full = full_scale()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--users", type=int, default=1_000_000 if full else 100_000,
+        help="cohort size for the columnar arm",
+    )
+    parser.add_argument(
+        "--scalar-users", type=int, default=60 if full else 40,
+        help="cohort size for the scalar-reference timing arm",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=4 if full else 2,
+        help="worker processes for the parallel columnar run",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_fig5_cohort.json",
+        help="report path ('' to skip writing)",
+    )
+    args = parser.parse_args(argv)
+    run_benchmark(args.users, args.scalar_users, args.jobs, args.output or None)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,27 +6,35 @@ rows/series the paper reports (run with ``pytest benchmarks/
 experiments at full paper scale (10 runs x 200 domains, 10K-domain
 crawls); the default is a reduced scale that keeps the whole harness
 under a few minutes.
+
+Fixture *source* is shared with the test suite through
+``tests/_fixtures.py`` — population/chain setup here and in tests comes
+from the same functions by construction.
 """
 
 import os
+import sys
 
 import pytest
 
-from repro.webmodel.population import ICAPopulation, PopulationConfig
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
 
+from tests._fixtures import (  # noqa: E402
+    POPULATION_SEED,
+    benchmark_scale,
+    full_scale,
+    shared_population,
+)
 
-def full_scale() -> bool:
-    return os.environ.get("REPRO_FULL", "0") not in ("0", "", "false")
+assert POPULATION_SEED == 1  # the seed every checked-in BENCH_*.json used
 
 
 @pytest.fixture(scope="session")
 def population():
     """One shared synthetic PKI population for all benchmarks."""
-    return ICAPopulation(PopulationConfig(seed=1))
+    return shared_population()
 
 
 @pytest.fixture(scope="session")
 def scale():
-    if full_scale():
-        return {"runs": 10, "domains": 200, "crawl": 10_000, "ops": 20_000}
-    return {"runs": 3, "domains": 100, "crawl": 10_000, "ops": 5_000}
+    return benchmark_scale()

@@ -19,6 +19,7 @@ import time
 from typing import Callable, Dict
 
 from repro._version import __version__
+from repro.errors import ConfigurationError
 
 
 def _run_table1(args) -> None:
@@ -98,6 +99,52 @@ def _run_fig5_right(args) -> None:
     from repro.experiments import fig5
 
     print(fig5.format_ttfb(fig5.ttfb_scenarios(_sessions(args))))
+
+
+def _run_fig5(args) -> None:
+    """Composite Fig. 5 artifact; ``--cohort`` switches to the columnar
+    cohort engine (or its scalar reference via ``--engine scalar``)."""
+    if not args.cohort:
+        _run_fig5_left(args)
+        print()
+        _run_fig5_center(args)
+        print()
+        _run_fig5_right(args)
+        return
+    try:
+        from repro.webmodel.cohort import (
+            CohortConfig,
+            cohort_json_doc,
+            format_cohort,
+            run_cohort,
+        )
+    except ImportError as exc:
+        raise ConfigurationError(
+            "'fig5 --cohort' needs numpy (the columnar engine has no "
+            "scalar fallback); run the per-session fig5 panels instead"
+        ) from exc
+
+    config = CohortConfig(
+        num_users=args.users,
+        handshakes_per_user=args.handshakes_per_user,
+        payload_refresh_every=args.payload_refresh_every,
+        seed=args.cohort_seed,
+        **({"block_users": args.block_users} if args.block_users else {}),
+    )
+    if args.engine == "scalar":
+        from repro.webmodel.cohort_reference import run_cohort_reference
+
+        result = run_cohort_reference(config)
+    else:
+        result = run_cohort(config, jobs=args.jobs)
+    print(format_cohort(result))
+    if args.json_out:
+        import json
+
+        with open(args.json_out, "w") as fh:
+            json.dump(cohort_json_doc(result), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"[cohort: JSON written to {args.json_out}]", file=sys.stderr)
 
 
 def _run_ablation_initcwnd(args) -> None:
@@ -219,6 +266,7 @@ ARTIFACTS: Dict[str, Callable] = {
     "fig1": _run_fig1,
     "fig3": _run_fig3,
     "fig4": _run_fig4,
+    "fig5": _run_fig5,
     "fig5-left": _run_fig5_left,
     "fig5-center": _run_fig5_center,
     "fig5-right": _run_fig5_right,
@@ -276,14 +324,52 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--cohort", action="store_true",
+        help="fig5: run the columnar cohort engine instead of the panels",
+    )
+    parser.add_argument(
+        "--users", type=int, default=10_000,
+        help="cohort size (simulated users) for 'fig5 --cohort'",
+    )
+    parser.add_argument(
+        "--handshakes-per-user", type=int, default=10,
+        help="destination draws per cohort user (repeats reuse the session)",
+    )
+    parser.add_argument(
+        "--payload-refresh-every", type=int, default=0,
+        help=(
+            "re-capture the advertised filter payload every K handshakes "
+            "(0 = never; only matters once a user has learned new ICAs)"
+        ),
+    )
+    parser.add_argument(
+        "--cohort-seed", type=int, default=0,
+        help="seed of the cohort's counter-based RNG streams",
+    )
+    parser.add_argument(
+        "--block-users", type=int, default=0,
+        help=(
+            "cohort block size for --jobs sharding (0 = default; any "
+            "value produces the identical result)"
+        ),
+    )
+    parser.add_argument(
+        "--engine", choices=("columnar", "scalar"), default="columnar",
+        help=(
+            "cohort implementation: the columnar engine or the scalar "
+            "per-handshake reference (identical results, wildly "
+            "different speed)"
+        ),
+    )
+    parser.add_argument(
         "--steps", type=int, default=12,
         help="time steps for the churn experiment's lifecycle engine",
     )
     parser.add_argument(
         "--json-out", metavar="PATH", default=None,
         help=(
-            "write the churn experiment's machine-readable sweep "
-            "(repro.churn/v1 JSON) to PATH"
+            "write the artifact's machine-readable summary to PATH "
+            "(churn: repro.churn/v1; fig5 --cohort: repro.cohort/v1)"
         ),
     )
     parser.add_argument(
@@ -326,9 +412,10 @@ def main(argv=None) -> int:
             print(name)
         return 0
     if args.artifact == "all":
-        # 'report' regenerates everything itself; running it inside 'all'
-        # would duplicate every simulation.
-        names = sorted(n for n in ARTIFACTS if n != "report")
+        # 'report' regenerates everything itself and 'fig5' composes the
+        # three fig5-* panels; running them inside 'all' would duplicate
+        # every simulation.
+        names = sorted(n for n in ARTIFACTS if n not in ("report", "fig5"))
     else:
         names = [args.artifact]
     metrics_out = getattr(args, "metrics_out", None)

@@ -176,6 +176,15 @@ CREDENTIALS = _register(ContentCache("credentials", max_entries=8192))
 FLIGHT_SIZES = _register(
     ContentCache("flight_sizes", max_entries=4096, disableable=False, shippable=True)
 )
+#: ("streams", cohort seed) -> {namespace: 64-bit stream key} for the
+#: cohort engine's counter-based RNG; shipped to workers and never
+#: disabled so every process derives draws from one key set (the
+#: seed-derivation round-trip the cohort RNG property tests pin).
+COHORT_STREAMS = _register(
+    ContentCache(
+        "cohort_streams", max_entries=1024, disableable=False, shippable=True
+    )
+)
 
 #: Actual DER assemblies of Certificate objects (encode events, not cache
 #: lookups): ``misses`` counts real encodes, ``hits`` counts memoized

@@ -1,0 +1,817 @@
+"""Columnar cohort browsing engine — Fig. 5 at traffic scale.
+
+The per-session simulator (:mod:`repro.webmodel.session_sim`) runs one
+real handshake per destination, which tops out around a couple of hundred
+handshakes per second — fine for reproducing the paper's 10x200-domain
+runs, hopeless for the ROADMAP's "millions of users".  This module
+advances a cohort of N users as numpy columns instead:
+
+* per-user destination draws and RTTs come from the counter-based RNG
+  streams of :mod:`repro.webmodel.cohortrng` (pure functions of
+  ``(stream key, user * slots + slot)``, so any sharding reproduces them);
+* chain composition is a gather: ``rank -> ICAPath`` is a pure function
+  of the population seed, so the engine resolves each *unique* rank once
+  and reads per-path fact columns (depth, ICA bytes, base-filter hits,
+  false-positive flag) for every (user, slot) cell;
+* filter behaviour comes from one bulk ``contains_batch`` probe of the
+  advertised wire image over every path's fingerprints;
+* warm-state/dedup ("already visited this destination"), retry and
+  suppression-byte accounting are boolean/int masks and column
+  reductions.
+
+**The cohort session protocol** (shared with the scalar reference): each
+user starts from the hot-ICA preload cache and the filter built from it,
+and draws ``handshakes_per_user`` destinations; a repeat destination
+reuses the session (no handshake).  A handshake suppresses the ICAs the
+advertised filter claims; if any suppressed ICA is missing from the
+user's cache (a false positive), the attempt fails, a plain retry resends
+the full chain, and the client learns the chain's ICAs
+(``observe_chain``).  With ``payload_refresh_every = k > 0`` the
+advertised payload is re-captured from the live filter before handshakes
+``k, 2k, ...`` (the churn engine's live-cache/stale-payload idiom);
+between refreshes the advertised bytes stay stale.
+
+**Exactness by construction.**  Until a user's first false positive their
+cache and advertised filter are byte-for-byte the preload state, so the
+precomputed per-path facts describe their handshakes exactly.  Users the
+base-state probe flags as FP-affected ("divergent") are excluded from the
+column fast path and replayed through the real object pipeline
+(:class:`~repro.core.suppression.ClientSuppressor`, the manager's insert/
+rebuild machinery, ``parse_extension_payload`` round-trips) — byte-exact
+with the scalar reference, and cheap because the configured fpp makes
+them rare.  ``tests/webmodel/test_cohort_vs_scalar.py`` pins the
+equivalence against the untouched per-handshake TLS machine.
+
+Aggregate float identity: RTTs are kept as one (user-major, slot-major)
+column and reduced with a single ``np.sum`` at finalize time, so the
+result is independent of block size and ``--jobs``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.core.extension import parse_extension_payload
+from repro.core.suppression import ClientSuppressor
+from repro.errors import ConfigurationError, SimulationError
+from repro.pki.algorithms import get_signature_algorithm
+from repro.pki.certificate import DEFAULT_ATTRIBUTE_BYTES
+from repro.pki.store import IntermediatePreload
+from repro.runtime import artifacts
+from repro.runtime.parallel import parallel_map, resolve_jobs, run_metered
+from repro.webmodel import cohortrng
+from repro.webmodel.population import ICAPopulation, PopulationConfig
+
+#: JSON schema identifier of :func:`cohort_json_doc` exports.
+COHORT_SCHEMA = "repro.cohort/v1"
+
+#: Algorithms the JSON doc extrapolates ICA data volume to (Fig. 5-left).
+EXTRAPOLATED_ALGORITHMS = (
+    "rsa-2048",
+    "dilithium3",
+    "dilithium5",
+    "sphincs-128f",
+)
+
+
+@dataclass(frozen=True)
+class CohortConfig:
+    """Parameters of one cohort run.
+
+    ``handshakes_per_user`` counts destination *draws* (slots); repeat
+    destinations reuse the session, so actual handshakes per user are
+    ``<=`` this.  ``block_users`` shards the cohort for ``--jobs``; it
+    cannot change any result (blocks are independent and reductions are
+    integer or whole-column), only memory footprint and parallel grain.
+    """
+
+    num_users: int = 10_000
+    handshakes_per_user: int = 10
+    #: Popularity skew of the user's *destination stream* (first-party
+    #: domains plus embedded third-party origins), hence flatter than the
+    #: Burklen domain-only draw (1.9): ~20 % of draws land beyond the
+    #: hot-rank threshold, reproducing the paper's 69-74 % known-ICA
+    #: rate band at the default population calibration.
+    zipf_exponent: float = 1.1
+    max_rank: int = 1_000_000
+    filter_kind: str = "cuckoo"
+    fpp: float = 1e-3
+    load_factor: float = 0.9
+    payload_refresh_every: int = 0
+    hot_top_n: int = 10_000
+    rtt_median_s: float = 0.045
+    rtt_sigma: float = 0.5
+    at_time: int = 1_000
+    seed: int = 0
+    population: PopulationConfig = PopulationConfig()
+    block_users: int = 16_384
+
+    def __post_init__(self) -> None:
+        if self.num_users < 1:
+            raise ConfigurationError(
+                f"num_users must be >= 1, got {self.num_users}"
+            )
+        if self.handshakes_per_user < 1:
+            raise ConfigurationError(
+                f"handshakes_per_user must be >= 1, got {self.handshakes_per_user}"
+            )
+        if self.max_rank < 1:
+            raise ConfigurationError(f"max_rank must be >= 1, got {self.max_rank}")
+        if self.payload_refresh_every < 0:
+            raise ConfigurationError(
+                f"payload_refresh_every must be >= 0 (0 = never), "
+                f"got {self.payload_refresh_every}"
+            )
+        if self.block_users < 1:
+            raise ConfigurationError(
+                f"block_users must be >= 1, got {self.block_users}"
+            )
+
+
+def cohort_stream_keys(seed: int) -> Dict[str, int]:
+    """The cohort's three stream keys, routed through the shippable
+    ``cohort_streams`` artifact cache so parent-derived keys ride along to
+    worker processes (and round-trip the export/import path the property
+    tests exercise)."""
+    cache_key = ("streams", seed)
+    cached = artifacts.COHORT_STREAMS.get(cache_key)
+    if cached is None:
+        cached = {
+            ns: cohortrng.stream_key(ns, seed)
+            for ns in (
+                cohortrng.RANK_STREAM,
+                cohortrng.RTT_A_STREAM,
+                cohortrng.RTT_B_STREAM,
+            )
+        }
+        artifacts.COHORT_STREAMS.put(cache_key, cached)
+    return cached
+
+
+@dataclass(frozen=True)
+class CohortColumns:
+    """Per-user result columns (index = user id, cohort order)."""
+
+    handshakes: np.ndarray
+    retries: np.ndarray
+    icas_encountered: np.ndarray
+    icas_sent_first: np.ndarray
+    icas_sent_total: np.ndarray
+    ica_bytes_total: np.ndarray
+    ica_bytes_sent_first: np.ndarray
+    ica_bytes_sent_total: np.ndarray
+    learned_icas: np.ndarray
+    payload_refreshes: np.ndarray
+    divergent: np.ndarray
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CohortColumns):
+            return NotImplemented
+        return all(
+            np.array_equal(getattr(self, name), getattr(other, name))
+            for name in self.__dataclass_fields__
+        )
+
+    __hash__ = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class CohortStats:
+    """Whole-cohort aggregates (python ints; one float, the RTT sum)."""
+
+    users: int
+    destinations: int
+    handshakes: int
+    session_reuse: int
+    attempts: int
+    completed: int
+    completed_after_retry: int
+    retries: int
+    false_positives: int
+    icas_encountered: int
+    icas_sent_first: int
+    icas_sent_total: int
+    icas_suppressed_first: int
+    ica_bytes_total: int
+    ica_bytes_sent_first: int
+    ica_bytes_sent_total: int
+    ica_bytes_suppressed_first: int
+    learned_icas: int
+    payload_refreshes: int
+    divergent_users: int
+    filter_payload_bytes: int
+    rtt_sum_s: float
+
+    @property
+    def ica_reduction_ratio(self) -> float:
+        """Fractional reduction in exchanged ICA bytes, retries paid."""
+        if not self.ica_bytes_total:
+            return 0.0
+        return 1.0 - self.ica_bytes_sent_total / self.ica_bytes_total
+
+    @property
+    def known_ica_rate(self) -> float:
+        """Share of encountered ICAs suppressed on the first flight."""
+        if not self.icas_encountered:
+            return 0.0
+        return self.icas_suppressed_first / self.icas_encountered
+
+    @property
+    def false_positive_rate(self) -> float:
+        if not self.handshakes:
+            return 0.0
+        return self.false_positives / self.handshakes
+
+    @property
+    def mean_rtt_s(self) -> float:
+        return self.rtt_sum_s / self.handshakes if self.handshakes else 0.0
+
+
+@dataclass(frozen=True)
+class CohortResult:
+    """A cohort run: per-user columns, the RTT column (one entry per
+    handshake, user-major slot-major order) and the aggregate stats."""
+
+    config: CohortConfig
+    columns: CohortColumns
+    rtt_s: np.ndarray
+    stats: CohortStats
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CohortResult):
+            return NotImplemented
+        return (
+            self.config == other.config
+            and self.stats == other.stats
+            and self.columns == other.columns
+            and np.array_equal(self.rtt_s, other.rtt_s)
+        )
+
+    __hash__ = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class _BlockPart:
+    """One user block's contribution (picklable; arrays concatenate in
+    block order, which is user order)."""
+
+    start: int
+    columns: CohortColumns
+    rtt_s: np.ndarray
+
+
+@dataclass(frozen=True)
+class _PathFacts:
+    """Fact columns per ICA path ordinal (hierarchy path order), under
+    the base (preload) client state."""
+
+    depth: np.ndarray
+    nbytes: np.ndarray
+    nhits: np.ndarray
+    supp_bytes: np.ndarray
+    fp: np.ndarray
+
+
+def _first_contact_mask(ranks: np.ndarray) -> np.ndarray:
+    """True where a row (user) sees this rank for the first time.
+
+    Stable row-wise argsort groups equal ranks while preserving slot
+    order, so the first element of each sorted group is the earliest
+    contact; scattering the group-head flags back yields the mask.
+    """
+    order = np.argsort(ranks, axis=1, kind="stable")
+    sorted_ranks = np.take_along_axis(ranks, order, axis=1)
+    first_sorted = np.ones(ranks.shape, dtype=bool)
+    first_sorted[:, 1:] = sorted_ranks[:, 1:] != sorted_ranks[:, :-1]
+    first = np.empty(ranks.shape, dtype=bool)
+    np.put_along_axis(first, order, first_sorted, axis=1)
+    return first
+
+
+@dataclass(frozen=True)
+class _UserReplay:
+    """Exact per-user accounting produced by the object-replay slow path."""
+
+    retries: int
+    icas_sent_first: int
+    icas_sent_total: int
+    ica_bytes_sent_first: int
+    ica_bytes_sent_total: int
+    learned_icas: int
+
+
+class CohortEngine:
+    """Columnar cohort runner over a shared :class:`ICAPopulation`.
+
+    A custom ``population`` instance not reconstructible from
+    ``config.population`` must be run with ``jobs=1`` (workers rebuild
+    from the config, mirroring ``BrowsingSessionSimulator.run_many``).
+    """
+
+    def __init__(
+        self,
+        config: CohortConfig = CohortConfig(),
+        population: Optional[ICAPopulation] = None,
+    ) -> None:
+        self.config = config
+        self.population = population or ICAPopulation(config.population)
+        if config.max_rank > self.population.ranking.size:
+            raise ConfigurationError(
+                f"max_rank {config.max_rank} exceeds the ranking universe "
+                f"({self.population.ranking.size})"
+            )
+        self._hot = self.population.hot_ica_certificates(config.hot_top_n)
+        self._base = ClientSuppressor(
+            preload=IntermediatePreload(self._hot),
+            filter_kind=config.filter_kind,
+            fpp=config.fpp,
+            load_factor=config.load_factor,
+            budget_bytes=None,
+            seed=config.seed,
+        )
+        self._payload = self._base.extension_payload()
+        #: The wire image as the server sees it — probed for facts, so a
+        #: serialize/deserialize round-trip can never cause drift.
+        self._probe = parse_extension_payload(self._payload)
+        self._known = frozenset(self._base.cache.fingerprints())
+        self._keys = cohort_stream_keys(config.seed)
+        paths = self.population.hierarchy.paths
+        self._path_index = {id(path): i for i, path in enumerate(paths)}
+        self._path_certs: List[list] = [p.ica_certificates() for p in paths]
+        self._path_fps: List[List[bytes]] = [
+            [cert.fingerprint() for cert in certs] for certs in self._path_certs
+        ]
+        self._path_sizes: List[List[int]] = [
+            [cert.size_bytes() for cert in certs] for certs in self._path_certs
+        ]
+        self._facts = self._build_path_facts()
+        self._rank_ordinal: Dict[int, int] = {}
+
+    # -- facts -----------------------------------------------------------------
+
+    def _build_path_facts(self) -> _PathFacts:
+        """Probe every path's fingerprints through the advertised wire
+        image in one ``contains_batch`` call and reduce to per-path
+        columns."""
+        flat: List[bytes] = []
+        offsets = [0]
+        for fps in self._path_fps:
+            flat.extend(fps)
+            offsets.append(len(flat))
+        hits = list(self._probe.contains_batch(flat)) if flat else []
+        num = len(self._path_fps)
+        depth = np.zeros(num, dtype=np.int64)
+        nbytes = np.zeros(num, dtype=np.int64)
+        nhits = np.zeros(num, dtype=np.int64)
+        supp_bytes = np.zeros(num, dtype=np.int64)
+        fp = np.zeros(num, dtype=bool)
+        for p in range(num):
+            fps = self._path_fps[p]
+            sizes = self._path_sizes[p]
+            path_hits = hits[offsets[p] : offsets[p + 1]]
+            depth[p] = len(fps)
+            nbytes[p] = sum(sizes)
+            nhits[p] = sum(1 for h in path_hits if h)
+            supp_bytes[p] = sum(s for s, h in zip(sizes, path_hits) if h)
+            fp[p] = any(
+                h and f not in self._known for f, h in zip(fps, path_hits)
+            )
+        return _PathFacts(
+            depth=depth, nbytes=nbytes, nhits=nhits, supp_bytes=supp_bytes, fp=fp
+        )
+
+    def _ordinals_for_ranks(self, unique_ranks: np.ndarray) -> np.ndarray:
+        """Path ordinal per unique rank (memoized; ``path_for_rank`` is a
+        pure function of (population seed, rank))."""
+        memo = self._rank_ordinal
+        out = np.empty(len(unique_ranks), dtype=np.int64)
+        for i, rank in enumerate(unique_ranks.tolist()):
+            ordinal = memo.get(rank)
+            if ordinal is None:
+                ordinal = self._path_index[id(self.population.path_for_rank(rank))]
+                memo[rank] = ordinal
+            out[i] = ordinal
+        return out
+
+    # -- columnar fast path + replay slow path ---------------------------------
+
+    def _run_block(self, block: Tuple[int, int]) -> _BlockPart:
+        start, stop = block
+        cfg = self.config
+        slots = cfg.handshakes_per_user
+        counters = cohortrng.block_counters(start, stop, slots)
+        ranks = cohortrng.zipf_ranks(
+            cohortrng.uniforms(self._keys[cohortrng.RANK_STREAM], counters),
+            cfg.zipf_exponent,
+            cfg.max_rank,
+        )
+        rtt = cohortrng.lognormal_rtt(
+            cohortrng.uniforms(self._keys[cohortrng.RTT_A_STREAM], counters),
+            cohortrng.uniforms(self._keys[cohortrng.RTT_B_STREAM], counters),
+            cfg.rtt_median_s,
+            cfg.rtt_sigma,
+        )
+        first = _first_contact_mask(ranks)
+        unique_ranks = np.unique(ranks)
+        unique_ordinals = self._ordinals_for_ranks(unique_ranks)
+        ordinals = unique_ordinals[np.searchsorted(unique_ranks, ranks)]
+        facts = self._facts
+        depth = facts.depth[ordinals]
+        nbytes = facts.nbytes[ordinals]
+        nhits = facts.nhits[ordinals]
+        supp_bytes = facts.supp_bytes[ordinals]
+        fp_cell = first & facts.fp[ordinals]
+        divergent = fp_cell.any(axis=1)
+
+        # State-independent columns (valid for every user: dedup, chain
+        # composition and protocol refresh points don't depend on filter
+        # state).
+        handshakes = first.sum(axis=1)
+        encountered = np.where(first, depth, 0).sum(axis=1)
+        bytes_total = np.where(first, nbytes, 0).sum(axis=1)
+        if cfg.payload_refresh_every:
+            refreshes = (handshakes - 1) // cfg.payload_refresh_every
+        else:
+            refreshes = np.zeros(stop - start, dtype=np.int64)
+
+        # Base-state columns, valid only off the divergent rows.
+        fast = first & ~divergent[:, None]
+        sent_first_count = np.where(fast, depth - nhits, 0).sum(axis=1)
+        sent_first_bytes = np.where(fast, nbytes - supp_bytes, 0).sum(axis=1)
+        retries = np.zeros(stop - start, dtype=np.int64)
+        learned = np.zeros(stop - start, dtype=np.int64)
+        sent_total_count = sent_first_count.copy()
+        sent_total_bytes = sent_first_bytes.copy()
+
+        # Divergent rows: exact replay through the real object pipeline.
+        for local in np.nonzero(divergent)[0]:
+            replay = self._replay_user(ranks[local], first[local])
+            retries[local] = replay.retries
+            learned[local] = replay.learned_icas
+            sent_first_count[local] = replay.icas_sent_first
+            sent_total_count[local] = replay.icas_sent_total
+            sent_first_bytes[local] = replay.ica_bytes_sent_first
+            sent_total_bytes[local] = replay.ica_bytes_sent_total
+
+        columns = CohortColumns(
+            handshakes=handshakes,
+            retries=retries,
+            icas_encountered=encountered,
+            icas_sent_first=sent_first_count,
+            icas_sent_total=sent_total_count,
+            ica_bytes_total=bytes_total,
+            ica_bytes_sent_first=sent_first_bytes,
+            ica_bytes_sent_total=sent_total_bytes,
+            learned_icas=learned,
+            payload_refreshes=refreshes,
+            divergent=divergent,
+        )
+        record_cohort_counters(
+            columns, destinations=(stop - start) * slots
+        )
+        return _BlockPart(start=start, columns=columns, rtt_s=rtt[first])
+
+    def _replay_user(
+        self, rank_row: np.ndarray, first_row: np.ndarray
+    ) -> _UserReplay:
+        """Replay one FP-affected user with real core objects, so filter
+        evolution (insert order, full-table rebuilds, payload refreshes)
+        matches the scalar reference byte-for-byte."""
+        cfg = self.config
+        suppressor = ClientSuppressor(
+            preload=IntermediatePreload(self._hot),
+            filter_kind=cfg.filter_kind,
+            fpp=cfg.fpp,
+            load_factor=cfg.load_factor,
+            budget_bytes=None,
+            seed=cfg.seed,
+        )
+        advertised = parse_extension_payload(suppressor.extension_payload())
+        known = set(suppressor.cache.fingerprints())
+        refresh_every = cfg.payload_refresh_every
+        handshake_index = 0
+        retries = learned = 0
+        sent_first_count = sent_total_count = 0
+        sent_first_bytes = sent_total_bytes = 0
+        for slot in range(cfg.handshakes_per_user):
+            if not first_row[slot]:
+                continue
+            if (
+                refresh_every
+                and handshake_index > 0
+                and handshake_index % refresh_every == 0
+            ):
+                advertised = parse_extension_payload(
+                    suppressor.extension_payload()
+                )
+            ordinal = self._rank_ordinal[int(rank_row[slot])]
+            fps = self._path_fps[ordinal]
+            sizes = self._path_sizes[ordinal]
+            hits = list(advertised.contains_batch(fps)) if fps else []
+            suppressed = [i for i, hit in enumerate(hits) if hit]
+            total_bytes = sum(sizes)
+            supp_bytes = sum(sizes[i] for i in suppressed)
+            sent_count = len(fps) - len(suppressed)
+            sent_bytes = total_bytes - supp_bytes
+            sent_first_count += sent_count
+            sent_total_count += sent_count
+            sent_first_bytes += sent_bytes
+            sent_total_bytes += sent_bytes
+            if any(fps[i] not in known for i in suppressed):
+                # False positive: the plain retry resends the full chain
+                # and the client learns its ICAs.
+                retries += 1
+                sent_total_count += len(fps)
+                sent_total_bytes += total_bytes
+                learned += suppressor.cache.add_many(self._path_certs[ordinal])
+                known.update(fps)
+            handshake_index += 1
+        return _UserReplay(
+            retries=retries,
+            icas_sent_first=sent_first_count,
+            icas_sent_total=sent_total_count,
+            ica_bytes_sent_first=sent_first_bytes,
+            ica_bytes_sent_total=sent_total_bytes,
+            learned_icas=learned,
+        )
+
+    # -- driving ---------------------------------------------------------------
+
+    def run(self, jobs: Optional[int] = 1) -> CohortResult:
+        """Run the cohort; ``jobs`` > 1 shards user blocks across worker
+        processes (``None``/``0`` = all cores).  Blocks are independent
+        and reductions are integer or whole-column, so every ``jobs`` and
+        ``block_users`` value produces the identical result."""
+        cfg = self.config
+        jobs = resolve_jobs(jobs)
+        blocks = [
+            (start, min(start + cfg.block_users, cfg.num_users))
+            for start in range(0, cfg.num_users, cfg.block_users)
+        ]
+        metered = obs.enabled()
+        if jobs <= 1 or len(blocks) <= 1:
+            if not metered:
+                parts = [self._run_block(block) for block in blocks]
+            else:
+                parts = []
+                for block in blocks:
+                    part, snap = run_metered(self._run_block, block)
+                    obs.merge(snap)
+                    parts.append(part)
+        else:
+            payload = _CohortWorkerPayload(config=cfg)
+            parts = parallel_map(
+                _cohort_worker_block,
+                blocks,
+                jobs=jobs,
+                initializer=_cohort_worker_init,
+                initargs=(payload,),
+                shipped_caches=artifacts.export_shippable(),
+                metered=metered,
+            )
+        return finalize_cohort(cfg, parts, len(self._payload))
+
+
+def run_cohort(
+    config: CohortConfig = CohortConfig(),
+    jobs: Optional[int] = 1,
+    population: Optional[ICAPopulation] = None,
+) -> CohortResult:
+    """Convenience wrapper: build the engine and run the cohort."""
+    return CohortEngine(config, population=population).run(jobs=jobs)
+
+
+def record_cohort_counters(columns: CohortColumns, destinations: int) -> None:
+    """Emit ``webmodel.cohort.*`` counters for one slice of users.
+
+    Called once per block by the engine and once per run by the scalar
+    reference; totals are sums of per-user ints, so any slicing (and any
+    ``--jobs`` value, via the metered merge) yields identical counters.
+    """
+    reg = obs.registry()
+    if reg is None:
+        return
+    handshakes = int(columns.handshakes.sum())
+    retries = int(columns.retries.sum())
+    reg.inc("webmodel.cohort.users", len(columns.handshakes))
+    reg.inc("webmodel.cohort.handshakes", handshakes)
+    reg.inc("webmodel.cohort.session_reuse", destinations - handshakes)
+    reg.inc("webmodel.cohort.retries", retries, (("cause", "server-fp"),))
+    reg.inc("webmodel.cohort.false_positives", retries)
+    reg.inc(
+        "webmodel.cohort.icas_encountered", int(columns.icas_encountered.sum())
+    )
+    reg.inc(
+        "webmodel.cohort.icas_sent_total", int(columns.icas_sent_total.sum())
+    )
+    reg.inc(
+        "webmodel.cohort.icas_suppressed_first",
+        int((columns.icas_encountered - columns.icas_sent_first).sum()),
+    )
+    reg.inc(
+        "webmodel.cohort.divergent_users", int(columns.divergent.sum())
+    )
+    reg.inc("webmodel.cohort.learned_icas", int(columns.learned_icas.sum()))
+    reg.inc(
+        "webmodel.cohort.payload_refreshes",
+        int(columns.payload_refreshes.sum()),
+    )
+
+
+def finalize_cohort(
+    config: CohortConfig,
+    parts: Sequence[_BlockPart],
+    filter_payload_bytes: int,
+) -> CohortResult:
+    """Concatenate block parts (block order == user order) and reduce.
+
+    The RTT sum is one ``np.sum`` over the full concatenated column —
+    the same array whatever the block size or jobs value, hence the same
+    float.
+    """
+    columns = CohortColumns(
+        **{
+            name: np.concatenate(
+                [getattr(part.columns, name) for part in parts]
+            )
+            for name in CohortColumns.__dataclass_fields__
+        }
+    )
+    rtt = np.concatenate([part.rtt_s for part in parts])
+    users = len(columns.handshakes)
+    destinations = users * config.handshakes_per_user
+    handshakes = int(columns.handshakes.sum())
+    retries = int(columns.retries.sum())
+    encountered = int(columns.icas_encountered.sum())
+    sent_first = int(columns.icas_sent_first.sum())
+    sent_total = int(columns.icas_sent_total.sum())
+    bytes_total = int(columns.ica_bytes_total.sum())
+    bytes_first = int(columns.ica_bytes_sent_first.sum())
+    bytes_sent = int(columns.ica_bytes_sent_total.sum())
+    stats = CohortStats(
+        users=users,
+        destinations=destinations,
+        handshakes=handshakes,
+        session_reuse=destinations - handshakes,
+        attempts=handshakes + retries,
+        completed=handshakes - retries,
+        completed_after_retry=retries,
+        retries=retries,
+        false_positives=retries,
+        icas_encountered=encountered,
+        icas_sent_first=sent_first,
+        icas_sent_total=sent_total,
+        icas_suppressed_first=encountered - sent_first,
+        ica_bytes_total=bytes_total,
+        ica_bytes_sent_first=bytes_first,
+        ica_bytes_sent_total=bytes_sent,
+        ica_bytes_suppressed_first=bytes_total - bytes_first,
+        learned_icas=int(columns.learned_icas.sum()),
+        payload_refreshes=int(columns.payload_refreshes.sum()),
+        divergent_users=int(columns.divergent.sum()),
+        filter_payload_bytes=filter_payload_bytes,
+        rtt_sum_s=float(np.sum(rtt)),
+    )
+    return CohortResult(config=config, columns=columns, rtt_s=rtt, stats=stats)
+
+
+# -- worker plumbing -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _CohortWorkerPayload:
+    """What a cohort worker needs to rebuild the engine bit-for-bit."""
+
+    config: CohortConfig
+
+
+_WORKER_ENGINE: Optional[CohortEngine] = None
+
+
+def _cohort_worker_init(payload: _CohortWorkerPayload) -> None:
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = CohortEngine(payload.config)
+
+
+def _cohort_worker_block(block: Tuple[int, int]) -> _BlockPart:
+    if _WORKER_ENGINE is None:
+        raise SimulationError("cohort worker used before initialization")
+    return _WORKER_ENGINE._run_block(block)
+
+
+# -- reporting -----------------------------------------------------------------
+
+
+def cohort_json_doc(result: CohortResult) -> dict:
+    """Machine-readable cohort summary (``repro.cohort/v1``).
+
+    Engine-agnostic by design: the columnar engine and the scalar
+    reference produce byte-identical documents for the same config — the
+    CI cohort-smoke job ``cmp``'s them.
+    """
+    config = result.config
+    stats = result.stats
+    per_algorithm = {}
+    for algorithm in EXTRAPOLATED_ALGORITHMS:
+        per_cert = get_signature_algorithm(algorithm).auth_bytes_per_certificate(
+            DEFAULT_ATTRIBUTE_BYTES
+        )
+        plain = per_cert * stats.icas_encountered
+        suppressed = per_cert * stats.icas_sent_total
+        per_algorithm[algorithm] = {
+            "ica_bytes_no_suppression": plain,
+            "ica_bytes_with_suppression": suppressed,
+            "savings_bytes": plain - suppressed,
+        }
+    return {
+        "schema": COHORT_SCHEMA,
+        "config": {
+            "num_users": config.num_users,
+            "handshakes_per_user": config.handshakes_per_user,
+            "zipf_exponent": config.zipf_exponent,
+            "max_rank": config.max_rank,
+            "filter_kind": config.filter_kind,
+            "fpp": config.fpp,
+            "load_factor": config.load_factor,
+            "payload_refresh_every": config.payload_refresh_every,
+            "hot_top_n": config.hot_top_n,
+            "rtt_median_s": config.rtt_median_s,
+            "rtt_sigma": config.rtt_sigma,
+            "at_time": config.at_time,
+            "seed": config.seed,
+            "population": {
+                "algorithm": config.population.algorithm,
+                "universe_icas": config.population.universe_icas,
+                "num_roots": config.population.num_roots,
+                "head_exponent": config.population.head_exponent,
+                "tail_uniform_share": config.population.tail_uniform_share,
+                "hot_rank_threshold": config.population.hot_rank_threshold,
+                "month": config.population.month,
+                "seed": config.population.seed,
+            },
+        },
+        "stats": {
+            "users": stats.users,
+            "destinations": stats.destinations,
+            "handshakes": stats.handshakes,
+            "session_reuse": stats.session_reuse,
+            "attempts": stats.attempts,
+            "completed": stats.completed,
+            "completed_after_retry": stats.completed_after_retry,
+            "retries": stats.retries,
+            "false_positives": stats.false_positives,
+            "icas_encountered": stats.icas_encountered,
+            "icas_sent_first": stats.icas_sent_first,
+            "icas_sent_total": stats.icas_sent_total,
+            "icas_suppressed_first": stats.icas_suppressed_first,
+            "ica_bytes_total": stats.ica_bytes_total,
+            "ica_bytes_sent_first": stats.ica_bytes_sent_first,
+            "ica_bytes_sent_total": stats.ica_bytes_sent_total,
+            "ica_bytes_suppressed_first": stats.ica_bytes_suppressed_first,
+            "learned_icas": stats.learned_icas,
+            "payload_refreshes": stats.payload_refreshes,
+            "divergent_users": stats.divergent_users,
+            "filter_payload_bytes": stats.filter_payload_bytes,
+            "rtt_sum_s": stats.rtt_sum_s,
+        },
+        "derived": {
+            "ica_reduction_ratio": stats.ica_reduction_ratio,
+            "known_ica_rate": stats.known_ica_rate,
+            "false_positive_rate": stats.false_positive_rate,
+            "mean_rtt_s": stats.mean_rtt_s,
+        },
+        "per_algorithm": per_algorithm,
+    }
+
+
+def format_cohort(result: CohortResult) -> str:
+    """Human-readable cohort summary for the CLI."""
+    stats = result.stats
+    lines = [
+        f"cohort: {stats.users} users x "
+        f"{result.config.handshakes_per_user} destination draws "
+        f"({result.config.filter_kind}, fpp={result.config.fpp:g}, "
+        f"month {result.config.population.month})",
+        f"  handshakes          {stats.handshakes:>12}"
+        f"   (session reuse {stats.session_reuse})",
+        f"  completed           {stats.completed:>12}"
+        f"   after retry {stats.completed_after_retry}",
+        f"  false positives     {stats.false_positives:>12}"
+        f"   rate {stats.false_positive_rate:.5f}"
+        f"   divergent users {stats.divergent_users}",
+        f"  ICAs encountered    {stats.icas_encountered:>12}"
+        f"   suppressed first-flight {stats.icas_suppressed_first}"
+        f"   (known-ICA rate {stats.known_ica_rate:.3f})",
+        f"  ICA bytes           {stats.ica_bytes_total:>12}"
+        f"   sent {stats.ica_bytes_sent_total}"
+        f"   reduction {stats.ica_reduction_ratio:.3f}",
+        f"  learned ICAs        {stats.learned_icas:>12}"
+        f"   payload refreshes {stats.payload_refreshes}",
+        f"  filter payload      {stats.filter_payload_bytes:>12} bytes"
+        f"   mean RTT {stats.mean_rtt_s * 1e3:.2f} ms",
+    ]
+    return "\n".join(lines)

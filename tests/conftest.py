@@ -1,24 +1,27 @@
-"""Shared fixtures for the repro test suite."""
+"""Shared fixtures for the repro test suite.
 
-import random
+Fixture *source* lives in ``tests/_fixtures.py`` and is shared with
+``benchmarks/conftest.py``, so tests and benchmarks can never diverge on
+population/chain input data; this file only adapts it to pytest.
+"""
 
 import pytest
 
-from repro.amq import FilterParams, canonical_params
+from tests._fixtures import (
+    make_items as _make_items,
+    make_paper_params,
+    make_rng,
+    reduced_population_config,
+    shared_population,
+)
+
+make_items = _make_items  # re-export (historical helper import site)
 
 
 @pytest.fixture
 def rng():
     """Deterministic RNG; tests must not depend on global random state."""
-    return random.Random(0xC0FFEE)
-
-
-def make_items(rng, count, size=32):
-    """Distinct random byte strings (distinctness enforced)."""
-    items = set()
-    while len(items) < count:
-        items.add(rng.getrandbits(8 * size).to_bytes(size, "big"))
-    return sorted(items)
+    return make_rng()
 
 
 @pytest.fixture
@@ -31,6 +34,11 @@ def items_245(rng):
 def paper_params():
     """Canonical (wire-quantized) params matching §5.3: 245 ICAs,
     0.1% FPP, 0.9 load factor."""
-    return canonical_params(
-        FilterParams(capacity=245, fpp=1e-3, load_factor=0.9, seed=42)
-    )
+    return make_paper_params()
+
+
+@pytest.fixture(scope="session")
+def reduced_population():
+    """The small shared PKI the cohort tests (and the cohort benchmark's
+    equivalence smoke) run against; memoized process-wide."""
+    return shared_population(reduced_population_config())

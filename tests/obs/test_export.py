@@ -26,6 +26,13 @@ def sample_snapshot():
     reg.inc("webmodel.churn.icas_revoked", 9)
     reg.inc("webmodel.churn.stale_retries", 4)
     reg.inc("webmodel.churn.fallbacks", 1)
+    reg.inc("webmodel.cohort.users", 40)
+    reg.inc("webmodel.cohort.handshakes", 228)
+    reg.inc("webmodel.cohort.session_reuse", 12)
+    reg.inc("webmodel.cohort.retries", 21, (("cause", "server-fp"),))
+    reg.inc("webmodel.cohort.false_positives", 21)
+    reg.inc("webmodel.cohort.icas_suppressed_first", 220)
+    reg.inc("webmodel.cohort.divergent_users", 16)
     reg.set_gauge("experiments.fig5.mean_reduction", 0.73)
     reg.observe("tls.server.flight.seconds", 0.5)
     reg.observe("tls.server.flight.seconds", 1.5)
@@ -110,6 +117,17 @@ class TestDeterministicCounters:
         assert flat["webmodel.churn.steps{}"] == 24
         assert flat["webmodel.churn.handshakes{}"] == 192
         assert flat["webmodel.churn.stale_retries{}"] == 4
+
+    def test_cohort_counters_are_deterministic_series(self, sample_snapshot):
+        # The cohort-smoke CI job compares these across engines and
+        # --jobs values, so they must survive the deterministic filter —
+        # including the labelled retry-cause series.
+        flat = deterministic_counters(sample_snapshot)
+        assert flat["webmodel.cohort.users{}"] == 40
+        assert flat["webmodel.cohort.handshakes{}"] == 228
+        assert flat["webmodel.cohort.retries{cause=server-fp}"] == 21
+        assert flat["webmodel.cohort.false_positives{}"] == 21
+        assert flat["webmodel.cohort.divergent_users{}"] == 16
 
     def test_accepts_snapshot_and_doc_equally(self, sample_snapshot):
         from_snapshot = deterministic_counters(sample_snapshot)

@@ -1,0 +1,110 @@
+"""``webmodel.cohort.*`` counters under the determinism contract.
+
+The cohort engine meters per block through ``run_metered``/``obs.merge``
+(serial) or metered ``parallel_map`` (workers), so the merged counters
+must be one fixed function of the config — identical for any ``--jobs``
+and block size, and identical between the columnar engine and the scalar
+reference (which emits the same counters once over the whole cohort).
+This is what lets the CI cohort-smoke job diff metrics exports across
+engines and job counts.
+"""
+
+import pytest
+
+from tests._fixtures import reduced_population_config, shared_population
+
+pytest.importorskip("numpy")
+
+from repro import obs  # noqa: E402
+from repro.obs.export import deterministic_counters  # noqa: E402
+from repro.runtime import artifacts  # noqa: E402
+from repro.webmodel.cohort import CohortConfig, run_cohort  # noqa: E402
+from repro.webmodel.cohort_reference import run_cohort_reference  # noqa: E402
+
+CONFIG = dict(
+    num_users=40,
+    handshakes_per_user=6,
+    hot_top_n=40,
+    fpp=0.25,
+    payload_refresh_every=2,
+    seed=1,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    obs.disable()
+    artifacts.clear()
+    yield
+    obs.disable()
+    artifacts.clear()
+
+
+def _config(block_users=16_384):
+    return CohortConfig(
+        block_users=block_users,
+        population=reduced_population_config(),
+        **CONFIG,
+    )
+
+
+def _cohort_counters(run):
+    reg = obs.enable()
+    stats = run().stats
+    flat = {
+        name: value
+        for name, value in deterministic_counters(reg.snapshot()).items()
+        if name.startswith("webmodel.cohort.")
+    }
+    obs.disable()
+    return stats, flat
+
+
+def test_counters_mirror_the_stats():
+    population = shared_population(reduced_population_config())
+    stats, flat = _cohort_counters(
+        lambda: run_cohort(_config(), jobs=1, population=population)
+    )
+    assert stats.retries > 0  # the run is not vacuous
+    assert flat == {
+        "webmodel.cohort.users{}": stats.users,
+        "webmodel.cohort.handshakes{}": stats.handshakes,
+        "webmodel.cohort.session_reuse{}": stats.session_reuse,
+        "webmodel.cohort.retries{cause=server-fp}": stats.retries,
+        "webmodel.cohort.false_positives{}": stats.false_positives,
+        "webmodel.cohort.icas_encountered{}": stats.icas_encountered,
+        "webmodel.cohort.icas_sent_total{}": stats.icas_sent_total,
+        "webmodel.cohort.icas_suppressed_first{}": stats.icas_suppressed_first,
+        "webmodel.cohort.divergent_users{}": stats.divergent_users,
+        "webmodel.cohort.learned_icas{}": stats.learned_icas,
+        "webmodel.cohort.payload_refreshes{}": stats.payload_refreshes,
+    }
+
+
+def test_serial_and_parallel_merge_identically():
+    population = shared_population(reduced_population_config())
+    _, serial = _cohort_counters(
+        lambda: run_cohort(_config(), jobs=1, population=population)
+    )
+    _, parallel = _cohort_counters(
+        lambda: run_cohort(_config(block_users=9), jobs=2)
+    )
+    assert serial == parallel
+
+
+def test_scalar_reference_emits_identical_counters():
+    population = shared_population(reduced_population_config())
+    _, engine = _cohort_counters(
+        lambda: run_cohort(_config(), jobs=1, population=population)
+    )
+    _, reference = _cohort_counters(
+        lambda: run_cohort_reference(_config(), population=population)
+    )
+    assert engine == reference
+
+
+def test_disabled_obs_records_nothing():
+    population = shared_population(reduced_population_config())
+    assert not obs.enabled()
+    run_cohort(_config(), jobs=1, population=population)
+    assert obs.registry() is None
