@@ -230,6 +230,7 @@ def _run_churn(args) -> None:
     from repro.experiments.churn import (
         ChurnConfig,
         ChurnExperimentConfig,
+        churn_cache_stats,
         churn_json_doc,
         format_churn,
         run_churn_experiment,
@@ -238,13 +239,26 @@ def _run_churn(args) -> None:
     config = ChurnExperimentConfig(
         trials=args.runs,
         base=ChurnConfig(steps=args.steps),
+        clients=args.clients,
+        handshakes_per_client=args.handshakes_per_client,
+        engine=args.engine,
     )
     results = run_churn_experiment(config, jobs=args.jobs)
     print(format_churn(results))
+    cache_stats = churn_cache_stats() if args.cache_stats else None
+    if cache_stats is not None:
+        for name, snap in sorted(cache_stats.items()):
+            lookups = snap["hits"] + snap["misses"]
+            rate = snap["hits"] / lookups if lookups else 0.0
+            print(
+                f"[churn cache {name}: {snap['hits']}/{lookups} hits "
+                f"({100.0 * rate:.1f}%), {snap.get('size', 0)} entries]",
+                file=sys.stderr,
+            )
     if args.json_out:
         import json
 
-        doc = churn_json_doc(config, results)
+        doc = churn_json_doc(config, results, cache_stats=cache_stats)
         with open(args.json_out, "w") as fh:
             json.dump(doc, fh, indent=2, sort_keys=True)
             fh.write("\n")
@@ -356,14 +370,30 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--engine", choices=("columnar", "scalar"), default="columnar",
         help=(
-            "cohort implementation: the columnar engine or the scalar "
-            "per-handshake reference (identical results, wildly "
+            "cohort/churn implementation: the columnar engine or the "
+            "scalar per-handshake reference (identical results, wildly "
             "different speed)"
         ),
     )
     parser.add_argument(
         "--steps", type=int, default=12,
-        help="time steps for the churn experiment's lifecycle engine",
+        help="time steps (epochs) for the churn experiment's lifecycle engine",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=64,
+        help="churn cohort size (client columns per sweep cell)",
+    )
+    parser.add_argument(
+        "--handshakes-per-client", type=int, default=2,
+        help="site draws per churn client per epoch",
+    )
+    parser.add_argument(
+        "--cache-stats", action="store_true",
+        help=(
+            "churn: report artifact-cache hit rates (stderr + JSON doc; "
+            "per-process numbers, so the doc is no longer comparable "
+            "across engines or --jobs values)"
+        ),
     )
     parser.add_argument(
         "--json-out", metavar="PATH", default=None,

@@ -1,29 +1,54 @@
 """Churn experiment: filter-staleness degradation curves.
 
-Sweeps the churn engine's ``payload_refresh_every`` knob (how stale a
-client's advertised filter payload may grow relative to its live cache)
-and reports how the FP-retry rate, suppression rate and bytes-on-wire
-respond. Each (staleness level, trial) cell is one full
-:func:`~repro.webmodel.churn.run_churn` — a pure function of its
-``ChurnConfig`` — so cells shard across worker processes with results
-element-wise identical to the serial path, and the JSON document is
-byte-identical for any ``--jobs`` value.
+Sweeps the churn cohort's ``payload_refresh_every`` knob (how stale a
+client generation's advertised filter payload may grow relative to the
+canonical cache) and reports how the FP-retry rate, suppression rate and
+bytes-on-wire respond. Each (staleness level, trial) cell is one full
+churn cohort run — a pure function of its config — so cells shard across
+worker processes with results element-wise identical to the serial path,
+and the JSON document is byte-identical for any ``--jobs`` value.
+
+Two engines resolve the cells: the columnar engine
+(:func:`~repro.webmodel.churn_columnar.run_churn_cohort`, the default)
+and the scalar per-handshake reference
+(:func:`~repro.webmodel.churn_reference.run_churn_cohort_reference`).
+They implement one protocol over one set of RNG streams, so the document
+is also byte-identical across ``engine`` — the cross-engine ``cmp`` the
+CI churn-smoke enforces.
+
+Wire images and probe plans live in content-keyed artifact caches
+(:data:`repro.runtime.artifacts.CHURN_IMAGES` /
+:data:`~repro.runtime.artifacts.CHURN_PROBES`), so repeated trials and
+staleness levels sharing a trajectory prefix rehydrate each other's
+builds instead of rebuilding identical filters from scratch; the caches
+are shipped to cold workers on the parallel path. Hit rates are
+reported out of band (``cache_stats`` is opt-in) because they are a
+per-process execution detail, not part of the deterministic document.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro import obs
 from repro.errors import SimulationError
+from repro.runtime import artifacts
 from repro.runtime.parallel import (
     derive_seed,
     parallel_map,
     resolve_jobs,
     run_metered,
 )
-from repro.webmodel.churn import ChurnConfig, run_churn
+from repro.webmodel.churn import ChurnConfig
+from repro.webmodel.churn_columnar import ChurnCohortConfig, run_churn_cohort
+from repro.webmodel.churn_reference import run_churn_cohort_reference
+
+#: The engines that can resolve a sweep cell.
+CHURN_ENGINES = ("columnar", "scalar")
+
+#: The artifact caches whose hit rates the churn doc can report.
+_CACHE_NAMES = ("churn_images", "churn_probes", "filter_builds")
 
 
 @dataclass(frozen=True)
@@ -32,7 +57,11 @@ class ChurnExperimentConfig:
 
     staleness_levels: Tuple[int, ...] = (1, 2, 4, 8)
     trials: int = 2
-    base: ChurnConfig = ChurnConfig()
+    base: ChurnConfig = field(default_factory=ChurnConfig)
+    #: Cohort population per cell (columns, not the world's fleet knob).
+    clients: int = 64
+    handshakes_per_client: int = 2
+    engine: str = "columnar"
 
 
 @dataclass(frozen=True)
@@ -80,9 +109,10 @@ def _cell_config(config: ChurnExperimentConfig, level: int, trial: int) -> Churn
     )
 
 
-def _run_cell(cell: Tuple[int, int, ChurnConfig]) -> ChurnCellResult:
-    level, trial, cfg = cell
-    result = run_churn(cfg)
+def _run_cell(cell: Tuple[int, int, str, ChurnCohortConfig]) -> ChurnCellResult:
+    level, trial, engine, cfg = cell
+    runner = run_churn_cohort if engine == "columnar" else run_churn_cohort_reference
+    result = runner(cfg)
     return ChurnCellResult(
         level=level,
         trial=trial,
@@ -107,8 +137,22 @@ def run_churn_experiment(
     """Run the sweep; results ordered by (level, trial) for any ``jobs``."""
     if config.trials < 1:
         raise SimulationError(f"trials must be >= 1, got {config.trials}")
+    if config.engine not in CHURN_ENGINES:
+        raise SimulationError(
+            f"unknown churn engine {config.engine!r}; expected one of "
+            f"{CHURN_ENGINES}"
+        )
     cells = [
-        (level, trial, _cell_config(config, level, trial))
+        (
+            level,
+            trial,
+            config.engine,
+            ChurnCohortConfig(
+                world=_cell_config(config, level, trial),
+                num_clients=config.clients,
+                handshakes_per_client=config.handshakes_per_client,
+            ),
+        )
         for level in config.staleness_levels
         for trial in range(config.trials)
     ]
@@ -123,7 +167,13 @@ def run_churn_experiment(
             obs.merge(snap)
             results.append(result)
         return results
-    return parallel_map(_run_cell, cells, jobs=jobs, metered=metered)
+    return parallel_map(
+        _run_cell,
+        cells,
+        jobs=jobs,
+        metered=metered,
+        shipped_caches=artifacts.export_shippable(),
+    )
 
 
 # -- reporting -------------------------------------------------------------------
@@ -153,18 +203,32 @@ def format_churn(results: List[ChurnCellResult]) -> str:
         suppressed = sum(c.icas_suppressed for c in cells)
         wire = sum(c.wire_bytes for c in cells)
         failed = sum(c.failures for c in cells)
+        # A degenerate sweep (zero epochs) still renders: rates report 0.
+        stale_pct = 100.0 * stale / handshakes if handshakes else 0.0
+        retry_pct = 100.0 * retries / handshakes if handshakes else 0.0
         lines.append(
             f"{level:>14d} {handshakes:>11d} "
-            f"{100.0 * stale / handshakes:>8.1f} "
-            f"{100.0 * retries / handshakes:>11.2f} "
+            f"{stale_pct:>8.1f} "
+            f"{retry_pct:>11.2f} "
             f"{100.0 * suppressed / max(1, encountered):>13.1f} "
             f"{wire / 1024:>9.1f} {failed:>7d}"
         )
     return "\n".join(lines)
 
 
+def churn_cache_stats() -> Dict[str, Dict[str, int]]:
+    """Hit/miss/size of the artifact caches the churn engines lean on —
+    per-process execution detail, reported only when explicitly asked
+    (``--cache-stats``) so the default document stays byte-identical
+    across engines and ``--jobs`` values."""
+    stats = artifacts.stats()
+    return {name: stats[name] for name in _CACHE_NAMES if name in stats}
+
+
 def churn_json_doc(
-    config: ChurnExperimentConfig, results: List[ChurnCellResult]
+    config: ChurnExperimentConfig,
+    results: List[ChurnCellResult],
+    cache_stats: Optional[Dict[str, Dict[str, int]]] = None,
 ) -> dict:
     """The machine-readable sweep: per-cell summaries plus per-level
     staleness-vs-FP-retry curves (step-indexed, averaged over trials)."""
@@ -184,13 +248,15 @@ def churn_json_doc(
             ),
             "per_step_fp_retry_rate": per_step,
         }
-    return {
+    doc = {
         "schema": "repro.churn/v1",
         "staleness_levels": list(config.staleness_levels),
         "trials": config.trials,
         "steps": config.base.steps,
         "seed": config.base.seed,
         "filter_kind": config.base.filter_kind,
+        "clients": config.clients,
+        "handshakes_per_client": config.handshakes_per_client,
         "cells": [
             {
                 "level": c.level,
@@ -211,3 +277,6 @@ def churn_json_doc(
         ],
         "curves": curves,
     }
+    if cache_stats is not None:
+        doc["cache_stats"] = cache_stats
+    return doc

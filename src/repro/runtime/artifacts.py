@@ -186,6 +186,22 @@ COHORT_STREAMS = _register(
     )
 )
 
+#: ("image", kind, fpp, load_factor, seed, fingerprints digest) ->
+#: (serialized advertised payload, obs snapshot) for the columnar churn
+#: engine's per-generation wire images; keyed by cache *content* (the
+#: ordered fingerprint list), so identical churn states across trials,
+#: staleness levels and ``--jobs`` workers share one filter build.
+CHURN_IMAGES = _register(
+    ContentCache("churn_images", max_entries=256, shippable=True)
+)
+#: ("probe", payload digest, fingerprints digest) -> (hit tuple, obs
+#: snapshot): the per-(generation, epoch) bulk membership probe of the
+#: columnar churn engine. Values carry the amq.* counter snapshot so a
+#: hit replays the probe's metrics instead of silently skipping them.
+CHURN_PROBES = _register(
+    ContentCache("churn_probes", max_entries=4096, shippable=True)
+)
+
 #: Actual DER assemblies of Certificate objects (encode events, not cache
 #: lookups): ``misses`` counts real encodes, ``hits`` counts memoized
 #: returns. A warm run must not advance ``misses``.

@@ -20,6 +20,13 @@ it, the client cannot complete the path, and the handshake pays the
 paper's false-positive retry. The engine measures how suppression rate,
 FP-retry rate and bytes-on-wire degrade as that staleness grows.
 
+The ecosystem mutation phase lives in :class:`ChurnWorld` so that other
+engines — notably the columnar cohort engine in
+:mod:`repro.webmodel.churn_columnar` and its scalar reference — can drive
+the *identical* lifecycle event stream (same ``churn.events`` RNG draws,
+same issuance/cross-sign/revoke/rotate ordering) without the per-client
+fleet this module attaches to it.
+
 Everything is a pure function of :class:`ChurnConfig`: all randomness is
 drawn from :func:`~repro.runtime.parallel.derive_seed` streams, so one
 config yields one event stream and one metrics series, bit-for-bit, in
@@ -241,12 +248,22 @@ class _ChurnClient:
         return self.advertised_fps != frozenset(self.cache.fingerprints())
 
 
-class ChurnEngine:
-    """Deterministic, time-stepped PKI lifecycle simulation."""
+class ChurnWorld:
+    """The CA-ecosystem half of the simulation: roots, ICA records, CRL,
+    serving sites, and the per-step mutation phase (issue → cross-sign →
+    revoke → rotate) driven by the ``churn.events`` RNG stream.
+
+    A world is client-free on purpose: the fleet engine below and the
+    columnar cohort engine both attach their own client models to one of
+    these, and because every draw comes from
+    :func:`~repro.runtime.parallel.derive_seed` streams keyed only by
+    (config.seed, step), two worlds built from one config replay the
+    identical event stream whatever consumes them.
+    """
 
     def __init__(self, config: ChurnConfig = ChurnConfig()) -> None:
-        if config.steps < 1:
-            raise SimulationError(f"steps must be >= 1, got {config.steps}")
+        if config.steps < 0:
+            raise SimulationError(f"steps must be >= 0, got {config.steps}")
         if config.num_roots < 1:
             raise SimulationError(
                 f"num_roots must be >= 1, got {config.num_roots}"
@@ -254,11 +271,6 @@ class ChurnEngine:
         if config.initial_icas < 2:
             raise SimulationError(
                 f"initial_icas must be >= 2, got {config.initial_icas}"
-            )
-        if config.payload_refresh_every < 1:
-            raise SimulationError(
-                f"payload_refresh_every must be >= 1, got "
-                f"{config.payload_refresh_every}"
             )
         self.config = config
         self.events: List[Tuple[int, str, str]] = []
@@ -287,13 +299,6 @@ class ChurnEngine:
         rng = random.Random(derive_seed("churn.sites", config.seed))
         for i in range(config.num_sites):
             self.sites.append(self._make_site(f"site{i}.churn.example", 0, rng))
-        initial_certs = [
-            cert for record in self.records for cert, _ in record.variants
-        ]
-        self.clients = [
-            _ChurnClient(i, config, initial_certs)
-            for i in range(config.num_clients)
-        ]
 
     # -- ecosystem mutation ------------------------------------------------------
 
@@ -425,15 +430,20 @@ class ChurnEngine:
                 self.events.append((step, "rotate", site.hostname))
         return rotations
 
-    # -- per-step work -------------------------------------------------------------
-
     def _draw_count(self, rate: float, rng: random.Random) -> int:
         count = int(rate)
         if rng.random() < rate - count:
             count += 1
         return count
 
-    def _live_certificates(self, step: int) -> List[Certificate]:
+    # -- queries -----------------------------------------------------------------
+
+    def initial_certificates(self) -> List[Certificate]:
+        """Every ICA variant currently on record (what a fresh client's
+        preload cache starts from)."""
+        return [cert for record in self.records for cert, _ in record.variants]
+
+    def live_certificates(self, step: int) -> List[Certificate]:
         at_time = step * self.config.step_seconds
         live = []
         for record in self.records:
@@ -442,22 +452,18 @@ class ChurnEngine:
                     live.append(cert)
         return live
 
-    def _learn(self, client: _ChurnClient, chain: CertificateChain) -> None:
-        # A client that evicted an ICA for revocation must not re-learn it
-        # from the wire while the serving site lags its rotation.
-        fresh = [
-            cert
-            for cert in chain.intermediates
-            if not self.crl.is_revoked(cert) and cert not in client.cache
-        ]
-        if fresh:
-            client.cache.add_many(fresh)
+    # -- per-step mutation --------------------------------------------------------
 
-    def run_step(self, step: int) -> StepMetrics:
+    def advance(self, step: int) -> Tuple[int, int, int, int]:
+        """Run one step's lifecycle phase: issuance, cross-signing,
+        revocation, then due site rotations — all drawn from the
+        ``churn.events`` stream in this exact order (the determinism
+        contract every engine on top of this world relies on).
+
+        Returns ``(issued, cross_signed, revoked, rotations)``.
+        """
         cfg = self.config
-        at_time = step * cfg.step_seconds
         rng = random.Random(derive_seed("churn.events", cfg.seed, step))
-
         issued = sum(
             1
             for _ in range(self._draw_count(cfg.issuance_rate, rng))
@@ -474,6 +480,78 @@ class ChurnEngine:
             if self._revoke(step, rng)
         )
         rotations = self._rotate_due_sites(step, rng)
+        return issued, cross_signed, revoked, rotations
+
+
+class ChurnEngine:
+    """Deterministic, time-stepped PKI lifecycle simulation: a
+    :class:`ChurnWorld` plus a small fleet of stateful clients, every
+    handshake run one at a time through the real TLS machine."""
+
+    def __init__(self, config: ChurnConfig = ChurnConfig()) -> None:
+        if config.steps < 1:
+            raise SimulationError(f"steps must be >= 1, got {config.steps}")
+        if config.payload_refresh_every < 1:
+            raise SimulationError(
+                f"payload_refresh_every must be >= 1, got "
+                f"{config.payload_refresh_every}"
+            )
+        self.config = config
+        self.world = ChurnWorld(config)
+        initial_certs = self.world.initial_certificates()
+        self.clients = [
+            _ChurnClient(i, config, initial_certs)
+            for i in range(config.num_clients)
+        ]
+
+    # The world owns the ecosystem state; these aliases keep the engine's
+    # historical surface (tests and callers inspect them directly).
+
+    @property
+    def events(self) -> List[Tuple[int, str, str]]:
+        return self.world.events
+
+    @property
+    def roots(self):
+        return self.world.roots
+
+    @property
+    def trust_store(self) -> TrustStore:
+        return self.world.trust_store
+
+    @property
+    def crl(self) -> RevocationList:
+        return self.world.crl
+
+    @property
+    def records(self) -> List[_ICARecord]:
+        return self.world.records
+
+    @property
+    def sites(self) -> List[_Site]:
+        return self.world.sites
+
+    @property
+    def server_suppressor(self) -> ServerSuppressor:
+        return self.world.server_suppressor
+
+    # -- per-step work -------------------------------------------------------------
+
+    def _learn(self, client: _ChurnClient, chain: CertificateChain) -> None:
+        # A client that evicted an ICA for revocation must not re-learn it
+        # from the wire while the serving site lags its rotation.
+        fresh = [
+            cert
+            for cert in chain.intermediates
+            if not self.crl.is_revoked(cert) and cert not in client.cache
+        ]
+        if fresh:
+            client.cache.add_many(fresh)
+
+    def run_step(self, step: int) -> StepMetrics:
+        cfg = self.config
+        at_time = step * cfg.step_seconds
+        issued, cross_signed, revoked, rotations = self.world.advance(step)
 
         expired_swept = 0
         for client in self.clients:
@@ -482,7 +560,7 @@ class ChurnEngine:
 
         preload_added = 0
         if step and step % cfg.preload_refresh_every == 0:
-            live = self._live_certificates(step)
+            live = self.world.live_certificates(step)
             for client in self.clients:
                 preload_added += client.cache.add_many(
                     [cert for cert in live if cert not in client.cache]
@@ -526,7 +604,7 @@ class ChurnEngine:
             icas_suppressed=suppressed,
             wire_bytes=wire_bytes,
         )
-        self._record_obs(metrics)
+        record_churn_step(metrics)
         return metrics
 
     def _run_handshakes(self, step: int):
@@ -581,25 +659,6 @@ class ChurnEngine:
             wire_bytes,
         )
 
-    def _record_obs(self, m: StepMetrics) -> None:
-        reg = obs.registry()
-        if reg is None:
-            return
-        reg.inc("webmodel.churn.steps")
-        reg.inc("webmodel.churn.icas_issued", m.icas_issued)
-        reg.inc("webmodel.churn.cross_signs", m.icas_cross_signed)
-        reg.inc("webmodel.churn.icas_revoked", m.icas_revoked)
-        reg.inc("webmodel.churn.icas_expired", m.icas_expired_swept)
-        reg.inc("webmodel.churn.preload_added", m.preload_added)
-        reg.inc("webmodel.churn.payload_refreshes", m.payload_refreshes)
-        reg.inc("webmodel.churn.site_rotations", m.site_rotations)
-        reg.inc("webmodel.churn.handshakes", m.handshakes)
-        reg.inc("webmodel.churn.stale_retries", m.fp_retries)
-        reg.inc("webmodel.churn.fallbacks", m.fallbacks)
-        reg.inc("webmodel.churn.failures", m.failures)
-        reg.inc("webmodel.churn.icas_encountered", m.icas_encountered)
-        reg.inc("webmodel.churn.icas_suppressed", m.icas_suppressed)
-
     def run(self) -> ChurnResult:
         steps = []
         with obs.span(
@@ -608,6 +667,33 @@ class ChurnEngine:
             for step in range(self.config.steps):
                 steps.append(self.run_step(step))
         return ChurnResult(config=self.config, steps=steps, events=self.events)
+
+
+def record_churn_step(m: StepMetrics) -> None:
+    """Emit the ``webmodel.churn.*`` counters of one step.
+
+    Shared by every churn engine (fleet, columnar, scalar reference):
+    counters are pure sums over :class:`StepMetrics` fields, so equal
+    metric series yield equal counters whichever engine — and whichever
+    ``--jobs`` sharding, via the metered merge — produced them.
+    """
+    reg = obs.registry()
+    if reg is None:
+        return
+    reg.inc("webmodel.churn.steps")
+    reg.inc("webmodel.churn.icas_issued", m.icas_issued)
+    reg.inc("webmodel.churn.cross_signs", m.icas_cross_signed)
+    reg.inc("webmodel.churn.icas_revoked", m.icas_revoked)
+    reg.inc("webmodel.churn.icas_expired", m.icas_expired_swept)
+    reg.inc("webmodel.churn.preload_added", m.preload_added)
+    reg.inc("webmodel.churn.payload_refreshes", m.payload_refreshes)
+    reg.inc("webmodel.churn.site_rotations", m.site_rotations)
+    reg.inc("webmodel.churn.handshakes", m.handshakes)
+    reg.inc("webmodel.churn.stale_retries", m.fp_retries)
+    reg.inc("webmodel.churn.fallbacks", m.fallbacks)
+    reg.inc("webmodel.churn.failures", m.failures)
+    reg.inc("webmodel.churn.icas_encountered", m.icas_encountered)
+    reg.inc("webmodel.churn.icas_suppressed", m.icas_suppressed)
 
 
 def run_churn(config: ChurnConfig = ChurnConfig()) -> ChurnResult:

@@ -1,0 +1,539 @@
+"""Columnar time-stepped churn engine: staleness sweeps on the column machine.
+
+:mod:`repro.webmodel.churn` advances a handful of clients through the
+scalar TLS machine one handshake at a time — faithful, but the slowest
+path left in the repo once the cohort engine (PR 6) vectorized Fig. 5.
+This module ports the churn sweep onto the same column machine: N clients
+advance as numpy columns across churn *epochs* (the world's steps), and
+the per-epoch handshake work collapses from ``N × slots`` scalar TLS
+sessions to one bulk membership probe per payload *generation* plus one
+representative handshake per distinct ``(generation, site)`` context.
+
+**The churn cohort protocol.** Both this engine and the scalar reference
+(:mod:`repro.webmodel.churn_reference`) implement the exact same model,
+which deliberately simplifies the fleet engine's per-client caches into a
+cohort-wide canonical trajectory so that it vectorizes:
+
+* One :class:`~repro.webmodel.churn.ChurnWorld` supplies the lifecycle
+  event stream (issuance / cross-sign / revoke / rotate), byte-identical
+  to the fleet engine's because the world is shared code and RNG streams.
+* One canonical :class:`~repro.core.cache.ICACache` stands for every
+  client's cache: per epoch it sweeps expiries, applies the CRL, takes
+  the periodic preload refresh, and at epoch end learns the ICAs of every
+  site that completed at least one handshake (ascending site order,
+  deduplicated) — the pooled analogue of the fleet engine's per-client
+  learn-on-success.
+* Clients split into ``k = payload_refresh_every`` payload *generations*
+  by ``client % k``.  At epoch ``t`` generation ``(-t) mod k`` re-captures
+  its advertised wire image from the canonical cache (the same cadence as
+  the fleet engine's ``(step + index) % k == 0``); the other generations
+  keep serving their stale capture.  Staleness is therefore a *generation*
+  property, which is what lets a whole bucket share one filter image and
+  one bulk probe.
+* Per epoch, each client draws ``handshakes_per_client`` target sites
+  from the counter-based ``churn.site`` stream
+  (:mod:`repro.webmodel.cohortrng`), so the draw for ``(epoch, client,
+  slot)`` is a pure function computable columnarly here and scalar-wise
+  in the reference, in any process and any sharding.
+
+**Vectorization strategy.**  Within an epoch the TLS trace of a handshake
+is a pure function of its ``(generation, site)`` context: the advertised
+payload, the canonical cache, and the site's chain fully determine
+outcome, suppression and wire bytes (every length in the trace is fixed
+by algorithm parameters, not by the per-handshake seed — the property the
+differential suite pins).  So the engine probes each generation's filter
+image against the epoch's unique chain set with a single
+``contains_batch`` call, runs *one* representative handshake per context
+through the untouched :func:`~repro.tls.session.run_handshake`, and
+broadcasts its trace arithmetic over the context's population count.
+Contexts flagged as FP candidates (filter hit for a fingerprint the
+canonical cache no longer holds) or whose representative did anything but
+complete cleanly are replayed cell by cell through the real machine, the
+same escape hatch :mod:`repro.webmodel.cohort` uses for divergent users.
+
+Wire images and bulk probes are memoized in content-keyed artifact caches
+(:data:`repro.runtime.artifacts.CHURN_IMAGES` /
+:data:`~repro.runtime.artifacts.CHURN_PROBES`): the key is the cache
+*content* (ordered fingerprints) plus filter parameters, so repeated
+trials, staleness levels sharing a trajectory prefix, and ``--jobs``
+workers all rehydrate one build.  Both caches store the obs-counter
+deltas of the work they skip and replay them on every hit, preserving the
+serial == parallel determinism contract for ``amq.*``/``tls.*`` counters.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.core.cache import ICACache
+from repro.core.extension import build_extension_payload, parse_extension_payload
+from repro.core.filter_config import plan_filter
+from repro.errors import SimulationError
+from repro.runtime import artifacts
+from repro.runtime.parallel import derive_seed
+from repro.tls.client import ClientConfig
+from repro.tls.server import ServerConfig
+from repro.tls.session import HandshakeOutcome, HandshakeTrace, run_handshake
+from repro.webmodel.churn import (
+    ChurnConfig,
+    ChurnResult,
+    ChurnWorld,
+    StepMetrics,
+    record_churn_step,
+)
+from repro.webmodel.cohortrng import block_counters, stream_key, uniforms
+
+#: Stream namespace of the per-(epoch, client, slot) site draw.
+SITE_STREAM = "churn.site"
+
+
+@dataclass(frozen=True)
+class ChurnCohortConfig:
+    """A churn cohort: a lifecycle world plus a column of clients.
+
+    ``world`` carries every ecosystem knob (steps become the cohort's
+    epochs; ``payload_refresh_every`` becomes the generation count); the
+    world's own ``num_clients``/``handshakes_per_step`` fleet knobs are
+    ignored here — the cohort's population is ``num_clients`` columns
+    drawing ``handshakes_per_client`` sites per epoch.
+    """
+
+    world: ChurnConfig = field(default_factory=ChurnConfig)
+    num_clients: int = 64
+    handshakes_per_client: int = 2
+
+    def __post_init__(self) -> None:
+        if self.num_clients < 1:
+            raise SimulationError(
+                f"num_clients must be >= 1, got {self.num_clients}"
+            )
+        if self.handshakes_per_client < 1:
+            raise SimulationError(
+                f"handshakes_per_client must be >= 1, got "
+                f"{self.handshakes_per_client}"
+            )
+        if self.world.payload_refresh_every < 1:
+            raise SimulationError(
+                f"payload_refresh_every must be >= 1, got "
+                f"{self.world.payload_refresh_every}"
+            )
+
+
+@dataclass
+class ChurnCohortResult(ChurnResult):
+    """Same shape as :class:`~repro.webmodel.churn.ChurnResult` (the
+    experiment layer is engine-agnostic); ``config`` holds the cohort
+    config.  Dataclass equality over (config, steps, events) is the
+    differential suite's full-result contract."""
+
+
+def churn_stream_keys(seed: int) -> Dict[str, int]:
+    """Stream keys of the churn cohort under ``seed`` (memoized in the
+    shippable stream cache so every worker derives one key set)."""
+    key = ("churn-streams", seed)
+    cached = artifacts.COHORT_STREAMS.get(key)
+    if cached is None:
+        cached = {SITE_STREAM: stream_key(SITE_STREAM, seed)}
+        artifacts.COHORT_STREAMS.put(key, cached)
+    return cached
+
+
+def epoch_site_counters(
+    step: int, num_clients: int, slots: int
+) -> np.ndarray:
+    """Counter matrix of one epoch's site draws: client ``u`` of epoch
+    ``t`` occupies the virtual user ``t * num_clients + u``, so counters
+    never collide across epochs and any contiguous client sub-range
+    yields the same values as the full block (sharding invariance)."""
+    start = step * num_clients
+    return block_counters(start, start + num_clients, slots)
+
+
+def epoch_site_column(
+    site_key: int, step: int, num_clients: int, slots: int, num_sites: int
+) -> np.ndarray:
+    """The (clients, slots) matrix of target-site indices for one epoch."""
+    u = uniforms(site_key, epoch_site_counters(step, num_clients, slots))
+    sites = (u * num_sites).astype(np.int64)
+    # u < 1.0 strictly, but float rounding at the boundary must not
+    # produce an out-of-range index.
+    np.clip(sites, 0, num_sites - 1, out=sites)
+    return sites
+
+
+def _fingerprint_digest(fingerprints: Sequence[bytes]) -> bytes:
+    digest = hashlib.sha256()
+    for fp in fingerprints:
+        digest.update(len(fp).to_bytes(4, "big"))
+        digest.update(fp)
+    return digest.digest()
+
+
+def capture_wire_image(
+    world_config: ChurnConfig, fingerprints: Sequence[bytes]
+) -> bytes:
+    """Serialize the advertised payload of a cache state (the generation
+    capture), memoized by content in :data:`artifacts.CHURN_IMAGES`.
+
+    Capacity is re-planned per capture as a pure function of the current
+    fingerprint count (2x headroom, like the fleet engine's client
+    construction): the canonical cache grows across a long run, and a
+    capacity frozen at step 0 would overflow.  Cache hits replay the
+    build's obs-counter deltas so ``amq.*`` counters stay a pure function
+    of the capture sequence, not of which process built the image first.
+    """
+    fingerprints = [bytes(fp) for fp in fingerprints]
+    key = (
+        "image",
+        world_config.filter_kind,
+        world_config.fpp,
+        world_config.load_factor,
+        world_config.seed,
+        _fingerprint_digest(fingerprints),
+    )
+    cached = artifacts.CHURN_IMAGES.get(key)
+    if cached is None:
+        with obs.scoped() as scope:
+            plan = plan_filter(
+                num_icas=max(1, len(fingerprints)),
+                filter_kind=world_config.filter_kind,
+                fpp=world_config.fpp,
+                load_factor=world_config.load_factor,
+                budget_bytes=None,
+                seed=world_config.seed,
+                headroom=2.0,
+            )
+            payload = build_extension_payload(plan.build(fingerprints))
+        cached = (payload, scope.snapshot())
+        artifacts.CHURN_IMAGES.put(key, cached)
+    payload, build_metrics = cached
+    obs.merge(build_metrics)
+    return payload
+
+
+def probe_image(payload: bytes, fingerprints: Sequence[bytes]) -> Tuple[bool, ...]:
+    """Bulk-probe an advertised image for a fingerprint sequence (the
+    per-(generation, epoch) membership resolution), memoized by content
+    in :data:`artifacts.CHURN_PROBES` with obs-snapshot replay."""
+    fingerprints = [bytes(fp) for fp in fingerprints]
+    key = (
+        "probe",
+        hashlib.sha256(payload).digest(),
+        _fingerprint_digest(fingerprints),
+    )
+    cached = artifacts.CHURN_PROBES.get(key)
+    if cached is None:
+        with obs.scoped() as scope:
+            filt = parse_extension_payload(payload)
+            hits = tuple(bool(h) for h in filt.contains_batch(fingerprints))
+        cached = (hits, scope.snapshot())
+        artifacts.CHURN_PROBES.put(key, cached)
+    hits, probe_metrics = cached
+    obs.merge(probe_metrics)
+    return hits
+
+
+@dataclass(frozen=True)
+class EpochCounts:
+    """Lifecycle + client-maintenance tallies of one epoch (everything in
+    :class:`StepMetrics` that is not handshake accounting)."""
+
+    icas_issued: int
+    icas_cross_signed: int
+    icas_revoked: int
+    icas_expired_swept: int
+    preload_added: int
+    payload_refreshes: int
+    site_rotations: int
+
+
+def generation_of(client: int, generations: int) -> int:
+    """Payload generation of a client (``client mod k``)."""
+    return client % generations
+
+
+def generation_size(generation: int, num_clients: int, generations: int) -> int:
+    """Population of one generation bucket."""
+    return num_clients // generations + (
+        1 if num_clients % generations > generation else 0
+    )
+
+
+class ChurnCohortState:
+    """The engine-independent half of the churn cohort protocol: world,
+    canonical cache, generation captures, and the epoch maintenance /
+    learning phases.  Both the columnar engine and the scalar reference
+    drive exactly this object, so any divergence between them is in the
+    handshake resolution alone — the property the differential suite
+    leans on."""
+
+    def __init__(self, config: ChurnCohortConfig) -> None:
+        self.config = config
+        self.world = ChurnWorld(config.world)
+        self.cache = ICACache()
+        self.cache.add_many(self.world.initial_certificates())
+        self.generations = config.world.payload_refresh_every
+        initial = self._capture()
+        #: Per-generation (advertised payload, captured fingerprint set).
+        self.captures: List[Tuple[bytes, FrozenSet[bytes]]] = [
+            initial for _ in range(self.generations)
+        ]
+
+    def _capture(self) -> Tuple[bytes, FrozenSet[bytes]]:
+        fingerprints = self.cache.fingerprints()
+        payload = capture_wire_image(self.config.world, fingerprints)
+        return payload, frozenset(fingerprints)
+
+    def begin_epoch(self, step: int) -> EpochCounts:
+        """Advance the world and run the epoch's client maintenance:
+        expiry sweep, CRL application, periodic preload refresh, and the
+        due generation's payload re-capture.  Per-client tallies scale
+        the canonical trajectory by the cohort size — every client runs
+        the same maintenance, so counting it N times is exact, not an
+        estimate."""
+        cfg = self.config.world
+        n = self.config.num_clients
+        issued, cross_signed, revoked, rotations = self.world.advance(step)
+        at_time = step * cfg.step_seconds
+        expired = self.cache.sweep_expired(at_time)
+        self.cache.apply_revocations(self.world.crl)
+        preload_added = 0
+        if step and step % cfg.preload_refresh_every == 0:
+            live = self.world.live_certificates(step)
+            preload_added = self.cache.add_many(
+                [cert for cert in live if cert not in self.cache]
+            )
+            self.world.events.append(
+                (step, "preload-refresh", f"added={preload_added * n}")
+            )
+        due = (-step) % self.generations
+        self.captures[due] = self._capture()
+        return EpochCounts(
+            icas_issued=issued,
+            icas_cross_signed=cross_signed,
+            icas_revoked=revoked,
+            icas_expired_swept=expired * n,
+            preload_added=preload_added * n,
+            payload_refreshes=generation_size(due, n, self.generations),
+            site_rotations=rotations,
+        )
+
+    def stale_generations(self) -> List[bool]:
+        """Which generations' captured fingerprint sets no longer match
+        the canonical cache (the per-handshake ``payload_is_stale`` of
+        the fleet engine, hoisted to generation granularity)."""
+        live = frozenset(self.cache.fingerprints())
+        return [captured != live for _, captured in self.captures]
+
+    def site_chain_fingerprints(self) -> List[Tuple[bytes, ...]]:
+        """Per-site ICA fingerprints of the currently served chains."""
+        return [
+            tuple(c.fingerprint() for c in s.credential.chain.intermediates)
+            for s in self.world.sites
+        ]
+
+    def finish_epoch(self, succeeded_sites: Set[int]) -> None:
+        """Epoch-end pooled learning: the canonical cache absorbs every
+        fresh, unrevoked ICA served by a site that completed at least one
+        handshake this epoch (ascending site order, deduplicated) — the
+        cohort analogue of the fleet engine's per-success ``_learn``."""
+        fresh = []
+        seen: Set[bytes] = set()
+        for index in sorted(succeeded_sites):
+            chain = self.world.sites[index].credential.chain
+            for cert in chain.intermediates:
+                fp = cert.fingerprint()
+                if (
+                    fp not in seen
+                    and not self.world.crl.is_revoked(cert)
+                    and cert not in self.cache
+                ):
+                    seen.add(fp)
+                    fresh.append(cert)
+        if fresh:
+            self.cache.add_many(fresh)
+
+    def run_representative(
+        self, step: int, client: int, slot: int, site_index: int, payload: bytes
+    ) -> HandshakeTrace:
+        """One real handshake through the untouched TLS machine, seeded
+        exactly as the scalar reference seeds this cell."""
+        cfg = self.config.world
+        site = self.world.sites[site_index]
+        client_config = ClientConfig(
+            trust_store=self.world.trust_store,
+            kem_name=cfg.kem_name,
+            hostname=site.hostname,
+            at_time=step * cfg.step_seconds,
+            ica_filter_payload=payload,
+            issuer_lookup=self.cache.lookup_issuer,
+            seed=derive_seed("churn.cohort.client", cfg.seed, step, client, slot),
+        )
+        server_config = ServerConfig(
+            credential=site.credential,
+            suppression_handler=self.world.server_suppressor,
+            seed=derive_seed("churn.cohort.server", cfg.seed, step, client, slot),
+        )
+        return run_handshake(client_config, server_config)
+
+
+def _trace_stats(trace: HandshakeTrace) -> Tuple[int, int, int, int, int, int]:
+    """(completed, fp_retries, fallbacks, failures, suppressed, wire_bytes)
+    of one trace — the per-cell accounting of the fleet engine."""
+    fp_retry = int(trace.outcome is HandshakeOutcome.COMPLETED_AFTER_RETRY)
+    fallback = int(trace.outcome is HandshakeOutcome.COMPLETED_AFTER_FALLBACK)
+    return (
+        int(trace.succeeded),
+        fp_retry,
+        fallback,
+        int(not trace.succeeded),
+        trace.attempts[0].suppressed_ica_count,
+        trace.total_wire_bytes,
+    )
+
+
+class ChurnCohortEngine:
+    """The columnar engine: one representative trace per (generation,
+    site) context, broadcast over the context's population, with flagged
+    contexts replayed cell by cell through the real machine."""
+
+    def __init__(self, config: ChurnCohortConfig = ChurnCohortConfig()) -> None:
+        self.config = config
+        self.state = ChurnCohortState(config)
+        self._site_key = churn_stream_keys(config.world.seed)[SITE_STREAM]
+
+    def run_epoch(self, step: int) -> StepMetrics:
+        cfg = self.config.world
+        state = self.state
+        n = self.config.num_clients
+        slots = self.config.handshakes_per_client
+        num_sites = cfg.num_sites
+        k = state.generations
+
+        counts_epoch = state.begin_epoch(step)
+        stale = np.asarray(state.stale_generations(), dtype=bool)
+        chain_fps = state.site_chain_fingerprints()
+        # Every site serves a single-ICA chain (the world's invariant);
+        # the flat per-site fingerprint list is the epoch's unique chain
+        # set each generation resolves with one bulk probe.
+        site_fps = [fps[0] for fps in chain_fps]
+        live = set(state.cache.fingerprints())
+
+        sites = epoch_site_column(self._site_key, step, n, slots, num_sites)
+        gens = (np.arange(n, dtype=np.int64) % k)[:, None]
+        ctx = gens * num_sites + sites  # (clients, slots)
+        flat = ctx.ravel()
+        counts = np.bincount(flat, minlength=k * num_sites)
+        # First flat cell of each occurring context = its representative.
+        present, first = np.unique(flat, return_index=True)
+
+        # One bulk membership probe per generation that actually occurs.
+        gen_hits: Dict[int, Tuple[bool, ...]] = {}
+        for context in present:
+            g = int(context) // num_sites
+            if g not in gen_hits:
+                gen_hits[g] = probe_image(state.captures[g][0], site_fps)
+
+        completed = fp_retries = fallbacks = failures = 0
+        suppressed = wire_bytes = encountered = 0
+        succeeded_sites: Set[int] = set()
+        replay_contexts: Set[int] = set()
+
+        for context, first_cell in zip(present, first):
+            g, site_index = divmod(int(context), num_sites)
+            count = int(counts[context])
+            payload = state.captures[g][0]
+            hit = gen_hits[g][site_index]
+            # A filter hit for a fingerprint the canonical cache no longer
+            # holds is an FP *candidate*: path completion may still succeed
+            # through a cached cross-sign variant of the same subject, so
+            # the representative trace — not the probe — is the classifier.
+            candidate_fp = hit and site_fps[site_index] not in live
+            client, slot = divmod(int(first_cell), slots)
+            trace = state.run_representative(step, client, slot, site_index, payload)
+            stats = _trace_stats(trace)
+            clean = (
+                not candidate_fp
+                and trace.outcome is HandshakeOutcome.COMPLETED
+                and stats[4] == int(hit)
+            )
+            encountered += count * len(chain_fps[site_index])
+            if clean:
+                completed += count * stats[0]
+                suppressed += count * stats[4]
+                wire_bytes += count * stats[5]
+                if trace.succeeded:
+                    succeeded_sites.add(site_index)
+            else:
+                replay_contexts.add(int(context))
+
+        # Flagged contexts (FP candidates, retries, fallbacks, failures)
+        # replay exactly through the real machine, every cell with its own
+        # seeds — the cohort engine's divergent-user escape hatch.
+        if replay_contexts:
+            cells = np.flatnonzero(np.isin(flat, list(replay_contexts)))
+            for cell in cells:
+                client, slot = divmod(int(cell), slots)
+                g = generation_of(client, k)
+                site_index = int(sites[client, slot])
+                trace = state.run_representative(
+                    step, client, slot, site_index, state.captures[g][0]
+                )
+                c, r, fb, fail, sup, wire = _trace_stats(trace)
+                completed += c
+                fp_retries += r
+                fallbacks += fb
+                failures += fail
+                suppressed += sup
+                wire_bytes += wire
+                if trace.succeeded:
+                    succeeded_sites.add(site_index)
+
+        state.finish_epoch(succeeded_sites)
+        handshakes = n * slots
+        stale_advertised = int(stale[np.arange(n) % k].sum()) * slots
+        metrics = StepMetrics(
+            step=step,
+            icas_issued=counts_epoch.icas_issued,
+            icas_cross_signed=counts_epoch.icas_cross_signed,
+            icas_revoked=counts_epoch.icas_revoked,
+            icas_expired_swept=counts_epoch.icas_expired_swept,
+            preload_added=counts_epoch.preload_added,
+            payload_refreshes=counts_epoch.payload_refreshes,
+            site_rotations=counts_epoch.site_rotations,
+            handshakes=handshakes,
+            completed=completed,
+            fp_retries=fp_retries,
+            fallbacks=fallbacks,
+            failures=failures,
+            stale_advertised=stale_advertised,
+            icas_encountered=encountered,
+            icas_suppressed=suppressed,
+            wire_bytes=wire_bytes,
+        )
+        record_churn_step(metrics)
+        return metrics
+
+    def run(self) -> ChurnCohortResult:
+        steps = []
+        with obs.span(
+            "webmodel.churn.run", (("filter", self.config.world.filter_kind),)
+        ):
+            for step in range(self.config.world.steps):
+                steps.append(self.run_epoch(step))
+        return ChurnCohortResult(
+            config=self.config, steps=steps, events=self.state.world.events
+        )
+
+
+def run_churn_cohort(
+    config: ChurnCohortConfig = ChurnCohortConfig(),
+) -> ChurnCohortResult:
+    """Run the churn cohort protocol on the columnar engine (one call =
+    one pure function of ``config``)."""
+    return ChurnCohortEngine(config).run()

@@ -1,5 +1,6 @@
 """The churn staleness sweep: parallel equality, reporting, JSON doc."""
 
+import dataclasses
 import json
 
 import pytest
@@ -10,6 +11,7 @@ from repro.experiments.churn import (
     ChurnCellResult,
     ChurnExperimentConfig,
     _cell_config,
+    churn_cache_stats,
     churn_json_doc,
     format_churn,
     run_churn_experiment,
@@ -20,6 +22,8 @@ _SMALL = ChurnExperimentConfig(
     staleness_levels=(1, 4),
     trials=2,
     base=ChurnConfig(steps=6, num_sites=6, num_clients=2, handshakes_per_step=4),
+    clients=12,
+    handshakes_per_client=2,
 )
 
 
@@ -96,6 +100,75 @@ class TestSweepShape:
             run_churn_experiment(
                 ChurnExperimentConfig(trials=0, base=_SMALL.base)
             )
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(SimulationError):
+            run_churn_experiment(
+                dataclasses.replace(_SMALL, engine="quantum")
+            )
+
+
+class TestEngineEquality:
+    def test_scalar_engine_matches_columnar(self, results):
+        scalar = run_churn_experiment(
+            dataclasses.replace(_SMALL, engine="scalar"), jobs=1
+        )
+        assert scalar == results
+
+    def test_json_doc_is_engine_invariant(self, results):
+        scalar = run_churn_experiment(
+            dataclasses.replace(_SMALL, engine="scalar"), jobs=1
+        )
+        columnar_doc = json.dumps(churn_json_doc(_SMALL, results), sort_keys=True)
+        scalar_doc = json.dumps(
+            churn_json_doc(dataclasses.replace(_SMALL, engine="scalar"), scalar),
+            sort_keys=True,
+        )
+        assert columnar_doc == scalar_doc
+
+
+class TestDegenerateSweep:
+    """Zero-epoch cells must report, not crash (the --steps 0 regression:
+    rate denominators and the reporting table are all zero-handshake)."""
+
+    _EMPTY = dataclasses.replace(
+        _SMALL, base=dataclasses.replace(_SMALL.base, steps=0)
+    )
+
+    @pytest.fixture(scope="class")
+    def empty_results(self):
+        return run_churn_experiment(self._EMPTY, jobs=1)
+
+    def test_cells_report_zero_rates(self, empty_results):
+        assert len(empty_results) == 4
+        for cell in empty_results:
+            assert cell.handshakes == 0
+            assert cell.fp_retry_rate == 0.0
+            assert cell.suppression_rate == 0.0
+            assert cell.stale_rate == 0.0
+
+    def test_format_and_doc_survive_zero_handshakes(self, empty_results):
+        text = format_churn(empty_results)
+        assert len(text.splitlines()) == 2 + len(self._EMPTY.staleness_levels)
+        doc = churn_json_doc(self._EMPTY, empty_results)
+        for level in self._EMPTY.staleness_levels:
+            curve = doc["curves"][str(level)]
+            assert curve["fp_retry_rate"] == 0.0
+            assert curve["per_step_fp_retry_rate"] == []
+
+
+class TestCacheStats:
+    def test_doc_excludes_cache_stats_by_default(self, results):
+        assert "cache_stats" not in churn_json_doc(_SMALL, results)
+
+    def test_opt_in_cache_stats_report_churn_caches(self, results):
+        stats = churn_cache_stats()
+        assert set(stats) == {"churn_images", "churn_probes", "filter_builds"}
+        # The sweep shares wire images across trials and levels; a warm
+        # run must have rehydrated at least one build from the cache.
+        assert stats["churn_images"]["hits"] > 0
+        doc = churn_json_doc(_SMALL, results, cache_stats=stats)
+        assert doc["cache_stats"] == stats
 
 
 class TestReporting:
