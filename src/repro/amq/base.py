@@ -183,6 +183,19 @@ class AMQFilter(ABC):
                 )
             return filt
 
+    def attach_source_items(self, items: Sequence[bytes]) -> None:
+        """Reattach the source item sequence to a deserialized filter.
+
+        Most backends store items directly and need nothing here (the
+        default is a no-op). Static structures that buffer items and
+        reconstruct on mutation (the xor family) cannot recover the set
+        from their table, so a bare ``from_bytes`` copy is query-only:
+        its first insert would rebuild from an empty buffer and silently
+        drop everything the wire image held. Producers that still know
+        the original items (e.g. the memoized ``FilterPlan.build``) call
+        this after rehydration to restore full mutability.
+        """
+
     # -- shared behaviour ---------------------------------------------------
 
     @property

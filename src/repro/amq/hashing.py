@@ -141,6 +141,8 @@ def hash64_multi_np(items: Sequence[bytes], seeds: Sequence[int]) -> "np.ndarray
     free there).
     """
     n = len(items)
+    if n == 0:
+        return np.empty((len(seeds), 0), dtype=np.uint64)
     first_len = len(items[0])
     lens = np.fromiter(map(len, items), dtype=np.intp, count=n)
     if (lens == first_len).all():
@@ -158,6 +160,26 @@ def hash64_multi_np(items: Sequence[bytes], seeds: Sequence[int]) -> "np.ndarray
 def hash64_np(items: Sequence[bytes], seed: int = 0) -> "np.ndarray":
     """Vectorized :func:`hash64`: one uint64 per item, batch order."""
     return hash64_multi_np(items, (seed,))[0]
+
+
+def xor_hashes_np(items: Sequence[bytes], seed: int, third: int, fp_bits: int):
+    """Fused xor-filter hash derivation: one byte decode (via
+    :func:`hash64_multi_np`'s shared FNV kernel) yields all four per-item
+    values — the three slot indexes ``h0``/``h1``/``h2`` (one per table
+    third) and the ``fp_bits``-wide fingerprint — as uint64 arrays,
+    bit-identical to the scalar derivation in ``XorFilter._hashes``.
+    ``seed`` is the already-combined filter/construction seed. Both the
+    build engine (:mod:`repro.amq.peel`) and ``_contains_batch`` call
+    this, so probe and construction can never drift apart.
+    """
+    u64 = np.uint64
+    base = hash64_np(items, seed)
+    t = u64(third)
+    h0 = base % t
+    h1 = t + splitmix64_np(base ^ u64(0xA5A5)) % t
+    h2 = u64(2) * t + splitmix64_np(base ^ u64(0x5A5A)) % t
+    fp = splitmix64_np(base ^ u64(0xF0F0)) & u64((1 << fp_bits) - 1)
+    return h0, h1, h2, fp
 
 
 def hash_int_np(values: "np.ndarray", seed: int = 0) -> "np.ndarray":

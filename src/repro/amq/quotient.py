@@ -327,49 +327,68 @@ class QuotientFilter(AMQFilter):
 
     def _contains_batch_np(self, items: Sequence[bytes]) -> List[bool]:
         """Fully vectorized membership: all queries walk their runs in
-        lockstep over a periodically tiled table.
+        lockstep over a linearized table.
 
-        The table is tiled 4x so no index ever wraps: queries probe their
-        quotient's second copy (``q + slots``), whose cluster start lies
-        within the preceding copy, whose run start lies at most ``slots``
-        cells further right, and whose run extends at most ``slots`` more —
-        all inside the tiling. Per-query state then advances with masked
-        vector steps, one iteration per run cell (runs are short at any
-        practical load factor).
+        Positions are tracked on an unwrapped axis: queries probe their
+        quotient's second period (``q + slots``), whose cluster start lies
+        within the first, and whose run start lies at most ``slots`` cells
+        further right — so the prefix scans (cluster starts, occupied
+        canonicals, run heads) only span two table periods, and the run
+        head position array is the single-period ``flatnonzero`` shifted
+        into three. Slot *values* along the walk come from masked modular
+        indexing (``pos & (slots - 1)``; the slot count is a power of
+        two), which reads the same torus the insert path writes without
+        materializing tiled copies. Per-query state advances one run cell
+        per iteration (runs are short at any practical load factor), and
+        the active set is compacted each step so late iterations touch
+        only the few queries still inside a long run. Queries whose
+        canonical slot is unoccupied never enter the walk, which also
+        makes the empty-table probe (no run heads anywhere) a natural
+        no-op instead of an out-of-bounds head gather.
         """
         slots = self._slots
+        smask = slots - 1
         quo, rem = self._qr_batch_np(items)
+        occ = self._occ
+        cont = self._cont
+        shift = self._shift
+        stored_rem = self._rem
         q = quo.astype(np.intp)
-        occ4 = np.tile(self._occ, 4)
-        cont4 = np.tile(self._cont, 4)
-        shift4 = np.tile(self._shift, 4)
-        rem4 = np.tile(self._rem, 4)
-        qd = q + slots
-        # Cluster start: nearest non-shifted slot at or left of qd.
-        idx2 = np.arange(2 * slots, dtype=np.int64)
-        cs_all = np.maximum.accumulate(np.where(shift4[: 2 * slots], -1, idx2))
-        cs = cs_all[qd]
-        # q's run is the k-th of its cluster, k = occupied canonicals in
-        # (cs, qd]; run heads are non-continuation non-empty cells.
-        occ_cum = np.cumsum(occ4)
-        k = occ_cum[qd] - occ_cum[cs]
-        nonempty4 = occ4 | cont4 | shift4
-        heads4 = ~cont4 & nonempty4
-        head_pos = np.flatnonzero(heads4)
-        head_cum = np.cumsum(heads4)
-        active = occ4[qd]
-        head_index = np.where(active, head_cum[cs] - 1 + k, 0)
-        pos = head_pos[head_index]
         hits = np.zeros(len(items), dtype=bool)
-        while active.any():
-            stored = rem4[pos]
-            eq = stored == rem
-            hits |= active & eq
-            active = active & ~eq & (stored < rem)
+        alive = np.flatnonzero(occ[q])
+        if not alive.size:
+            return hits.tolist()
+        # Cluster start: nearest non-shifted slot at or left of q + slots.
+        idx2 = np.arange(2 * slots, dtype=np.int64)
+        shift2 = np.concatenate((shift, shift))
+        cs_all = np.maximum.accumulate(np.where(shift2, -1, idx2))
+        occ_cum = np.cumsum(np.concatenate((occ, occ)))
+        # q's run is the k-th of its cluster, k = occupied canonicals in
+        # (cs, q + slots]; run heads are non-continuation non-empty cells.
+        heads = ~cont & (occ | cont | shift)
+        head_cum = np.cumsum(np.concatenate((heads, heads)))
+        head_pos1 = np.flatnonzero(heads)
+        head_pos = np.concatenate(
+            (head_pos1, head_pos1 + slots, head_pos1 + 2 * slots)
+        )
+        qd = q[alive] + slots
+        cs = cs_all[qd]
+        k = occ_cum[qd] - occ_cum[cs]
+        pos = head_pos[head_cum[cs] - 1 + k]
+        rem_a = rem[alive]
+        while True:
+            stored = stored_rem[pos & smask]
+            eq = stored == rem_a
+            if eq.any():
+                hits[alive[eq]] = True
+            walking = ~eq & (stored < rem_a)  # runs are sorted
             nxt = pos + 1
-            active = active & cont4[nxt]
-            pos = np.where(active, nxt, pos)
-        return hits.tolist()
+            walking &= cont[nxt & smask]
+            if not walking.any():
+                return hits.tolist()
+            alive = alive[walking]
+            pos = nxt[walking]
+            rem_a = rem_a[walking]
 
     def count_of(self, item: bytes) -> int:
         """Number of stored occurrences of ``item``'s remainder in its run

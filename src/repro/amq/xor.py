@@ -17,10 +17,13 @@ is False — a deletion is a rebuild, exactly the cost the paper cites for
 static structures, and exactly what :class:`~repro.core.manager.
 FilterManager` meters when this filter is plugged into the pipeline.
 
-The table is a preallocated ``uint64`` array; construction vectorizes
-the per-item hashing but keeps the peel loop scalar on purpose — the
-LIFO peel order determines the final slot values, and with them the wire
-image, so it is pinned exactly as the original implementation wrote it.
+The table is a preallocated ``uint64`` array; construction runs on the
+array-native engine in :mod:`repro.amq.peel` — fused hashing and
+degree/accumulator scatter are vectorized, while the peel decision loop
+replays the original scalar queue's exact LIFO pop order over packed
+records (the order determines the slot->item matching and with it the
+wire image, so it is pinned exactly as the original implementation wrote
+it; ``peel.peel_spec`` keeps that original as the executable spec).
 """
 
 from __future__ import annotations
@@ -28,15 +31,15 @@ from __future__ import annotations
 import math
 from typing import List, Sequence
 
-from repro.amq import bitpack
+from repro import obs
+from repro.amq import bitpack, peel
 from repro.amq.base import AMQFilter, FilterParams
 from repro.amq.hashing import (
     VECTOR_MIN_BATCH,
     hash64,
-    hash64_np,
     np,
     splitmix64,
-    splitmix64_np,
+    xor_hashes_np,
 )
 from repro.errors import FilterFullError, FilterSerializationError
 
@@ -101,20 +104,6 @@ class XorFilter(AMQFilter):
         fp = splitmix64(base ^ 0xF0F0) & ((1 << self._fp_bits) - 1)
         return h0, h1, h2, fp
 
-    def _hash_triples(self, items: Sequence[bytes], construction_seed: int):
-        """:meth:`_hashes` for every item — vectorized when it pays off,
-        always producing the identical (h0, h1, h2, fp) tuples."""
-        if np is None or len(items) < VECTOR_MIN_BATCH:
-            return [self._hashes(item, construction_seed) for item in items]
-        u64 = np.uint64
-        base = hash64_np(items, self._params.seed ^ (construction_seed * 0x9E37))
-        third = u64(self._slots // 3)
-        h0 = base % third
-        h1 = third + splitmix64_np(base ^ u64(0xA5A5)) % third
-        h2 = u64(2) * third + splitmix64_np(base ^ u64(0x5A5A)) % third
-        fp = splitmix64_np(base ^ u64(0xF0F0)) & u64((1 << self._fp_bits) - 1)
-        return list(zip(h0.tolist(), h1.tolist(), h2.tolist(), fp.tolist()))
-
     # -- construction ------------------------------------------------------------
 
     def _rebuild(self) -> None:
@@ -125,46 +114,39 @@ class XorFilter(AMQFilter):
             if self._try_build(attempt):
                 self._construction_seed = attempt
                 self._dirty = False
+                self._record_construction_attempts(attempt + 1)
                 return
+        self._record_construction_attempts(_MAX_CONSTRUCTION_ATTEMPTS)
         raise FilterFullError(
             f"xor filter construction failed after "
             f"{_MAX_CONSTRUCTION_ATTEMPTS} attempts for {len(self._items)} items"
         )
 
+    @staticmethod
+    def _record_construction_attempts(attempts: int) -> None:
+        # A seed-retry storm (attempts >> 1) is invisible in wall-clock
+        # alone; the counter totals attempts across rebuilds and the
+        # histogram shows their per-rebuild distribution in --metrics-out.
+        reg = obs.registry()
+        if reg is not None:
+            reg.inc("amq.xor.construction_attempts", attempts)
+            reg.observe("amq.xor.attempts_per_rebuild", attempts)
+
     def _try_build(self, construction_seed: int) -> bool:
-        slots = self._slots
-        # slot -> xor of incident item indices, and degree counts.
-        xor_of_items = [0] * slots
-        degree = [0] * slots
-        triples = self._hash_triples(self._build_items, construction_seed)
-        for idx, (h0, h1, h2, _fp) in enumerate(triples):
-            for h in (h0, h1, h2):
-                xor_of_items[h] ^= idx
-                degree[h] += 1
-        # Peel singletons.
-        stack = []  # (slot, item index), in peel order
-        queue = [s for s in range(slots) if degree[s] == 1]
-        while queue:
-            slot = queue.pop()
-            if degree[slot] != 1:
-                continue
-            idx = xor_of_items[slot]
-            stack.append((slot, idx))
-            for h in triples[idx][:3]:
-                xor_of_items[h] ^= idx
-                degree[h] -= 1
-                if degree[h] == 1:
-                    queue.append(h)
-        if len(stack) != len(self._build_items):
+        items = self._build_items
+        if np is None or peel.scalar_spec_active() or len(items) < VECTOR_MIN_BATCH:
+            triples = [self._hashes(item, construction_seed) for item in items]
+            table = peel.peel_spec(triples, self._slots)
+        else:
+            h0, h1, h2, fp = xor_hashes_np(
+                items,
+                self._params.seed ^ (construction_seed * 0x9E37),
+                self._slots // 3,
+                self._fp_bits,
+            )
+            table = peel.peel_arrays(h0, h1, h2, fp, self._slots, self._fp_bits)
+        if table is None:
             return False  # 2-core remained; retry with another seed
-        # Assign in reverse peel order. The order is load-bearing (each
-        # slot value depends on the three it XORs with), so this loop
-        # stays scalar over a plain list and lands in the persistent
-        # array in one copy.
-        table = [0] * slots
-        for slot, idx in reversed(stack):
-            h0, h1, h2, fp = triples[idx]
-            table[slot] = fp ^ table[h0] ^ table[h1] ^ table[h2] ^ table[slot]
         if np is not None:
             self._table[:] = table
         else:
@@ -215,15 +197,12 @@ class XorFilter(AMQFilter):
             self._rebuild()
         if np is None or len(items) < VECTOR_MIN_BATCH:
             return super()._contains_batch(items)
-        u64 = np.uint64
-        base = hash64_np(
-            items, self._params.seed ^ (self._construction_seed * 0x9E37)
+        h0, h1, h2, fp = xor_hashes_np(
+            items,
+            self._params.seed ^ (self._construction_seed * 0x9E37),
+            self._slots // 3,
+            self._fp_bits,
         )
-        third = u64(self._slots // 3)
-        h0 = base % third
-        h1 = third + splitmix64_np(base ^ u64(0xA5A5)) % third
-        h2 = u64(2) * third + splitmix64_np(base ^ u64(0x5A5A)) % third
-        fp = splitmix64_np(base ^ u64(0xF0F0)) & u64((1 << self._fp_bits) - 1)
         table = self._table
         hit = (
             table[h0.astype(np.intp)]
@@ -234,6 +213,42 @@ class XorFilter(AMQFilter):
 
     def load_factor(self) -> float:
         return self._count / self.capacity if self.capacity else 0.0
+
+    # -- producer path ---------------------------------------------------------
+
+    @classmethod
+    def build_from_fingerprints(
+        cls, params: FilterParams, items: Sequence[bytes]
+    ) -> "XorFilter":
+        """Bulk-build with an **eager** construction: the peel runs inside
+        the ``amq.build`` span instead of deferring to the first query, so
+        filter plans and manager rebuilds meter the real build cost (and
+        hand back a filter whose first probe is cheap)."""
+        with obs.span("amq.build", (("backend", cls.name),)):
+            filt = cls(params)
+            if items:
+                filt.insert_batch(
+                    items if isinstance(items, (list, tuple)) else list(items)
+                )
+                filt._rebuild()
+            return filt
+
+    def attach_source_items(self, items: Sequence[bytes]) -> None:
+        """Restore the item buffer of a deserialized filter.
+
+        ``to_bytes`` does not transport items (the table is one-way), so
+        a ``from_bytes`` copy is query-only: its first insert would
+        trigger a rebuild over an empty buffer and silently lose the
+        advertised set. Callers that still hold the original sequence
+        reattach it here to make the copy fully mutable again.
+        """
+        items = [bytes(item) for item in items]
+        if len(items) != self._count:
+            raise FilterSerializationError(
+                f"xor filter holds {self._count} items; cannot attach a "
+                f"source sequence of {len(items)}"
+            )
+        self._items = items
 
     # -- serialization ---------------------------------------------------------------
 

@@ -126,7 +126,13 @@ class FilterPlan:
         # consumed eviction-rng draws that a rehydrated copy has not, so
         # returning the original would make the first build of a given key
         # behave differently from every later one.
-        return deserialize_filter(image)
+        filt = deserialize_filter(image)
+        # Static backends buffer items and reconstruct on mutation; the
+        # wire image cannot carry the buffer, so reattach it — without
+        # this, a rehydrated xor filter's first mirrored insert would
+        # rebuild from an empty buffer and drop the preloaded set.
+        filt.attach_source_items(items)
+        return filt
 
 
 def plan_filter(

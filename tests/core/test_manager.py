@@ -138,3 +138,43 @@ class TestRebuilds:
         # The nested bulk-build span records under the same registry.
         build = reg.histogram("amq.build.seconds", (("backend", "cuckoo"),))
         assert build is not None and build.count == 1
+
+
+class TestXorBufferedMutations:
+    """Regression: the static xor backend buffers mirrored inserts and
+    reconstructs once, on the next probe — an add->probe->add->probe
+    sequence must cost exactly one internal construction per dirty
+    transition, never one per insert (rebuild thrash). The internal
+    construction count is observable as the ``amq.xor.attempts_per_rebuild``
+    histogram's sample count; ``mgr.rebuilds`` stays 0 throughout because
+    these are in-place reconstructions, not manager-level replans."""
+
+    def test_add_probe_cycles_rebuild_once_per_dirty_transition(self, icas):
+        from repro import obs
+
+        cache, mgr = make_manager(icas, kind="xor", preloaded=20)
+        probe = icas[0].fingerprint()
+        with obs.scoped() as reg:
+            hist = lambda: reg.histogram("amq.xor.attempts_per_rebuild")
+
+            cache.add(icas[21])  # buffered: no construction yet
+            assert hist() is None
+
+            assert mgr.filter.contains(icas[21].fingerprint())
+            assert hist().count == 1  # first probe pays the build
+
+            for _ in range(5):
+                mgr.filter.contains(probe)
+            assert hist().count == 1  # clean filter: probes are free
+
+            cache.add(icas[22])
+            cache.add(icas[23])  # both buffer into the same dirty window
+            assert hist().count == 1
+
+            assert mgr.filter.contains(icas[23].fingerprint())
+            for _ in range(5):
+                mgr.filter.contains(probe)
+            assert hist().count == 2  # one more build, not one per add
+
+        assert mgr.rebuilds == 0
+        assert mgr.consistent_with_cache()
