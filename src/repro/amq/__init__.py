@@ -27,6 +27,17 @@ from repro.amq.serialization import (
     canonical_params,
     FILTER_REGISTRY,
 )
+from repro.amq.delta import (
+    NATIVE_DELTA_FAMILIES,
+    DeltaApplier,
+    DeltaPublisher,
+    FilterDelta,
+    FilterSnapshot,
+    build_filter_at,
+    delta_seed,
+    deserialize_delta,
+    serialize_delta,
+)
 from repro.amq.sizing import (
     bloom_size_bits,
     cuckoo_size_bits,
@@ -54,6 +65,15 @@ __all__ = [
     "filter_class_for_name",
     "canonical_params",
     "FILTER_REGISTRY",
+    "NATIVE_DELTA_FAMILIES",
+    "DeltaApplier",
+    "DeltaPublisher",
+    "FilterDelta",
+    "FilterSnapshot",
+    "build_filter_at",
+    "delta_seed",
+    "deserialize_delta",
+    "serialize_delta",
     "bloom_size_bits",
     "cuckoo_size_bits",
     "vacuum_size_bits",

@@ -162,6 +162,20 @@ def deserialize_filter(data: bytes) -> AMQFilter:
         raise FilterSerializationError(
             f"filter payload is {len(payload)} bytes, header declares {payload_len}"
         )
+    # The quantizers clamp to >= 1, so a zero exponent (fpp = 1.0) or a
+    # zero load factor is an encoding the serializer can never emit;
+    # reject it symmetrically instead of relying on downstream param
+    # validation to happen to catch the decoded values.
+    if fpp_enc == 0:
+        raise FilterSerializationError(
+            "wire image carries a zero fpp exponent (fpp = 1.0); the "
+            "quantizer never emits values below 1"
+        )
+    if lf_enc == 0:
+        raise FilterSerializationError(
+            "wire image carries a zero load factor; the quantizer never "
+            "emits values below 1/255"
+        )
     try:
         params = FilterParams(
             capacity=capacity,

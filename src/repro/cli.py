@@ -238,7 +238,7 @@ def _run_churn(args) -> None:
 
     config = ChurnExperimentConfig(
         trials=args.runs,
-        base=ChurnConfig(steps=args.steps),
+        base=ChurnConfig(steps=args.steps, distribution=args.distribution),
         clients=args.clients,
         handshakes_per_client=args.handshakes_per_client,
         engine=args.engine,
@@ -386,6 +386,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--handshakes-per-client", type=int, default=2,
         help="site draws per churn client per epoch",
+    )
+    parser.add_argument(
+        "--distribution", choices=("full", "delta"), default="full",
+        help=(
+            "churn: how refreshed filter payloads reach clients — 'full' "
+            "re-ships the framed image every refresh, 'delta' ships "
+            "versioned repro.delta/v1 patches (CRLite-style updates); "
+            "cumulative bytes land in the doc's distribution_bytes"
+        ),
     )
     parser.add_argument(
         "--cache-stats", action="store_true",

@@ -135,6 +135,31 @@ class FilterPlan:
         return filt
 
 
+def memoized_build(
+    filter_kind: str, params: FilterParams, items: Iterable[bytes]
+) -> AMQFilter:
+    """Build a filter through the ``FILTER_BUILDS`` artifact cache.
+
+    The :class:`~repro.amq.delta.FilterBuilder` hook for delta
+    publishers/appliers: versioned builds route through the same
+    content-keyed memoization (and obs-snapshot replay) as
+    :meth:`FilterPlan.build`, so the churn engines rehydrate each
+    version's image once per process instead of rebuilding per client
+    generation — and because the cache round-trips through the wire
+    format, a memoized build stays byte-identical to a cold one.
+    """
+    predicted = size_bytes_for(
+        filter_kind, params.capacity, params.fpp, params.load_factor
+    )
+    plan = FilterPlan(
+        filter_kind=filter_kind,
+        params=params,
+        budget_bytes=predicted,
+        predicted_payload_bytes=predicted,
+    )
+    return plan.build(items)
+
+
 def plan_filter(
     num_icas: int,
     filter_kind: str = "cuckoo",

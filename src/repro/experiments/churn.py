@@ -79,6 +79,9 @@ class ChurnCellResult:
     icas_encountered: int
     icas_suppressed: int
     wire_bytes: int
+    #: Cumulative filter-update-channel bytes (full images or delta
+    #: patches, per the config's ``distribution``).
+    distribution_bytes: int
     events: int
     fp_retry_curve: Tuple[float, ...]
 
@@ -125,6 +128,7 @@ def _run_cell(cell: Tuple[int, int, str, ChurnCohortConfig]) -> ChurnCellResult:
         icas_encountered=sum(s.icas_encountered for s in result.steps),
         icas_suppressed=sum(s.icas_suppressed for s in result.steps),
         wire_bytes=result.total_wire_bytes,
+        distribution_bytes=result.total_distribution_bytes,
         events=len(result.events),
         fp_retry_curve=tuple(result.fp_retry_curve()),
     )
@@ -193,7 +197,8 @@ def format_churn(results: List[ChurnCellResult]) -> str:
     lines = [
         "Filter staleness vs false-positive retries (PKI lifecycle churn)",
         f"{'refresh every':>14} {'handshakes':>11} {'stale %':>8} "
-        f"{'FP-retry %':>11} {'suppressed %':>13} {'wire KiB':>9} {'failed':>7}",
+        f"{'FP-retry %':>11} {'suppressed %':>13} {'wire KiB':>9} "
+        f"{'update KiB':>11} {'failed':>7}",
     ]
     for level, cells in sorted(_by_level(results).items()):
         handshakes = sum(c.handshakes for c in cells)
@@ -202,6 +207,7 @@ def format_churn(results: List[ChurnCellResult]) -> str:
         encountered = sum(c.icas_encountered for c in cells)
         suppressed = sum(c.icas_suppressed for c in cells)
         wire = sum(c.wire_bytes for c in cells)
+        distribution = sum(c.distribution_bytes for c in cells)
         failed = sum(c.failures for c in cells)
         # A degenerate sweep (zero epochs) still renders: rates report 0.
         stale_pct = 100.0 * stale / handshakes if handshakes else 0.0
@@ -211,7 +217,8 @@ def format_churn(results: List[ChurnCellResult]) -> str:
             f"{stale_pct:>8.1f} "
             f"{retry_pct:>11.2f} "
             f"{100.0 * suppressed / max(1, encountered):>13.1f} "
-            f"{wire / 1024:>9.1f} {failed:>7d}"
+            f"{wire / 1024:>9.1f} "
+            f"{distribution / 1024:>11.1f} {failed:>7d}"
         )
     return "\n".join(lines)
 
@@ -247,6 +254,7 @@ def churn_json_doc(
                 else 0.0
             ),
             "per_step_fp_retry_rate": per_step,
+            "distribution_bytes": sum(c.distribution_bytes for c in cells),
         }
     doc = {
         "schema": "repro.churn/v1",
@@ -255,6 +263,7 @@ def churn_json_doc(
         "steps": config.base.steps,
         "seed": config.base.seed,
         "filter_kind": config.base.filter_kind,
+        "distribution": config.base.distribution,
         "clients": config.clients,
         "handshakes_per_client": config.handshakes_per_client,
         "cells": [
@@ -270,6 +279,7 @@ def churn_json_doc(
                 "fp_retry_rate": c.fp_retry_rate,
                 "suppression_rate": c.suppression_rate,
                 "wire_bytes": c.wire_bytes,
+                "distribution_bytes": c.distribution_bytes,
                 "events": c.events,
                 "fp_retry_curve": list(c.fp_retry_curve),
             }

@@ -99,6 +99,14 @@ class ChurnConfig:
     kem_name: str = "x25519"
     algorithm: str = "ecdsa-p256"
     seed: int = 0
+    #: How refreshed payloads reach clients: ``"full"`` re-ships the
+    #: whole framed filter image on every refresh; ``"delta"`` ships
+    #: versioned ``repro.delta/v1`` patches (:mod:`repro.amq.delta`)
+    #: against the client's last-applied version. Either way the
+    #: advertised *bytes* are identical — distribution only changes what
+    #: crossed the update channel, metered in
+    #: :attr:`StepMetrics.distribution_bytes`.
+    distribution: str = "full"
 
 
 @dataclass(frozen=True)
@@ -123,6 +131,10 @@ class StepMetrics:
     icas_encountered: int
     icas_suppressed: int
     wire_bytes: int
+    #: Bytes the filter-update channel shipped this step (framed full
+    #: images or ``repro.delta/v1`` messages times refreshed clients);
+    #: defaults to 0 so pre-delta constructions stay valid.
+    distribution_bytes: int = 0
 
 
 @dataclass
@@ -174,6 +186,12 @@ class ChurnResult:
     @property
     def total_wire_bytes(self) -> int:
         return sum(s.wire_bytes for s in self.steps)
+
+    @property
+    def total_distribution_bytes(self) -> int:
+        """Cumulative bytes the filter-update channel shipped — the
+        headline delta-vs-full comparison metric."""
+        return sum(s.distribution_bytes for s in self.steps)
 
     def fp_retry_curve(self) -> List[float]:
         """Per-step FP-retry rate — the staleness-degradation series the
@@ -496,6 +514,16 @@ class ChurnEngine:
                 f"payload_refresh_every must be >= 1, got "
                 f"{config.payload_refresh_every}"
             )
+        if config.distribution != "full":
+            # Delta distribution is modeled by the cohort engines (shared
+            # ChurnCohortState), whose generation structure defines which
+            # clients refresh per step; this per-handshake fleet has no
+            # such structure to meter against.
+            raise SimulationError(
+                "the fleet churn engine only supports distribution='full'; "
+                "use the columnar or scalar cohort engines for "
+                f"{config.distribution!r}"
+            )
         self.config = config
         self.world = ChurnWorld(config)
         initial_certs = self.world.initial_certificates()
@@ -694,6 +722,7 @@ def record_churn_step(m: StepMetrics) -> None:
     reg.inc("webmodel.churn.failures", m.failures)
     reg.inc("webmodel.churn.icas_encountered", m.icas_encountered)
     reg.inc("webmodel.churn.icas_suppressed", m.icas_suppressed)
+    reg.inc("webmodel.churn.distribution_bytes", m.distribution_bytes)
 
 
 def run_churn(config: ChurnConfig = ChurnConfig()) -> ChurnResult:

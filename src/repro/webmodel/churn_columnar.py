@@ -70,9 +70,16 @@ from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
 import numpy as np
 
 from repro import obs
+from repro.amq.delta import (
+    DeltaApplier,
+    DeltaPublisher,
+    FilterSnapshot,
+    delta_overhead_bytes,
+    deserialize_delta,
+)
 from repro.core.cache import ICACache
 from repro.core.extension import build_extension_payload, parse_extension_payload
-from repro.core.filter_config import plan_filter
+from repro.core.filter_config import memoized_build, plan_filter
 from repro.errors import SimulationError
 from repro.runtime import artifacts
 from repro.runtime.parallel import derive_seed
@@ -121,6 +128,11 @@ class ChurnCohortConfig:
             raise SimulationError(
                 f"payload_refresh_every must be >= 1, got "
                 f"{self.world.payload_refresh_every}"
+            )
+        if self.world.distribution not in ("full", "delta"):
+            raise SimulationError(
+                f"distribution must be 'full' or 'delta', got "
+                f"{self.world.distribution!r}"
             )
 
 
@@ -250,6 +262,9 @@ class EpochCounts:
     preload_added: int
     payload_refreshes: int
     site_rotations: int
+    #: Bytes the update channel shipped to the refreshing generation
+    #: (framed full image or ``repro.delta/v1`` update, per client).
+    distribution_bytes: int = 0
 
 
 def generation_of(client: int, generations: int) -> int:
@@ -278,7 +293,47 @@ class ChurnCohortState:
         self.cache = ICACache()
         self.cache.add_many(self.world.initial_certificates())
         self.generations = config.world.payload_refresh_every
-        initial = self._capture()
+        self.distribution = config.world.distribution
+        cfg = config.world
+        if self.distribution == "delta":
+            # Versioned distribution: one publisher tracks the canonical
+            # trajectory, one applier per generation replays its updates
+            # at that generation's refresh cadence.  Version 0 is a local
+            # bootstrap (the preload set every client already holds), so
+            # it costs no wire bytes — exactly like full mode's initial
+            # capture.  Builds route through the memoized FILTER_BUILDS
+            # cache so repeated versions across generations, trials and
+            # workers rehydrate one image.
+            fingerprints = self.cache.fingerprints()
+            self._publisher = DeltaPublisher(
+                cfg.filter_kind,
+                fingerprints,
+                fpp=cfg.fpp,
+                load_factor=cfg.load_factor,
+                seed=cfg.seed,
+                headroom=2.0,
+                builder=memoized_build,
+            )
+            self._appliers = [
+                DeltaApplier(
+                    cfg.filter_kind,
+                    fingerprints,
+                    capacity=self._publisher.capacity_at(0),
+                    fpp=cfg.fpp,
+                    load_factor=cfg.load_factor,
+                    seed=cfg.seed,
+                    builder=memoized_build,
+                )
+                for _ in range(self.generations)
+            ]
+            initial = (
+                self._appliers[0].image(),
+                frozenset(self._appliers[0].items),
+            )
+        else:
+            self._publisher = None
+            self._appliers = []
+            initial = self._capture()
         #: Per-generation (advertised payload, captured fingerprint set).
         self.captures: List[Tuple[bytes, FrozenSet[bytes]]] = [
             initial for _ in range(self.generations)
@@ -288,6 +343,39 @@ class ChurnCohortState:
         fingerprints = self.cache.fingerprints()
         payload = capture_wire_image(self.config.world, fingerprints)
         return payload, frozenset(fingerprints)
+
+    def _refresh_generation(self, due: int) -> int:
+        """Refresh one generation's capture through the configured
+        distribution channel; returns the bytes shipped *per client* of
+        that generation.
+
+        Full mode re-ships the whole framed image (AMQ payload plus the
+        update-message framing, so both arms meter the same channel).
+        Delta mode publishes the current canonical state and sends the
+        cheapest ``repro.delta/v1`` update from the generation's applied
+        version — by construction never costlier than the framed
+        snapshot, and usually a small patch.
+        """
+        if self.distribution != "delta":
+            self.captures[due] = self._capture()
+            return len(self.captures[due][0]) + delta_overhead_bytes()
+        version = self._publisher.publish(self.cache.fingerprints())
+        applier = self._appliers[due]
+        update = self._publisher.update_since(applier.version)
+        message = deserialize_delta(update)
+        if isinstance(message, FilterSnapshot):
+            # Resync: the ordered item list rides the local cache model
+            # (clients rebuild their list from their own cache, which the
+            # publisher's canonical trajectory stands for).
+            applier.apply(
+                message,
+                snapshot_items=self._publisher.items_at(message.version),
+            )
+        else:
+            applier.apply(message)
+        assert applier.version == version
+        self.captures[due] = (applier.image(), frozenset(applier.items))
+        return len(update)
 
     def begin_epoch(self, step: int) -> EpochCounts:
         """Advance the world and run the epoch's client maintenance:
@@ -312,15 +400,17 @@ class ChurnCohortState:
                 (step, "preload-refresh", f"added={preload_added * n}")
             )
         due = (-step) % self.generations
-        self.captures[due] = self._capture()
+        per_client_bytes = self._refresh_generation(due)
+        refreshed = generation_size(due, n, self.generations)
         return EpochCounts(
             icas_issued=issued,
             icas_cross_signed=cross_signed,
             icas_revoked=revoked,
             icas_expired_swept=expired * n,
             preload_added=preload_added * n,
-            payload_refreshes=generation_size(due, n, self.generations),
+            payload_refreshes=refreshed,
             site_rotations=rotations,
+            distribution_bytes=per_client_bytes * refreshed,
         )
 
     def stale_generations(self) -> List[bool]:
@@ -515,6 +605,7 @@ class ChurnCohortEngine:
             icas_encountered=encountered,
             icas_suppressed=suppressed,
             wire_bytes=wire_bytes,
+            distribution_bytes=counts_epoch.distribution_bytes,
         )
         record_churn_step(metrics)
         return metrics

@@ -105,6 +105,7 @@ def _reference_epoch(
         icas_encountered=encountered,
         icas_suppressed=suppressed,
         wire_bytes=wire_bytes,
+        distribution_bytes=counts.distribution_bytes,
     )
     record_churn_step(metrics)
     return metrics

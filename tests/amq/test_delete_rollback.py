@@ -1,0 +1,194 @@
+"""Strict batch deletion: all-or-nothing with byte-identical unwind.
+
+``delete_batch_strict`` is the delta applier's removal path: a patch
+naming an item the table does not hold is malformed, and a malformed
+patch must leave the filter exactly as it found it. For the
+history-independent families (counting bloom, quotient) the generic
+re-insert unwind suffices; bucket tables (cuckoo, vacuum) remember
+*which* bucket stored each fingerprint, so they carry a slot-exact undo
+— these tests pin both, including the displaced-fingerprint case where
+a naive re-insert would land in the wrong bucket.
+"""
+
+import pytest
+
+from repro.amq import (
+    BloomFilter,
+    CountingBloomFilter,
+    CuckooFilter,
+    FilterParams,
+    QuotientFilter,
+    VacuumFilter,
+    XorFilter,
+    canonical_params,
+)
+from repro.errors import DeletionUnsupportedError, FilterDeleteError
+from tests.conftest import make_items
+
+PARAMS = canonical_params(
+    FilterParams(capacity=64, fpp=1e-2, load_factor=0.8, seed=221453161)
+)
+
+DELETING = [CountingBloomFilter, CuckooFilter, VacuumFilter, QuotientFilter]
+DELETING_IDS = ["counting-bloom", "cuckoo", "vacuum", "quotient"]
+
+
+@pytest.fixture(params=DELETING, ids=DELETING_IDS)
+def loaded(request, rng):
+    filt = request.param(PARAMS)
+    items = make_items(rng, 40)
+    filt.insert_batch(items)
+    return filt, items
+
+
+@pytest.fixture(params=[CuckooFilter, VacuumFilter], ids=["cuckoo", "vacuum"])
+def bucket_loaded(request, rng):
+    filt = request.param(PARAMS)
+    items = make_items(rng, 48)  # enough load to force kick chains
+    filt.insert_batch(items)
+    return filt, items
+
+
+def _displaced_item(filt, items, rng):
+    """An item stored in its *alternate* bucket (overflowed or kicked
+    there) — the case where a generic re-insert unwind would restore it
+    to the wrong slot. Tops the table up until one exists."""
+    items = list(items)
+    for _ in range(512):
+        for item in items:
+            fp = filt._fingerprint(item)
+            i1 = filt._index1(item)
+            if filt._bucket_find_slot(i1, fp) is None and (
+                filt._bucket_find_slot(filt._alt_index(i1, fp), fp)
+                is not None
+            ):
+                return item
+        extra = make_items(rng, 1)[0]
+        filt.insert(extra)
+        items.append(extra)
+    raise AssertionError("no displaced item at this load; raise the fill")
+
+
+class TestStrictDeleteSuccess:
+    def test_deletes_all_items(self, loaded):
+        filt, items = loaded
+        before = len(filt)
+        filt.delete_batch_strict(items[:5])
+        assert len(filt) == before - 5
+        # Survivors must still answer true (no false negatives).
+        assert all(filt.contains(i) for i in items[5:])
+
+    @pytest.mark.parametrize(
+        "cls", [CountingBloomFilter, QuotientFilter],
+        ids=["counting-bloom", "quotient"],
+    )
+    def test_history_independent_families_land_on_fresh_bytes(self, rng, cls):
+        filt = cls(PARAMS)
+        items = make_items(rng, 30)
+        filt.insert_batch(items)
+        filt.delete_batch_strict(items[10:20])
+        fresh = cls.build_from_fingerprints(
+            PARAMS, items[:10] + items[20:]
+        )
+        assert filt.to_bytes() == fresh.to_bytes()
+
+    def test_empty_batch_is_a_noop(self, loaded):
+        filt, _ = loaded
+        before = filt.to_bytes()
+        filt.delete_batch_strict([])
+        assert filt.to_bytes() == before
+
+
+class TestStrictDeleteUnwind:
+    def test_missing_item_unwinds_byte_identically(self, loaded, rng):
+        filt, items = loaded
+        before = filt.to_bytes()
+        count = len(filt)
+        absent = make_items(rng, 1)[0]
+        with pytest.raises(FilterDeleteError) as exc:
+            filt.delete_batch_strict([items[0], items[1], absent])
+        assert exc.value.missing_index == 2
+        assert filt.to_bytes() == before
+        assert len(filt) == count
+
+    def test_first_item_missing_reports_index_zero(self, loaded, rng):
+        filt, items = loaded
+        before = filt.to_bytes()
+        absent = make_items(rng, 1)[0]
+        with pytest.raises(FilterDeleteError) as exc:
+            filt.delete_batch_strict([absent, items[0]])
+        assert exc.value.missing_index == 0
+        assert filt.to_bytes() == before
+        assert filt.contains(items[0])
+
+    def test_duplicate_batch_rejected_up_front(self, loaded):
+        filt, items = loaded
+        before = filt.to_bytes()
+        with pytest.raises(FilterDeleteError) as exc:
+            filt.delete_batch_strict([items[0], items[1], items[0]])
+        assert exc.value.missing_index is None
+        assert filt.to_bytes() == before
+
+    def test_displaced_fingerprint_restored_to_alternate_bucket(
+        self, bucket_loaded, rng
+    ):
+        # Regression for the slot-exact undo: delete a fingerprint that
+        # lives in its alternate bucket, then fail the batch. A generic
+        # re-insert would put it back in the *primary* bucket — the
+        # table would answer queries correctly but its bytes (and hence
+        # the advertised wire image) would differ from the pre-patch
+        # state, breaking payload dedup and the delta byte-identity.
+        filt, items = bucket_loaded
+        displaced = _displaced_item(filt, items, rng)
+        before = filt.to_bytes()
+        absent = make_items(rng, 1)[0]
+        with pytest.raises(FilterDeleteError):
+            filt.delete_batch_strict([displaced, absent])
+        assert filt.to_bytes() == before
+
+    def test_unwind_draws_no_rng(self, bucket_loaded, rng):
+        # The undo path writes slots directly; it must not advance the
+        # eviction rng, or a later insert would diverge from a filter
+        # that never saw the failed batch.
+        filt, items = bucket_loaded
+        absent = make_items(rng, 1)[0]
+        state = filt._rng.getstate()
+        with pytest.raises(FilterDeleteError):
+            filt.delete_batch_strict([items[3], items[7], absent])
+        assert filt._rng.getstate() == state
+
+
+class TestNonStrictUnchanged:
+    def test_delete_batch_reports_per_item_flags(self, loaded, rng):
+        filt, items = loaded
+        absent = make_items(rng, 1)[0]
+        flags = filt.delete_batch([items[0], absent, items[1]])
+        assert flags == [True, False, True]
+
+    def test_counting_bloom_never_underflows(self, rng):
+        # Deleting from an empty filter must not wrap any counter.
+        filt = CountingBloomFilter(PARAMS)
+        empty = filt.to_bytes()
+        for item in make_items(rng, 8):
+            assert not filt.delete(item)
+        assert filt.to_bytes() == empty
+
+    def test_counting_bloom_partial_overlap_no_underflow(self, rng):
+        # An absent item whose cells partially overlap stored items must
+        # not decrement the shared cells: a failed delete is a strict
+        # no-op at the byte level, however many of its positions are hot.
+        filt = CountingBloomFilter(PARAMS)
+        items = make_items(rng, 20)
+        filt.insert_batch(items)
+        for item in make_items(rng, 40):
+            before = filt.to_bytes()
+            if not filt.delete(item):
+                assert filt.to_bytes() == before
+
+    @pytest.mark.parametrize("cls", [BloomFilter, XorFilter], ids=["bloom", "xor"])
+    def test_non_deleting_families_refuse_strict_deletes(self, rng, cls):
+        filt = cls(PARAMS)
+        items = make_items(rng, 8)
+        filt.insert_batch(items)
+        with pytest.raises(DeletionUnsupportedError):
+            filt.delete_batch_strict(items[:2])

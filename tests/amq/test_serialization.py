@@ -204,6 +204,23 @@ class TestRejection:
         with pytest.raises(FilterSerializationError, match="invalid filter params"):
             deserialize_filter(bytes(wire))
 
+    def test_zero_fpp_exponent_rejected(self, paper_params):
+        # The quantizer clamps to >= 1, so a zero exponent (fpp = 1.0)
+        # can only come from corruption or a foreign encoder; decoding
+        # it would build a filter with degenerate hash geometry.
+        wire = bytearray(serialize_filter(CuckooFilter(paper_params)))
+        wire[7:9] = (0).to_bytes(2, "big")
+        with pytest.raises(FilterSerializationError, match="fpp"):
+            deserialize_filter(bytes(wire))
+
+    def test_zero_load_factor_rejected(self, paper_params):
+        # Likewise lf_enc = 0 would dequantize to a zero load factor and
+        # an infinite table; reject at the wire layer, explicitly.
+        wire = bytearray(serialize_filter(CuckooFilter(paper_params)))
+        wire[9] = 0
+        with pytest.raises(FilterSerializationError, match="load factor"):
+            deserialize_filter(bytes(wire))
+
     def test_geometry_error_names_expectation(self, paper_params):
         wire = serialize_filter(CuckooFilter(paper_params))
         payload = wire[serialized_overhead_bytes():]

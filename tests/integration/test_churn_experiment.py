@@ -201,6 +201,7 @@ class TestReporting:
             icas_encountered=8,
             icas_suppressed=6,
             wire_bytes=100,
+            distribution_bytes=64,
             events=3,
             fp_retry_curve=(0.0, 0.5),
         )

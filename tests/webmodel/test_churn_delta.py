@@ -1,0 +1,98 @@
+"""Delta-distribution churn: differential, monotonicity and metering.
+
+``--distribution delta`` replaces the full-refresh filter shipment with
+versioned ``repro.delta/v1`` updates. Because every delta decision lives
+in the shared :class:`ChurnCohortState`, the columnar engine and the
+scalar reference must stay full-result identical in delta mode for free
+— and the whole point of the protocol, strictly fewer cumulative bytes
+on the update channel than re-shipping full images, must hold at every
+refresh interval.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import obs
+from repro.errors import SimulationError
+from repro.webmodel.churn import ChurnConfig, ChurnEngine
+from repro.webmodel.churn_columnar import (
+    ChurnCohortConfig,
+    run_churn_cohort,
+)
+from repro.webmodel.churn_reference import run_churn_cohort_reference
+
+
+def _cfg(distribution, refresh_every=2, steps=6, seed=11, **world_kw):
+    world = ChurnConfig(
+        steps=steps,
+        seed=seed,
+        payload_refresh_every=refresh_every,
+        distribution=distribution,
+        **world_kw,
+    )
+    return ChurnCohortConfig(
+        world=world, num_clients=12, handshakes_per_client=2
+    )
+
+
+class TestConfigValidation:
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(SimulationError, match="distribution"):
+            _cfg("gossip")
+
+    def test_fleet_engine_rejects_delta(self):
+        # The per-handshake fleet engine has no publisher wiring; only
+        # the cohort engines model the update channel.
+        with pytest.raises(SimulationError, match="cohort"):
+            ChurnEngine(ChurnConfig(steps=2, distribution="delta"))
+
+    def test_fleet_engine_accepts_full(self):
+        ChurnEngine(ChurnConfig(steps=2, distribution="full"))
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("refresh_every", [1, 2, 4])
+    def test_columnar_matches_scalar_in_delta_mode(self, refresh_every):
+        cfg = _cfg("delta", refresh_every=refresh_every)
+        assert run_churn_cohort(cfg) == run_churn_cohort_reference(cfg)
+
+    def test_delta_changes_only_distribution_bytes(self):
+        # The advertised payloads are byte-identical either way — the
+        # distribution knob must not perturb handshakes, retries, events
+        # or wire bytes, only the update-channel accounting.
+        full = run_churn_cohort(_cfg("full"))
+        delta = run_churn_cohort(_cfg("delta"))
+        assert full.events == delta.events
+        strip = lambda s: dataclasses.replace(s, distribution_bytes=0)
+        assert [strip(s) for s in full.steps] == [
+            strip(s) for s in delta.steps
+        ]
+
+
+class TestBytesOnWire:
+    @pytest.mark.parametrize("refresh_every", [1, 2, 4, 8])
+    def test_delta_strictly_undercuts_full(self, refresh_every):
+        full = run_churn_cohort(_cfg("full", refresh_every=refresh_every))
+        delta = run_churn_cohort(_cfg("delta", refresh_every=refresh_every))
+        assert 0 < delta.total_distribution_bytes
+        assert delta.total_distribution_bytes < full.total_distribution_bytes
+
+    def test_distribution_bytes_metered(self):
+        with obs.scoped() as reg:
+            result = run_churn_cohort(_cfg("delta"))
+        assert (
+            reg.counter("webmodel.churn.distribution_bytes")
+            == result.total_distribution_bytes
+        )
+        assert reg.counter("amq.delta.publishes") > 0
+        assert reg.counter("amq.delta.patches_applied") > 0
+
+    def test_full_mode_pays_framed_image_per_refresh(self):
+        from repro.amq.delta import delta_overhead_bytes
+
+        result = run_churn_cohort(_cfg("full", refresh_every=1, steps=3))
+        # Every client refreshes every epoch in full mode; each shipment
+        # is at least the delta framing plus a non-empty image.
+        for step in result.steps:
+            assert step.distribution_bytes > delta_overhead_bytes() * 12
